@@ -1,0 +1,116 @@
+//===- BenchSupport.h - Shared helpers for the table harnesses -*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared code for the Table 1/2 harnesses: runs the four compilers (PPCG,
+/// Par4All, Overtile, hybrid) over the seven benchmark stencils on a given
+/// device model and prints the paper's rows (GStencils/second and speedup
+/// over PPCG).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_BENCH_BENCHSUPPORT_H
+#define HEXTILE_BENCH_BENCHSUPPORT_H
+
+#include "baselines/Baselines.h"
+#include "codegen/HybridCompiler.h"
+#include "gpu/PerfModel.h"
+#include "ir/StencilGallery.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace bench {
+
+/// Tile-size search space used for the hybrid rows, sized so the sweep
+/// finishes quickly while covering the paper's choices.
+inline core::TileSizeConstraints hybridSearchSpace(unsigned Rank) {
+  core::TileSizeConstraints C;
+  C.MaxH = Rank >= 3 ? 3 : 6;
+  C.W0Widths = Rank >= 3 ? std::vector<int64_t>{3, 5, 7, 9}
+                         : std::vector<int64_t>{3, 5, 7, 11, 15};
+  C.MiddleWidths = {8, 10, 12};
+  C.InnermostWidths = {32};
+  return C;
+}
+
+/// One Table 1/2 row: per-tool GStencils/s (0 = tool failed).
+struct ToolRow {
+  std::string Benchmark;
+  double Ppcg = 0;
+  double Par4all = 0;
+  double Overtile = 0;
+  double Hybrid = 0;
+  std::string HybridSizes;
+};
+
+inline ToolRow runBenchmark(const ir::StencilProgram &P,
+                            const gpu::DeviceConfig &Dev) {
+  ToolRow Row;
+  Row.Benchmark = P.name();
+
+  baselines::BaselineResult Ppcg = baselines::compilePpcg(P, Dev);
+  Row.Ppcg = gpu::simulate(Dev, Ppcg.Kernels).GStencilsPerSec;
+
+  baselines::BaselineResult P4A = baselines::compilePar4all(P, Dev);
+  if (!P4A.Kernels.empty())
+    Row.Par4all = gpu::simulate(Dev, P4A.Kernels).GStencilsPerSec;
+
+  baselines::BaselineResult Ovt = baselines::compileOvertile(P, Dev);
+  Row.Overtile = gpu::simulate(Dev, Ovt.Kernels).GStencilsPerSec;
+
+  codegen::TileSizeRequest Req;
+  Req.Constraints = hybridSearchSpace(P.spaceRank());
+  Req.Constraints.SharedMemBytes = Dev.SharedMemPerBlock;
+  codegen::CompiledHybrid Hybrid = codegen::compileHybrid(P, Req);
+  Row.Hybrid =
+      gpu::simulate(Dev, Hybrid.kernelModels(Dev)).GStencilsPerSec;
+  Row.HybridSizes = Hybrid.schedule().params().str();
+  return Row;
+}
+
+inline void printSpeedupTable(const char *Title,
+                              const gpu::DeviceConfig &Dev,
+                              const std::vector<ToolRow> &Rows) {
+  std::printf("%s\n", Title);
+  std::printf("%-12s %10s %16s %16s %16s\n", "benchmark", "ppcg",
+              "par4all", "overtile", "hybrid");
+  for (const ToolRow &R : Rows) {
+    auto Cell = [&](double V) {
+      if (V <= 0)
+        return std::string("   invalid CUDA");
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%6.2f %+5.0f%%", V,
+                    (V / R.Ppcg - 1.0) * 100.0);
+      return std::string(Buf);
+    };
+    std::printf("%-12s %10.2f %16s %16s %16s\n", R.Benchmark.c_str(),
+                R.Ppcg, Cell(R.Par4all).c_str(), Cell(R.Overtile).c_str(),
+                Cell(R.Hybrid).c_str());
+  }
+  std::printf("\n(GStencils/second and speedup over PPCG, %s model)\n",
+              Dev.Name.c_str());
+}
+
+inline int runToolComparison(const gpu::DeviceConfig &Dev,
+                             const char *Title) {
+  std::vector<ToolRow> Rows;
+  for (const ir::StencilProgram &P : ir::makeBenchmarkSuite())
+    Rows.push_back(runBenchmark(P, Dev));
+  printSpeedupTable(Title, Dev, Rows);
+  std::printf("\nhybrid tile sizes chosen by the Sec. 3.7 model:\n");
+  for (const ToolRow &R : Rows)
+    std::printf("  %-12s %s\n", R.Benchmark.c_str(),
+                R.HybridSizes.c_str());
+  return 0;
+}
+
+} // namespace bench
+} // namespace hextile
+
+#endif // HEXTILE_BENCH_BENCHSUPPORT_H

@@ -1,0 +1,54 @@
+//===- bench_fig4_tileshape.cpp - Fig. 4 reproduction --------------------------===//
+//
+// Regenerates Figure 4: the hexagonal tile shape for the Sec. 3.3.2
+// example (delta0 = 1, delta1 = 2) with h = 2 and w0 = 3, together with
+// the truncated-cone offsets and the minimal-width bound of eq. (1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HexagonGeometry.h"
+
+#include <cstdio>
+
+using namespace hextile;
+using namespace hextile::core;
+
+int main() {
+  HexTileParams P(2, 3, Rational(1), Rational(2));
+  HexagonGeometry G(P);
+
+  std::printf("Figure 4: hexagonal tile, %s\n\n", P.str().c_str());
+  std::printf("%s\n", G.ascii().c_str());
+  std::printf("points per tile: %lld (identical for every full tile)\n",
+              static_cast<long long>(G.pointsPerTile()));
+  std::printf("box: %lld x %lld (time period x s0 period)\n",
+              static_cast<long long>(P.timePeriod()),
+              static_cast<long long>(P.spacePeriod()));
+
+  std::printf("\nsubtracted truncated-cone offsets (Sec. 3.3.2):\n");
+  std::printf("  left   (-h-1, -w0-1-|_d0h_|) = (%lld, %lld)\n",
+              static_cast<long long>(-P.H - 1),
+              static_cast<long long>(-P.W0 - 1 - P.floorD0H()));
+  std::printf("  right  (-h-1,  w0+1+|_d1h_|) = (%lld, %lld)\n",
+              static_cast<long long>(-P.H - 1),
+              static_cast<long long>(P.W0 + 1 + P.floorD1H()));
+  std::printf("  bottom (-2h-2, |_d1h_|-|_d0h_|) = (%lld, %lld)\n",
+              static_cast<long long>(-2 * P.H - 2),
+              static_cast<long long>(P.drift()));
+
+  Rational MinW = HexTileParams::minWidth(P.Delta0, P.Delta1, P.H);
+  std::printf("\nwidth bound (1): w0 >= max(d0+{d0h}, d1+{d1h}) - 1 = %s\n",
+              MinW.str().c_str());
+  std::printf("w0 = %lld satisfies the bound: %s\n",
+              static_cast<long long>(P.W0), P.isValid() ? "yes" : "no");
+
+  // Also show the failure mode the paper illustrates: w0 below the bound
+  // makes the subtraction non-convex (rejected by the validator).
+  HexTileParams Bad(2, 1, Rational(1), Rational(3));
+  std::printf("\ncounterexample: %s valid? %s (bound requires w0 >= %s)\n",
+              Bad.str().c_str(), Bad.isValid() ? "yes" : "no",
+              HexTileParams::minWidth(Bad.Delta0, Bad.Delta1, Bad.H)
+                  .str()
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench_micro_poly.cpp - Polyhedral substrate microbenchmarks --------------===//
+//
+// google-benchmark microbenchmarks for the polyhedral substrate: the
+// Fourier-Motzkin projection, LP bounds, point counting and hexagon
+// construction that the compiler runs per program. These are the
+// compile-time costs of the approach (the paper's scheduling is a
+// compile-time transformation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HexagonGeometry.h"
+#include "core/TileAnalysis.h"
+#include "deps/DeltaBounds.h"
+#include "ir/StencilGallery.h"
+#include "poly/FourierMotzkin.h"
+#include "poly/LinearProgram.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hextile;
+
+static void BM_FourierMotzkinProjection(benchmark::State &State) {
+  poly::IntegerSet S(std::vector<std::string>{"a", "b", "c"});
+  poly::AffineExpr A = poly::AffineExpr::dim(3, 0);
+  poly::AffineExpr B = poly::AffineExpr::dim(3, 1);
+  poly::AffineExpr C = poly::AffineExpr::dim(3, 2);
+  S.addBounds(0, 0, 100);
+  S.addConstraint(poly::Constraint::le(A + B, C * Rational(2)));
+  S.addConstraint(poly::Constraint::ge(B - C));
+  S.addBounds(2, -50, 50);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(poly::eliminateDim(S, 2));
+}
+BENCHMARK(BM_FourierMotzkinProjection);
+
+static void BM_LinearProgram(benchmark::State &State) {
+  poly::IntegerSet S(std::vector<std::string>{"x", "y"});
+  poly::AffineExpr X = poly::AffineExpr::dim(2, 0);
+  poly::AffineExpr Y = poly::AffineExpr::dim(2, 1);
+  S.addBounds(0, -10, 10);
+  S.addBounds(1, -10, 10);
+  S.addConstraint(poly::Constraint::le(X + Y, poly::AffineExpr::constant(
+                                                  2, Rational(15))));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(poly::maximize(S, X + Y * Rational(3)));
+}
+BENCHMARK(BM_LinearProgram);
+
+static void BM_HexagonCount(benchmark::State &State) {
+  for (auto _ : State) {
+    core::HexagonGeometry G(core::HexTileParams(
+        State.range(0), 7, Rational(1), Rational(1)));
+    benchmark::DoNotOptimize(G.pointsPerTile());
+  }
+}
+BENCHMARK(BM_HexagonCount)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_DependenceAnalysis(benchmark::State &State) {
+  ir::StencilProgram P = ir::makeHeat3D(64, 4);
+  for (auto _ : State) {
+    deps::DependenceInfo Info = deps::analyzeDependences(P);
+    benchmark::DoNotOptimize(deps::computeAllConeBounds(Info));
+  }
+}
+BENCHMARK(BM_DependenceAnalysis);
+
+static void BM_SlabAnalysisHeat3D(benchmark::State &State) {
+  ir::StencilProgram P = ir::makeHeat3D(64, 4);
+  deps::DependenceInfo Deps = deps::analyzeDependences(P);
+  std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
+  core::HexTileParams Params(2, 7, Cones[0].Delta0, Cones[0].Delta1);
+  core::HybridSchedule Sched(Params, {10, 32},
+                             {Cones[1].Delta1, Cones[2].Delta1});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(core::analyzeSlab(P, Deps, Sched));
+}
+BENCHMARK(BM_SlabAnalysisHeat3D);
+
+static void BM_PointCounting(benchmark::State &State) {
+  poly::IntegerSet S(std::vector<std::string>{"x", "y"});
+  poly::AffineExpr X = poly::AffineExpr::dim(2, 0);
+  poly::AffineExpr Y = poly::AffineExpr::dim(2, 1);
+  S.addBounds(0, 0, State.range(0));
+  S.addConstraint(poly::Constraint::ge(Y));
+  S.addConstraint(poly::Constraint::le(X + Y, poly::AffineExpr::constant(
+                                                  2, State.range(0))));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.countPoints());
+}
+BENCHMARK(BM_PointCounting)->Arg(32)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+//===- bench_table1_gtx470.cpp - Table 1 reproduction -----------------------===//
+//
+// Regenerates Table 1 of the paper: GStencils/second and speedup over PPCG
+// for the seven benchmark stencils on the GTX 470 device model, comparing
+// PPCG, Par4All, Overtile and hybrid hexagonal/classical tiling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+int main() {
+  return hextile::bench::runToolComparison(
+      hextile::gpu::DeviceConfig::gtx470(),
+      "Table 1: Performance on NVIDIA GTX 470");
+}

@@ -1,0 +1,14 @@
+//===- bench_table2_nvs5200.cpp - Table 2 reproduction -----------------------===//
+//
+// Regenerates Table 2 of the paper: GStencils/second and speedup over PPCG
+// for the seven benchmark stencils on the NVS 5200M device model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+int main() {
+  return hextile::bench::runToolComparison(
+      hextile::gpu::DeviceConfig::nvs5200(),
+      "Table 2: Performance on NVS 5200M");
+}

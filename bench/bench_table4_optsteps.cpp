@@ -1,0 +1,73 @@
+//===- bench_table4_optsteps.cpp - Table 4 reproduction ------------------------===//
+//
+// Regenerates Table 4: the shared-memory optimization ladder (a)-(f) of
+// Sec. 6.2 on the heat 3D kernel (h=2, w0=7, w1=10, w2=32, threads
+// 1x10x32), reporting GFLOPS and the per-step speedup on both device
+// models.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/HybridCompiler.h"
+#include "ir/StencilGallery.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace hextile;
+using namespace hextile::codegen;
+
+namespace {
+
+const char *rowLabel(char L) {
+  switch (L) {
+  case 'a':
+    return "(a) no shared memory";
+  case 'b':
+    return "(b) shared memory";
+  case 'c':
+    return "(c) (b) + interleave copy-out";
+  case 'd':
+    return "(d) (c) + align loads";
+  case 'e':
+    return "(e) (d) + value reuse (static)";
+  case 'f':
+    return "(f) (d) + value reuse (dynamic)";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  ir::StencilProgram P = ir::makeHeat3D(384, 128);
+  TileSizeRequest Sizes;
+  Sizes.H = 2;
+  Sizes.W0 = 7;
+  Sizes.InnerWidths = {10, 32};
+
+  std::vector<gpu::DeviceConfig> Devices = {gpu::DeviceConfig::nvs5200(),
+                                            gpu::DeviceConfig::gtx470()};
+  std::printf("Table 4: Optimization steps, heat 3D "
+              "(h=2, w0=7, w1=10, w2=32; 1x10x32 threads)\n");
+  std::printf("%-36s %12s %12s\n", "", "NVS 5200", "GTX 470");
+
+  std::vector<double> Prev(Devices.size(), 0.0);
+  for (char L : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+    CompiledHybrid C = compileHybrid(P, Sizes, OptimizationConfig::level(L));
+    std::printf("%-36s", rowLabel(L));
+    for (unsigned D = 0; D < Devices.size(); ++D) {
+      gpu::PerfResult R =
+          gpu::simulate(Devices[D], C.kernelModels(Devices[D]));
+      if (Prev[D] == 0)
+        std::printf(" %7.0f     ", R.GFlops);
+      else
+        std::printf(" %7.0f %+4.0f%%", R.GFlops,
+                    (R.GFlops / Prev[D] - 1.0) * 100.0);
+      Prev[D] = R.GFlops;
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(GFLOPS and speedup over the previous step; the (b)/(e)"
+              " rows regress as in the paper)\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- heat3d_study.cpp - The Sec. 6.2 shared-memory study ----------------===//
+//
+// Reproduces the paper's deep dive on the 3D heat kernel: tile-size
+// selection, the (a)-(f) optimization ladder with performance counters,
+// and the observation that the tuned kernel moves from global-load bound
+// to shared-memory bound.
+//
+// Run:  ./heat3d_study
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/HybridCompiler.h"
+#include "ir/StencilGallery.h"
+
+#include <cstdio>
+
+using namespace hextile;
+using namespace hextile::codegen;
+
+int main() {
+  ir::StencilProgram P = ir::makeHeat3D(384, 128);
+  std::printf("heat 3D: %u-point stencil, %u flops/point, grid 384^3, "
+              "128 steps\n\n",
+              P.totalReads(), P.totalFlops());
+
+  // The paper's configuration (Sec. 6.2): h=2, w0=7, w1=10, w2=32.
+  TileSizeRequest Sizes;
+  Sizes.H = 2;
+  Sizes.W0 = 7;
+  Sizes.InnerWidths = {10, 32};
+
+  CompiledHybrid Base = compileHybrid(P, Sizes);
+  const core::SlabCosts &Costs = Base.slabCosts();
+  std::printf("per-tile statistics (exact, Sec. 3.7):\n");
+  std::printf("  iterations          %lld (= 60 hexagon points x 10 x 32)\n",
+              static_cast<long long>(Costs.Instances));
+  std::printf("  loads (box)         %lld\n",
+              static_cast<long long>(Costs.LoadValuesBox));
+  std::printf("  loads (reuse)       %lld\n",
+              static_cast<long long>(Costs.LoadValuesReuse));
+  std::printf("  shared memory       %.1f KB\n",
+              Costs.SharedBytes / 1024.0);
+  std::printf("  shared loads/point  %.1f unrolled (%.0f naive)\n\n",
+              double(Costs.SharedLoadsUnrolled) / Costs.Instances,
+              double(Costs.SharedLoads) / Costs.Instances);
+
+  gpu::DeviceConfig Dev = gpu::DeviceConfig::gtx470();
+  std::printf("optimization ladder on %s:\n", Dev.Name.c_str());
+  std::printf("%-4s %9s %12s %12s %10s %8s\n", "cfg", "GFLOPS",
+              "gld inst/1e9", "dram tx/1e9", "l2 tx/1e9", "gld eff");
+  for (char L : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+    CompiledHybrid C = compileHybrid(P, Sizes, OptimizationConfig::level(L));
+    gpu::PerfResult R = gpu::simulate(Dev, C.kernelModels(Dev));
+    std::printf("(%c)  %9.1f %12.1f %12.2f %10.2f %7.0f%%   %s\n", L,
+                R.GFlops, R.Counters.GldInst32bit / 1e9,
+                R.Counters.DramReadTransactions / 1e9,
+                R.Counters.L2ReadTransactions / 1e9,
+                R.Counters.GldEfficiency * 100,
+                C.config().str().c_str());
+  }
+
+  std::printf("\nwith dynamic reuse the kernel issues %.1f shared accesses"
+              " per point and only %.2f global loads per point: the kernel"
+              " is bound by shared memory, not by global loads (the"
+              " paper's concluding observation; register tiling is the"
+              " next lever).\n",
+              double(Costs.SharedLoadsUnrolled + Costs.SharedStores) /
+                  Costs.Instances,
+              double(Costs.LoadValuesReuse) / Costs.Instances);
+  return 0;
+}

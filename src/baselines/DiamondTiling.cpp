@@ -1,0 +1,45 @@
+//===- DiamondTiling.cpp - Diamond tiling point-count study ---------------===//
+
+#include "baselines/DiamondTiling.h"
+
+#include "support/MathExt.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::baselines;
+
+DiamondTiling::DiamondTiling(int64_t Period) : P(Period) {
+  assert(P >= 1 && "diamond period must be positive");
+}
+
+void DiamondTiling::locate(int64_t T, int64_t S0, int64_t &A,
+                           int64_t &B) const {
+  A = floorDiv(S0 + T, P);
+  B = floorDiv(S0 - T, P);
+}
+
+int64_t DiamondTiling::pointCount(int64_t A, int64_t B) const {
+  // Points with s0 + t in [A*P, (A+1)*P) and s0 - t in [B*P, (B+1)*P).
+  // Substituting u = s0 + t, v = s0 - t: u and v must have equal parity
+  // (s0 = (u+v)/2 and t = (u-v)/2 must be integers).
+  int64_t N = 0;
+  for (int64_t U = A * P; U < (A + 1) * P; ++U)
+    for (int64_t V = B * P; V < (B + 1) * P; ++V)
+      if (euclidMod(U, 2) == euclidMod(V, 2))
+        ++N;
+  return N;
+}
+
+void DiamondTiling::countRange(int64_t Window, int64_t &Min,
+                               int64_t &Max) const {
+  Min = INT64_MAX;
+  Max = INT64_MIN;
+  for (int64_t A = -Window; A <= Window; ++A)
+    for (int64_t B = -Window; B <= Window; ++B) {
+      int64_t N = pointCount(A, B);
+      Min = std::min(Min, N);
+      Max = std::max(Max, N);
+    }
+}

@@ -1,0 +1,53 @@
+//===- DiamondTiling.h - Diamond tiling point-count study ------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diamond tiling (Bandishti et al.) of the (t, s0) plane, used for the
+/// Sec. 2 comparison: diamond tiles are the cells of the skewed lattice
+///
+///   A = floor((s0 + t) / P),   B = floor((s0 - t) / P).
+///
+/// Because s0 + t and s0 - t always share parity, the number of integer
+/// points per cell *varies between tiles* when the period P is odd -- the
+/// control-flow divergence hazard hexagonal tiling eliminates (every full
+/// hexagonal tile has identical cardinality, see HexagonGeometry).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_BASELINES_DIAMONDTILING_H
+#define HEXTILE_BASELINES_DIAMONDTILING_H
+
+#include <cstdint>
+#include <string>
+
+namespace hextile {
+namespace baselines {
+
+/// Diamond tiling of the plane with lattice period \p P (tile "diameter").
+class DiamondTiling {
+public:
+  explicit DiamondTiling(int64_t Period);
+
+  int64_t period() const { return P; }
+
+  /// Tile coordinates of the point (t, s0).
+  void locate(int64_t T, int64_t S0, int64_t &A, int64_t &B) const;
+
+  /// Exact number of integer points in tile (A, B) (by enumeration).
+  int64_t pointCount(int64_t A, int64_t B) const;
+
+  /// Minimum and maximum point count over the window of tiles
+  /// A, B in [-Window, Window].
+  void countRange(int64_t Window, int64_t &Min, int64_t &Max) const;
+
+private:
+  int64_t P;
+};
+
+} // namespace baselines
+} // namespace hextile
+
+#endif // HEXTILE_BASELINES_DIAMONDTILING_H

@@ -1,0 +1,204 @@
+//===- CudaEmitter.cpp - CUDA source emission ------------------------------===//
+
+#include "codegen/CudaEmitter.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::codegen;
+
+namespace {
+
+/// Incremental source builder with indentation.
+class Source {
+public:
+  void line(const std::string &S) {
+    Text.append(Indent, ' ');
+    Text += S;
+    Text += '\n';
+  }
+  void blank() { Text += '\n'; }
+  void open(const std::string &S) {
+    line(S + " {");
+    Indent += 2;
+  }
+  void close(const std::string &Suffix = "") {
+    Indent -= 2;
+    line("}" + Suffix);
+  }
+  std::string take() { return std::move(Text); }
+
+private:
+  std::string Text;
+  unsigned Indent = 0;
+};
+
+/// Emits one phase kernel.
+void emitKernel(Source &Out, const CompiledHybrid &C, int Phase) {
+  const ir::StencilProgram &P = C.program();
+  const core::HybridSchedule &S = C.schedule();
+  const core::HexTileParams &Par = S.params();
+  const core::HexagonGeometry &Hex = S.hex().hexagon();
+  unsigned Rank = P.spaceRank();
+
+  std::string Args;
+  for (unsigned F = 0; F < P.fields().size(); ++F) {
+    if (F)
+      Args += ", ";
+    Args += "float *g_" + P.fields()[F].Name;
+  }
+  Out.open("__global__ void " + P.name() + "_phase" +
+           std::to_string(Phase) + "(" + Args + ", int TT)");
+
+  Out.line("// Hexagonal tile: " + Par.str());
+  Out.line("const int S0 = blockIdx.x;");
+  // Tile origin from the inverse of eqs. (2)-(5).
+  int64_t OrigT, OrigS;
+  S.hex().tileOrigin(0, Phase, 0, OrigT, OrigS);
+  Out.line("const int t0 = TT * " + std::to_string(Par.timePeriod()) +
+           " + (" + std::to_string(OrigT) + ");");
+  Out.line("const int s0_0 = S0 * " + std::to_string(Par.spacePeriod()) +
+           " - TT * (" + std::to_string(Par.drift()) + ") + (" +
+           std::to_string(OrigS + 0) + ");");
+
+  // Shared-memory windows.
+  if (C.config().UseSharedMemory) {
+    int64_t BExt = Hex.maxB() - Hex.minB() + 1 + P.loHalo(0) + P.hiHalo(0);
+    for (unsigned F = 0; F < P.fields().size(); ++F) {
+      int64_t Depth = 1;
+      for (const ir::StencilStmt &St : P.stmts())
+        for (const ir::ReadAccess &R : St.Reads)
+          if (R.Field == F)
+            Depth = std::max(Depth, static_cast<int64_t>(1 - R.TimeOffset));
+      std::string Dims = "[" + std::to_string(Depth) + "][" +
+                         std::to_string(BExt) + "]";
+      for (unsigned I = 1; I < Rank; ++I) {
+        int64_t MaxSkew =
+            S.inner()[I - 1].skew(Par.timePeriod() - 1);
+        Dims += "[" +
+                std::to_string(S.inner()[I - 1].width() + MaxSkew +
+                               P.loHalo(I) + P.hiHalo(I)) +
+                "]";
+      }
+      Out.line("__shared__ float s_" + P.fields()[F].Name + Dims + ";");
+    }
+  }
+
+  // Sequential classical-tile loops.
+  for (unsigned I = 1; I < Rank; ++I) {
+    std::string SV = "S" + std::to_string(I);
+    Out.open("for (int " + SV + " = 0; " + SV + " < " +
+             std::to_string(ceilDiv(P.spaceSizes()[I],
+                                    S.inner()[I - 1].width())) +
+             "; ++" + SV + ")");
+  }
+
+  if (C.config().UseSharedMemory) {
+    if (C.config().Reuse == ReuseKind::Dynamic)
+      Out.line("// inter-tile reuse: move the previous tile's overlap "
+               "within shared memory (Sec. 4.2.2)");
+    else if (C.config().Reuse == ReuseKind::Static)
+      Out.line("// inter-tile reuse: static global->shared mapping "
+               "(Sec. 4.2.2)");
+    Out.line(std::string("// load phase: ") +
+             (C.config().AlignLoads ? "tile translated for 128B-aligned rows"
+                                    : "rows at natural (unaligned) offsets"));
+    Out.line("__syncthreads();");
+  }
+
+  // Time loop over the local coordinate a = t'.
+  Out.open("for (int a = 0; a < " + std::to_string(Par.timePeriod()) +
+           "; ++a)");
+  Out.line("const int t = t0 + a;");
+  Out.line("if (t < 0 || t >= " +
+           std::to_string(P.numStmts() * P.timeSteps()) + ") continue;");
+
+  // Full-tile fast path: per-row bounds of the hexagon, unrolled.
+  Out.line("// full tiles: specialized, divergence-free code (Sec. 4.3.1)");
+  Out.open("if (__tile_is_full)");
+  for (int64_t A = 0; A < Par.timePeriod(); ++A) {
+    int64_t Lo, Hi;
+    Hex.rowRange(A, Lo, Hi);
+    if (Lo > Hi)
+      continue;
+    unsigned StmtIdx = static_cast<unsigned>(euclidMod(A, P.numStmts()));
+    const ir::StencilStmt &St = P.stmts()[StmtIdx];
+    std::vector<std::string> ReadNames;
+    for (const ir::ReadAccess &R : St.Reads)
+      ReadNames.push_back(
+          (C.config().UseSharedMemory ? "s_" : "g_") +
+          P.fields()[R.Field].Name + "[...]");
+    Out.line("case_a_" + std::to_string(A) + ": // b in [" +
+             std::to_string(Lo) + ", " + std::to_string(Hi) + "], stmt " +
+             St.Name);
+  }
+  Out.close();
+  Out.open("else");
+  Out.line("// partial tiles: generic guarded code");
+  Out.line("// (bounds clamped against the iteration domain)");
+  Out.close();
+  if (C.config().UseSharedMemory && C.config().InterleaveCopyOut)
+    Out.line("// interleaved copy-out: stores issue with the computation "
+             "(Sec. 4.2.1)");
+  Out.line("__syncthreads();");
+  Out.close(); // a loop.
+
+  if (C.config().UseSharedMemory && !C.config().InterleaveCopyOut)
+    Out.line("// separate copy-out phase (configuration (b))");
+
+  for (unsigned I = 1; I < Rank; ++I)
+    Out.close(); // classical loops.
+  Out.close();   // kernel.
+}
+
+} // namespace
+
+std::string codegen::emitCuda(const CompiledHybrid &C) {
+  const ir::StencilProgram &P = C.program();
+  const core::HybridSchedule &S = C.schedule();
+  Source Out;
+  Out.line("// " + P.name() + ": hybrid hexagonal/classical tiling");
+  Out.line("// schedule:");
+  {
+    std::string Text = S.str();
+    std::string Line;
+    for (char Ch : Text) {
+      if (Ch == '\n') {
+        Out.line("//   " + Line);
+        Line.clear();
+      } else {
+        Line += Ch;
+      }
+    }
+  }
+  Out.blank();
+  emitKernel(Out, C, 0);
+  Out.blank();
+  emitKernel(Out, C, 1);
+  Out.blank();
+
+  // Host driver: the T loop with two kernel launches per tile (Sec. 4.1).
+  std::string Args;
+  for (unsigned F = 0; F < P.fields().size(); ++F) {
+    if (F)
+      Args += ", ";
+    Args += "float *g_" + P.fields()[F].Name;
+  }
+  Out.open("void " + P.name() + "_host(" + Args + ")");
+  int64_t Blocks = core::blocksPerLaunch(P, S);
+  int64_t Threads = C.threadsPerBlock();
+  int64_t TimeTiles =
+      core::launches(P, S) / 2 + core::launches(P, S) % 2;
+  Out.open("for (int TT = 0; TT < " + std::to_string(TimeTiles) +
+           "; ++TT)");
+  std::string CallArgs;
+  for (unsigned F = 0; F < P.fields().size(); ++F)
+    CallArgs += "g_" + P.fields()[F].Name + ", ";
+  Out.line(P.name() + "_phase0<<<" + std::to_string(Blocks) + ", " +
+           std::to_string(Threads) + ">>>(" + CallArgs + "TT);");
+  Out.line(P.name() + "_phase1<<<" + std::to_string(Blocks) + ", " +
+           std::to_string(Threads) + ">>>(" + CallArgs + "TT);");
+  Out.close();
+  Out.close();
+  return Out.take();
+}

@@ -1,0 +1,38 @@
+//===- CudaEmitter.h - CUDA source emission --------------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a compiled hybrid program as CUDA source following the Sec. 4.1
+/// mapping: a host loop over time tiles T launching one kernel per phase; a
+/// one-dimensional grid over S0; sequential S1..Sn and t' loops inside the
+/// kernel; threads over the intra-tile spatial coordinates; shared-memory
+/// staging with the configured copy-out/alignment/reuse strategy; and
+/// separate specialized code paths for full and partial tiles (Sec. 4.3.1).
+///
+/// The emitted text is a faithful rendering of the computed schedule (all
+/// loop bounds, guards and index expressions come from the schedule's
+/// quasi-affine forms and the hexagon's row ranges); it is meant for
+/// inspection and for compilation by nvcc on a CUDA machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CODEGEN_CUDAEMITTER_H
+#define HEXTILE_CODEGEN_CUDAEMITTER_H
+
+#include "codegen/HybridCompiler.h"
+
+#include <string>
+
+namespace hextile {
+namespace codegen {
+
+/// Emits the complete CUDA translation unit (host + two kernels).
+std::string emitCuda(const CompiledHybrid &Compiled);
+
+} // namespace codegen
+} // namespace hextile
+
+#endif // HEXTILE_CODEGEN_CUDAEMITTER_H

@@ -1,0 +1,240 @@
+//===- HybridCompiler.cpp - The hybrid hexagonal compiler -----------------===//
+
+#include "codegen/HybridCompiler.h"
+
+#include "deps/DeltaBounds.h"
+
+#include <cassert>
+#include <map>
+
+using namespace hextile;
+using namespace hextile::codegen;
+
+std::string OptimizationConfig::str() const {
+  if (!UseSharedMemory)
+    return "global-memory only";
+  std::string S = "shared memory";
+  if (InterleaveCopyOut)
+    S += " + interleaved copy-out";
+  if (AlignLoads)
+    S += " + aligned loads";
+  switch (Reuse) {
+  case ReuseKind::None:
+    break;
+  case ReuseKind::Static:
+    S += " + static reuse";
+    break;
+  case ReuseKind::Dynamic:
+    S += " + dynamic reuse";
+    break;
+  }
+  return S;
+}
+
+CompiledHybrid::CompiledHybrid(ir::StencilProgram Program,
+                               deps::DependenceInfo Dependences,
+                               core::HybridSchedule Schedule,
+                               OptimizationConfig Cfg)
+    : Prog(std::move(Program)), Deps(std::move(Dependences)),
+      Sched(std::move(Schedule)), Config(Cfg),
+      Costs(core::analyzeSlab(Prog, Deps, Sched)) {}
+
+int64_t CompiledHybrid::threadsPerBlock() const {
+  if (Prog.spaceRank() == 1)
+    return std::min<int64_t>(64, Sched.params().spacePeriod());
+  int64_t N = 1;
+  for (const core::ClassicalTiling &T : Sched.inner())
+    N *= T.width();
+  return N;
+}
+
+std::vector<gpu::KernelModel>
+CompiledHybrid::kernelModels(const gpu::DeviceConfig &Dev) const {
+  gpu::KernelModel K;
+  K.Name = Prog.name() + "-hybrid";
+  K.Launches = core::launches(Prog, Sched);
+  K.BlocksPerLaunch = core::blocksPerLaunch(Prog, Sched);
+  K.SlabsPerBlock = core::slabsPerBlock(Prog, Sched);
+  K.ThreadsPerBlock = threadsPerBlock();
+  K.UpdatesPerSlab = Costs.Instances;
+  K.FlopsPerSlab = Costs.Flops;
+  K.OverlapCopyOut = Config.InterleaveCopyOut;
+
+  unsigned Rank = Prog.spaceRank();
+  auto RowsToBatches = [&](const std::vector<core::TransferRow> &Rows,
+                           bool Aligned) {
+    std::vector<gpu::RowBatch> Batches;
+    Batches.reserve(Rows.size());
+    for (const core::TransferRow &R : Rows) {
+      gpu::RowBatch B;
+      B.Count = 1;
+      B.Len = R.Len;
+      // Natural placement: slab origins are warp multiples along the
+      // innermost dimension, so a row starting at Start sits at byte
+      // offset 4*(Start mod 32). Aligned placement translates the tile
+      // (Sec. 4.2.3) so row starts hit 128B boundaries.
+      B.AlignElems = Aligned ? 0 : euclidMod(R.Start, Dev.WarpSize);
+      Batches.push_back(B);
+    }
+    return Batches;
+  };
+
+  if (!Config.UseSharedMemory) {
+    // Configuration (a): every read is a global load issued per point.
+    // Warp-level requests: one row of WarpSize elements per read per warp,
+    // offset by the read's innermost-dimension offset.
+    int64_t K_ = Prog.numStmts();
+    int64_t InstPerStmt = Costs.Instances / K_;
+    for (const ir::StencilStmt &S : Prog.stmts())
+      for (const ir::ReadAccess &R : S.Reads) {
+        gpu::RowBatch B;
+        B.Count = std::max<int64_t>(1, InstPerStmt / Dev.WarpSize);
+        B.Len = Dev.WarpSize;
+        int64_t InnerOff = R.Offsets[Rank - 1];
+        B.AlignElems = euclidMod(InnerOff, Dev.WarpSize);
+        K.LoadRequestRows.push_back(B);
+      }
+    // Post-cache distinct traffic: the slab's input set at its natural
+    // (unaligned) placement.
+    K.LoadDistinctRows = RowsToBatches(Costs.LoadRows, /*Aligned=*/false);
+    K.L1FilterFactor = 0.5; // L1 catches intra-row re-references.
+    K.StoreRows = RowsToBatches(Costs.StoreRows, /*Aligned=*/true);
+    K.SharedLoadsPerSlab = 0;
+    K.SharedStoresPerSlab = 0;
+    K.SharedBytesPerBlock = 0;
+    K.StagedCopies = false; // Cache-backed direct accesses.
+    return {K};
+  }
+
+  // Shared-memory configurations (b)-(f). Without inter-tile reuse the
+  // load phase transfers the divergence-free rectangular box rows
+  // (Sec. 4.2); with reuse only the values absent from the predecessor
+  // slab move.
+  K.SharedBytesPerBlock = Costs.SharedBytes;
+  bool UseReuse = Config.Reuse != ReuseKind::None;
+  const std::vector<core::TransferRow> &Rows =
+      UseReuse ? Costs.LoadRowsReuse : Costs.LoadRowsBox;
+  K.LoadRequestRows = RowsToBatches(Rows, Config.AlignLoads);
+  K.StoreRows = RowsToBatches(Costs.StoreRows, Config.AlignLoads);
+  K.SharedLoadsPerSlab =
+      Config.UnrollCore ? Costs.SharedLoadsUnrolled : Costs.SharedLoads;
+  if (Config.RegisterTile > 1 && Prog.spaceRank() >= 2) {
+    // Register tiling along s1 (future-work extension): recompute the
+    // per-point load count with loads shared across the register tile.
+    double PerPoint = 0;
+    for (unsigned S = 0; S < Prog.numStmts(); ++S)
+      PerPoint += sharedLoadsPerPointRegisterTiled(Prog, S,
+                                                   Config.RegisterTile);
+    PerPoint /= Prog.numStmts();
+    K.SharedLoadsPerSlab =
+        static_cast<int64_t>(PerPoint * Costs.Instances);
+  }
+  K.SharedStoresPerSlab = Costs.SharedStores;
+  if (Config.Reuse == ReuseKind::Dynamic) {
+    // The explicit shared->shared move of reused values (Sec. 4.2.2).
+    int64_t Moved = Costs.LoadValues - Costs.LoadValuesReuse;
+    K.SharedLoadsPerSlab += Moved;
+    K.SharedStoresPerSlab += Moved;
+  }
+  if (Config.Reuse == ReuseKind::Static) {
+    // The static global->shared mapping wraps rows at the global extent, so
+    // warp accesses straddle bank groups: two-way conflicts on the rotated
+    // rows (Table 5 measures 1.8 transactions per request).
+    K.SharedTransactionsPerRequest = 2.0;
+  }
+  return {K};
+}
+
+exec::ScheduleKeyFn CompiledHybrid::scheduleKey(uint64_t BlockPermSeed)
+    const {
+  // Capture by value: the key function outlives the compiler result's
+  // stack frame uses.
+  core::HybridSchedule S = Sched;
+  return [S, BlockPermSeed](std::span<const int64_t> Point) {
+    core::HybridVector V = S.map(Point);
+    std::vector<int64_t> Key;
+    Key.reserve(2 + V.S.size() + 1 + V.LocalS.size());
+    Key.push_back(V.T);
+    Key.push_back(V.Phase);
+    int64_t S0 = V.S[0];
+    if (BlockPermSeed != 0) {
+      uint64_t H = static_cast<uint64_t>(S0) ^ BlockPermSeed;
+      H ^= H >> 33;
+      H *= 0xff51afd7ed558ccdull;
+      H ^= H >> 33;
+      S0 = static_cast<int64_t>(H >> 1); // Keep non-negative.
+    }
+    Key.push_back(S0);
+    for (unsigned I = 1; I < V.S.size(); ++I)
+      Key.push_back(V.S[I]);
+    Key.push_back(V.LocalT);
+    for (int64_t X : V.LocalS)
+      Key.push_back(X);
+    return Key;
+  };
+}
+
+double codegen::sharedLoadsPerPointRegisterTiled(
+    const ir::StencilProgram &P, unsigned StmtIdx, int64_t RegisterTile) {
+  assert(StmtIdx < P.numStmts() && "statement index out of range");
+  assert(RegisterTile >= 1 && "register tile must be positive");
+  const ir::StencilStmt &S = P.stmts()[StmtIdx];
+  unsigned Rank = P.spaceRank();
+  // Group reads by everything except the s0 offset (served by the sliding
+  // window) and the s1 offset (shared across the register tile); per
+  // group, RegisterTile points need (s1 span + RegisterTile - 1) values.
+  std::map<std::vector<int64_t>, std::pair<int64_t, int64_t>> Groups;
+  for (const ir::ReadAccess &R : S.Reads) {
+    std::vector<int64_t> Key;
+    Key.push_back(R.Field);
+    Key.push_back(R.TimeOffset);
+    for (unsigned D = 2; D < Rank; ++D)
+      Key.push_back(R.Offsets[D]);
+    int64_t S1 = Rank >= 2 ? R.Offsets[1] : 0;
+    auto It = Groups.find(Key);
+    if (It == Groups.end())
+      Groups[Key] = {S1, S1};
+    else {
+      It->second.first = std::min(It->second.first, S1);
+      It->second.second = std::max(It->second.second, S1);
+    }
+  }
+  double Loads = 0;
+  for (const auto &[Key, Span] : Groups)
+    Loads += static_cast<double>(Span.second - Span.first + RegisterTile) /
+             RegisterTile;
+  return Loads;
+}
+
+CompiledHybrid codegen::compileHybrid(const ir::StencilProgram &P,
+                                      const TileSizeRequest &Sizes,
+                                      const OptimizationConfig &Config) {
+  assert(P.verify().empty() && "compiling an invalid program");
+  deps::DependenceInfo Deps = deps::analyzeDependences(P);
+  std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
+
+  int64_t H, W0;
+  std::vector<int64_t> InnerW;
+  if (Sizes.H && Sizes.W0 &&
+      (P.spaceRank() == 1 || !Sizes.InnerWidths.empty())) {
+    H = *Sizes.H;
+    W0 = *Sizes.W0;
+    InnerW = Sizes.InnerWidths;
+  } else {
+    std::optional<core::TileSizeChoice> Choice =
+        core::selectTileSizes(P, Deps, Cones, Sizes.Constraints);
+    assert(Choice && "no tile size fits the shared-memory bound");
+    H = Sizes.H.value_or(Choice->Params.H);
+    W0 = Sizes.W0.value_or(Choice->Params.W0);
+    InnerW = Sizes.InnerWidths.empty() ? Choice->InnerWidths
+                                       : Sizes.InnerWidths;
+  }
+
+  core::HexTileParams Params(H, W0, Cones[0].Delta0, Cones[0].Delta1);
+  assert(Params.isValid() && "tile sizes violate the width bound (1)");
+  std::vector<Rational> InnerD;
+  for (unsigned I = 1; I < Cones.size(); ++I)
+    InnerD.push_back(Cones[I].Delta1);
+  core::HybridSchedule Sched(Params, InnerW, InnerD);
+  return CompiledHybrid(P, std::move(Deps), std::move(Sched), Config);
+}

@@ -1,0 +1,90 @@
+//===- HybridCompiler.h - The hybrid hexagonal compiler --------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end driver corresponding to the paper's modified PPCG flow
+/// (Secs. 3-4): dependence analysis -> cone slopes -> hybrid schedule for
+/// chosen (or model-selected) tile sizes -> exact tile costs -> a GPU launch
+/// model per phase, a functional schedule key for the executor, and CUDA
+/// source text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CODEGEN_HYBRIDCOMPILER_H
+#define HEXTILE_CODEGEN_HYBRIDCOMPILER_H
+
+#include "codegen/OptimizationConfig.h"
+#include "core/TileAnalysis.h"
+#include "core/TileSizeModel.h"
+#include "exec/Executor.h"
+#include "gpu/PerfModel.h"
+
+#include <memory>
+#include <optional>
+
+namespace hextile {
+namespace codegen {
+
+/// Tile-size request: explicit sizes, or model-driven selection (Sec. 3.7).
+struct TileSizeRequest {
+  std::optional<int64_t> H;
+  std::optional<int64_t> W0;
+  std::vector<int64_t> InnerWidths; ///< Empty = select automatically.
+  core::TileSizeConstraints Constraints;
+};
+
+/// The result of compiling one stencil program with hybrid tiling.
+class CompiledHybrid {
+public:
+  CompiledHybrid(ir::StencilProgram Program, deps::DependenceInfo Deps,
+                 core::HybridSchedule Schedule, OptimizationConfig Config);
+
+  const ir::StencilProgram &program() const { return Prog; }
+  const deps::DependenceInfo &dependences() const { return Deps; }
+  const core::HybridSchedule &schedule() const { return Sched; }
+  const OptimizationConfig &config() const { return Config; }
+  const core::SlabCosts &slabCosts() const { return Costs; }
+
+  /// The launch models (one per phase) for the GPU performance model.
+  std::vector<gpu::KernelModel> kernelModels(const gpu::DeviceConfig &Dev)
+      const;
+
+  /// Schedule key for the functional executor: the full hybrid vector
+  /// [T, p, S0, S1.., t', s0'..]. Thread blocks (the S0 component) run
+  /// concurrently on a GPU; any serialization of them is a legal
+  /// linearization, so passing a nonzero \p BlockPermSeed permutes the
+  /// block order pseudo-randomly -- an illegal cross-block dependence then
+  /// shows up as a result mismatch for some seed.
+  exec::ScheduleKeyFn scheduleKey(uint64_t BlockPermSeed = 0) const;
+
+  /// Threads per block, (1, w1, ..., wn) as in Sec. 6.2.
+  int64_t threadsPerBlock() const;
+
+private:
+  ir::StencilProgram Prog;
+  deps::DependenceInfo Deps;
+  core::HybridSchedule Sched;
+  OptimizationConfig Config;
+  core::SlabCosts Costs;
+};
+
+/// Compiles \p P with the given tile-size request and optimization config.
+CompiledHybrid compileHybrid(const ir::StencilProgram &P,
+                             const TileSizeRequest &Sizes = {},
+                             const OptimizationConfig &Config = {});
+
+/// Shared-memory loads per point of statement \p StmtIdx when each thread
+/// register-tiles \p RegisterTile consecutive s1 points (Sec. 6.2's
+/// future-work extension). RegisterTile = 1 gives the Sec. 4.3.2
+/// sliding-window count (e.g. 9 for heat 3D, 3 for Jacobi 2D).
+double sharedLoadsPerPointRegisterTiled(const ir::StencilProgram &P,
+                                        unsigned StmtIdx,
+                                        int64_t RegisterTile);
+
+} // namespace codegen
+} // namespace hextile
+
+#endif // HEXTILE_CODEGEN_HYBRIDCOMPILER_H

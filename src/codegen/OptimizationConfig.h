@@ -1,0 +1,85 @@
+//===- OptimizationConfig.h - The Sec. 6.2 optimization ladder -*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared-memory optimization ladder evaluated in Table 4:
+///   (a) no shared memory          (b) shared memory, separate copy-out
+///   (c) (b) + interleaved copy-out (Sec. 4.2.1)
+///   (d) (c) + aligned loads        (Sec. 4.2.3)
+///   (e) (d) + static inter-tile value reuse   (Sec. 4.2.2)
+///   (f) (d) + dynamic inter-tile value reuse  (Sec. 4.2.2)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CODEGEN_OPTIMIZATIONCONFIG_H
+#define HEXTILE_CODEGEN_OPTIMIZATIONCONFIG_H
+
+#include <cassert>
+#include <string>
+
+namespace hextile {
+namespace codegen {
+
+/// Inter-tile reuse strategies of Sec. 4.2.2.
+enum class ReuseKind {
+  None,    ///< Reload every tile input from global memory.
+  Static,  ///< Fixed global->shared mapping; no copies, but bank conflicts.
+  Dynamic, ///< Per-tile placement with an explicit shared->shared move.
+};
+
+/// One configuration of the code generator.
+struct OptimizationConfig {
+  bool UseSharedMemory = true;
+  bool InterleaveCopyOut = true;
+  bool AlignLoads = true;
+  ReuseKind Reuse = ReuseKind::Dynamic;
+  /// Unroll the point loops and exploit register sliding-window reuse
+  /// (Sec. 4.3.2); on for every Table 4 configuration.
+  bool UnrollCore = true;
+  /// Register tiling along s1: each thread computes this many consecutive
+  /// s1 points, sharing shared-memory loads between them. The paper's
+  /// concluding future-work item ("further reducing the number of shared
+  /// memory loads through register tiling"); 1 disables it.
+  int64_t RegisterTile = 1;
+
+  /// The ladder of Table 4 by letter 'a'..'f'.
+  static OptimizationConfig level(char Level) {
+    OptimizationConfig C;
+    C.Reuse = ReuseKind::None;
+    switch (Level) {
+    case 'a':
+      C.UseSharedMemory = false;
+      C.InterleaveCopyOut = false;
+      C.AlignLoads = false;
+      return C;
+    case 'b':
+      C.InterleaveCopyOut = false;
+      C.AlignLoads = false;
+      return C;
+    case 'c':
+      C.AlignLoads = false;
+      return C;
+    case 'd':
+      return C;
+    case 'e':
+      C.Reuse = ReuseKind::Static;
+      return C;
+    case 'f':
+      C.Reuse = ReuseKind::Dynamic;
+      return C;
+    default:
+      assert(false && "optimization level must be 'a'..'f'");
+      return C;
+    }
+  }
+
+  std::string str() const;
+};
+
+} // namespace codegen
+} // namespace hextile
+
+#endif // HEXTILE_CODEGEN_OPTIMIZATIONCONFIG_H

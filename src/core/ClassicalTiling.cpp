@@ -1,0 +1,59 @@
+//===- ClassicalTiling.cpp - Skewed parallelogram tiling ------------------===//
+
+#include "core/ClassicalTiling.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::core;
+
+ClassicalTiling::ClassicalTiling(int64_t Width, Rational Delta1,
+                                 int64_t TimePeriod)
+    : W(Width), D1(Delta1), Period(TimePeriod) {
+  assert(W >= 1 && "tile width must be positive");
+  assert(!D1.isNegative() && "skew slope must be non-negative");
+  assert(Period >= 2 && "time period must be 2h+2 >= 4 for h >= 1");
+}
+
+int64_t ClassicalTiling::normalizedTime(int64_t T, int Phase,
+                                        int64_t H) const {
+  // Eqs. (15)/(16).
+  if (Phase == 0)
+    return euclidMod(T + H + 1, Period);
+  assert(Phase == 1 && "phase must be 0 or 1");
+  return euclidMod(T, Period);
+}
+
+int64_t ClassicalTiling::skew(int64_t U) const {
+  return floorDiv(D1.num() * U, D1.den());
+}
+
+int64_t ClassicalTiling::tileIndex(int64_t Si, int64_t U) const {
+  return floorDiv(Si + skew(U), W);
+}
+
+int64_t ClassicalTiling::localIndex(int64_t Si, int64_t U) const {
+  return euclidMod(Si + skew(U), W);
+}
+
+using poly::QExpr;
+
+QExpr ClassicalTiling::exprTile(unsigned UVar, unsigned SVar,
+                                const std::string &SName) const {
+  QExpr U = QExpr::var(UVar, "u");
+  QExpr S = QExpr::var(SVar, SName);
+  // floor((s + floor(n*u/d)) / w); for integral slopes the inner floor
+  // disappears.
+  QExpr Skew = D1.den() == 1 ? U * D1.num()
+                             : (U * D1.num()).floorDiv(D1.den());
+  return (S + Skew).floorDiv(W);
+}
+
+QExpr ClassicalTiling::exprLocal(unsigned UVar, unsigned SVar,
+                                 const std::string &SName) const {
+  QExpr U = QExpr::var(UVar, "u");
+  QExpr S = QExpr::var(SVar, SName);
+  QExpr Skew = D1.den() == 1 ? U * D1.num()
+                             : (U * D1.num()).floorDiv(D1.den());
+  return (S + Skew).mod(W);
+}

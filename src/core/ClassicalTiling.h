@@ -1,0 +1,78 @@
+//===- ClassicalTiling.h - Skewed parallelogram tiling ---------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical tiling of the inner spatial dimensions, Sec. 3.4: each
+/// dimension s_i (i >= 1) is strip-mined into parallelogram tiles of width
+/// w_i whose sides follow the lower dependence-cone slope delta1_i:
+///
+///   S_i  = floor((s_i + delta1_i * u) / w_i)            (14)
+///   s_i' = (s_i + delta1_i * u) mod w_i                 (17)
+///
+/// where u normalizes t within the time tile (eqs. (15)/(16)):
+///   u = (t + h + 1) mod (2h + 2)   for phase 0,
+///   u = t mod (2h + 2)             for phase 1.
+///
+/// For rational delta1_i = n/d we use the integral skew floor(delta1_i * u)
+/// = floor(n*u/d). This is the identical schedule for the integral slopes of
+/// every benchmark; for fractional slopes it remains legal because
+/// Delta(s_i) >= -delta1_i*Delta(t) and integrality of Delta(s_i) imply
+/// Delta(s_i) + floor-skew difference >= 0 (superadditivity of floor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CORE_CLASSICALTILING_H
+#define HEXTILE_CORE_CLASSICALTILING_H
+
+#include "poly/QExpr.h"
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <string>
+
+namespace hextile {
+namespace core {
+
+/// Classical (sequential) tiling of one inner spatial dimension.
+class ClassicalTiling {
+public:
+  /// \p Width is w_i; \p Delta1 the lower cone slope of this dimension;
+  /// \p TimePeriod is 2h+2 (the fixed tile height of Sec. 3.4).
+  ClassicalTiling(int64_t Width, Rational Delta1, int64_t TimePeriod);
+
+  int64_t width() const { return W; }
+  const Rational &delta1() const { return D1; }
+  int64_t timePeriod() const { return Period; }
+
+  /// The normalized time u for phase \p Phase at canonical time \p T.
+  int64_t normalizedTime(int64_t T, int Phase, int64_t H) const;
+
+  /// Integral skew floor(delta1 * u).
+  int64_t skew(int64_t U) const;
+
+  /// Tile index S_i, eq. (14) (with integral skew).
+  int64_t tileIndex(int64_t Si, int64_t U) const;
+
+  /// Intra-tile coordinate s_i', eq. (17).
+  int64_t localIndex(int64_t Si, int64_t U) const;
+
+  /// Symbolic S_i over variables (u at \p UVar, s_i at \p SVar).
+  poly::QExpr exprTile(unsigned UVar, unsigned SVar,
+                       const std::string &SName) const;
+  /// Symbolic s_i'.
+  poly::QExpr exprLocal(unsigned UVar, unsigned SVar,
+                        const std::string &SName) const;
+
+private:
+  int64_t W;
+  Rational D1;
+  int64_t Period;
+};
+
+} // namespace core
+} // namespace hextile
+
+#endif // HEXTILE_CORE_CLASSICALTILING_H

@@ -1,0 +1,102 @@
+//===- HexSchedule.cpp - Two-phase hexagonal tile schedule ----------------===//
+
+#include "core/HexSchedule.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::core;
+
+HexSchedule::HexSchedule(const HexTileParams &Params) : Geometry(Params) {}
+
+HexTileCoord HexSchedule::boxCoord(int64_t T, int64_t S0, int Phase) const {
+  const HexTileParams &P = params();
+  int64_t TP = P.timePeriod();
+  int64_t SP = P.spacePeriod();
+  int64_t Drift = P.drift();
+  HexTileCoord C;
+  C.Phase = Phase;
+  if (Phase == 0) {
+    // Eq. (2): T = floor((t + h + 1) / (2h + 2)).
+    C.T = floorDiv(T + P.H + 1, TP);
+    C.A = euclidMod(T + P.H + 1, TP);
+    // Eq. (3) with the lattice-consistent shift (see header note):
+    // S0 = floor((s0 + |_d0h_| + w0 + 1 + T*drift) / period).
+    int64_t Shift = P.floorD0H() + P.W0 + 1;
+    int64_t Num = S0 + Shift + C.T * Drift;
+    C.S0 = floorDiv(Num, SP);
+    C.B = euclidMod(Num, SP);
+    return C;
+  }
+  assert(Phase == 1 && "phase must be 0 or 1");
+  // Eq. (4): T = floor(t / (2h + 2)).
+  C.T = floorDiv(T, TP);
+  C.A = euclidMod(T, TP);
+  // Eq. (5): S0 = floor((s0 + T*drift) / period).
+  int64_t Num = S0 + C.T * Drift;
+  C.S0 = floorDiv(Num, SP);
+  C.B = euclidMod(Num, SP);
+  return C;
+}
+
+HexTileCoord HexSchedule::locate(int64_t T, int64_t S0) const {
+  HexTileCoord C0 = boxCoord(T, S0, 0);
+  bool In0 = Geometry.contains(C0.A, C0.B);
+  HexTileCoord C1 = boxCoord(T, S0, 1);
+  [[maybe_unused]] bool In1 = Geometry.contains(C1.A, C1.B);
+  assert((In0 ^ In1) && "hexagonal phases must partition the plane");
+  return In0 ? C0 : C1;
+}
+
+void HexSchedule::tileOrigin(int64_t TT, int Phase, int64_t SS0, int64_t &T,
+                             int64_t &S0) const {
+  const HexTileParams &P = params();
+  if (Phase == 0) {
+    T = TT * P.timePeriod() - P.H - 1;
+    S0 = SS0 * P.spacePeriod() - (P.floorD0H() + P.W0 + 1) - TT * P.drift();
+    return;
+  }
+  assert(Phase == 1 && "phase must be 0 or 1");
+  T = TT * P.timePeriod();
+  S0 = SS0 * P.spacePeriod() - TT * P.drift();
+}
+
+using poly::QExpr;
+
+QExpr HexSchedule::exprT(int Phase) const {
+  const HexTileParams &P = params();
+  QExpr T = QExpr::var(0, "t");
+  if (Phase == 0)
+    return (T + QExpr::constant(P.H + 1)).floorDiv(P.timePeriod());
+  return T.floorDiv(P.timePeriod());
+}
+
+QExpr HexSchedule::exprS0(int Phase) const {
+  const HexTileParams &P = params();
+  QExpr S0 = QExpr::var(1, "s0");
+  QExpr Num = S0;
+  if (Phase == 0)
+    Num = Num + QExpr::constant(P.floorD0H() + P.W0 + 1);
+  if (P.drift() != 0)
+    Num = Num + exprT(Phase) * P.drift();
+  return Num.floorDiv(P.spacePeriod());
+}
+
+QExpr HexSchedule::exprA(int Phase) const {
+  const HexTileParams &P = params();
+  QExpr T = QExpr::var(0, "t");
+  if (Phase == 0)
+    return (T + QExpr::constant(P.H + 1)).mod(P.timePeriod());
+  return T.mod(P.timePeriod());
+}
+
+QExpr HexSchedule::exprB(int Phase) const {
+  const HexTileParams &P = params();
+  QExpr S0 = QExpr::var(1, "s0");
+  QExpr Num = S0;
+  if (Phase == 0)
+    Num = Num + QExpr::constant(P.floorD0H() + P.W0 + 1);
+  if (P.drift() != 0)
+    Num = Num + exprT(Phase) * P.drift();
+  return Num.mod(P.spacePeriod());
+}

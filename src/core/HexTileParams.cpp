@@ -1,0 +1,26 @@
+//===- HexTileParams.cpp - Hexagonal tile parameters ----------------------===//
+
+#include "core/HexTileParams.h"
+
+using namespace hextile;
+using namespace hextile::core;
+
+Rational HexTileParams::minWidth(const Rational &D0, const Rational &D1,
+                                 int64_t H) {
+  Rational F0 = (D0 * Rational(H)).fract();
+  Rational F1 = (D1 * Rational(H)).fract();
+  return Rational::max(D0 + F0, D1 + F1) - Rational(1);
+}
+
+bool HexTileParams::isValid() const {
+  if (H < 1 || W0 < 1)
+    return false;
+  if (Delta0.isNegative() || Delta1.isNegative())
+    return false;
+  return Rational(W0) >= minWidth(Delta0, Delta1, H);
+}
+
+std::string HexTileParams::str() const {
+  return "h=" + std::to_string(H) + ", w0=" + std::to_string(W0) +
+         ", delta0=" + Delta0.str() + ", delta1=" + Delta1.str();
+}

@@ -1,0 +1,69 @@
+//===- HexTileParams.h - Hexagonal tile parameters -------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parameters of the hexagonal tiling of Sec. 3.3: the tile height h,
+/// the minimal peak width w0, and the dependence-cone slopes delta0/delta1,
+/// together with the derived quantities used throughout the construction
+/// (the time period 2h+2, the s0 period 2w0+2+|_delta0*h_|+|_delta1*h_|,
+/// and the per-time-tile drift). Also implements the minimal-width
+/// condition, eq. (1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CORE_HEXTILEPARAMS_H
+#define HEXTILE_CORE_HEXTILEPARAMS_H
+
+#include "support/Rational.h"
+
+#include <string>
+
+namespace hextile {
+namespace core {
+
+/// Parameters and derived constants of one hexagonal tiling.
+struct HexTileParams {
+  int64_t H = 1;       ///< Tile height parameter h (time extent is 2h+2).
+  int64_t W0 = 1;      ///< Minimal tile width along s0.
+  Rational Delta0 = 1; ///< Upper cone slope (Sec. 3.3.2).
+  Rational Delta1 = 1; ///< Lower cone slope.
+
+  HexTileParams() = default;
+  HexTileParams(int64_t H, int64_t W0, Rational D0, Rational D1)
+      : H(H), W0(W0), Delta0(D0), Delta1(D1) {}
+
+  /// |_delta0 * h_| -- left cone drop over the tile height.
+  int64_t floorD0H() const { return (Delta0 * Rational(H)).floor(); }
+  /// |_delta1 * h_| -- right cone drop over the tile height.
+  int64_t floorD1H() const { return (Delta1 * Rational(H)).floor(); }
+
+  /// Time-tile period 2h+2: one phase-0 plus one phase-1 row of tiles.
+  int64_t timePeriod() const { return 2 * H + 2; }
+
+  /// s0 period of the tiling lattice: 2*w0 + 2 + |_d0*h_| + |_d1*h_|.
+  int64_t spacePeriod() const {
+    return 2 * W0 + 2 + floorD0H() + floorD1H();
+  }
+
+  /// Horizontal drift of the tile lattice per time tile:
+  /// |_d1*h_| - |_d0*h_| (see eqs. (3) and (5)).
+  int64_t drift() const { return floorD1H() - floorD0H(); }
+
+  /// Minimal admissible peak width, eq. (1):
+  /// w0 >= max(delta0 + {delta0*h}, delta1 + {delta1*h}) - 1.
+  /// Widths below this make the cone subtraction non-convex (Sec. 3.3.2).
+  static Rational minWidth(const Rational &D0, const Rational &D1, int64_t H);
+
+  /// True if H >= 1, W0 >= 1, slopes are non-negative and W0 satisfies (1).
+  bool isValid() const;
+
+  std::string str() const;
+};
+
+} // namespace core
+} // namespace hextile
+
+#endif // HEXTILE_CORE_HEXTILEPARAMS_H

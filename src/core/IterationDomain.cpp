@@ -1,0 +1,59 @@
+//===- IterationDomain.cpp - Canonical iteration domains ------------------===//
+
+#include "core/IterationDomain.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::core;
+
+IterationDomain IterationDomain::forProgram(const ir::StencilProgram &P) {
+  IterationDomain D;
+  D.NumStmts = P.numStmts();
+  D.TimeExtent = static_cast<int64_t>(P.numStmts()) * P.timeSteps();
+  for (unsigned I = 0, E = P.spaceRank(); I < E; ++I) {
+    D.SpaceLo.push_back(P.loHalo(I));
+    D.SpaceHi.push_back(P.spaceSizes()[I] - P.hiHalo(I));
+  }
+  return D;
+}
+
+bool IterationDomain::contains(std::span<const int64_t> Point) const {
+  assert(Point.size() == rank() + 1 && "point arity mismatch");
+  if (Point[0] < 0 || Point[0] >= TimeExtent)
+    return false;
+  for (unsigned D = 0, E = rank(); D < E; ++D)
+    if (Point[D + 1] < SpaceLo[D] || Point[D + 1] >= SpaceHi[D])
+      return false;
+  return true;
+}
+
+void IterationDomain::forEachPoint(
+    const std::function<void(std::span<const int64_t>)> &Fn) const {
+  std::vector<int64_t> Point(rank() + 1, 0);
+  std::function<void(unsigned)> Rec = [&](unsigned Level) {
+    if (Level == rank() + 1) {
+      Fn(Point);
+      return;
+    }
+    if (Level == 0) {
+      for (int64_t T = 0; T < TimeExtent; ++T) {
+        Point[0] = T;
+        Rec(1);
+      }
+      return;
+    }
+    for (int64_t S = SpaceLo[Level - 1]; S < SpaceHi[Level - 1]; ++S) {
+      Point[Level] = S;
+      Rec(Level + 1);
+    }
+  };
+  Rec(0);
+}
+
+int64_t IterationDomain::numPoints() const {
+  int64_t N = TimeExtent;
+  for (unsigned D = 0, E = rank(); D < E; ++D)
+    N *= (SpaceHi[D] - SpaceLo[D]);
+  return N;
+}

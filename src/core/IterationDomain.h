@@ -1,0 +1,60 @@
+//===- IterationDomain.h - Canonical iteration domains ---------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical iteration space of Sec. 3.2: after the transformation
+/// L_i[t, s...] -> [k*t + i, s...], the program executes one statement
+/// instance per point of [0, k*steps) x prod_d [lo_d, hi_d). The statement
+/// executed at canonical time that is stmt(that mod k).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CORE_ITERATIONDOMAIN_H
+#define HEXTILE_CORE_ITERATIONDOMAIN_H
+
+#include "ir/StencilProgram.h"
+#include "support/MathExt.h"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace hextile {
+namespace core {
+
+/// A rectangular canonical iteration domain.
+struct IterationDomain {
+  int64_t TimeExtent = 0;        ///< Canonical time: [0, k*steps).
+  unsigned NumStmts = 1;         ///< k.
+  std::vector<int64_t> SpaceLo;  ///< Inclusive lower bounds per dimension.
+  std::vector<int64_t> SpaceHi;  ///< Exclusive upper bounds per dimension.
+
+  unsigned rank() const { return SpaceLo.size(); }
+
+  /// Builds the domain of \p P (halo-adjusted bounds per dimension).
+  static IterationDomain forProgram(const ir::StencilProgram &P);
+
+  /// True when [that, s...] lies in the domain.
+  bool contains(std::span<const int64_t> Point) const;
+
+  /// Statement index executed at canonical time \p That.
+  unsigned stmtAt(int64_t That) const {
+    return static_cast<unsigned>(euclidMod(That, NumStmts));
+  }
+
+  /// Visits every point in lexicographic (time-major) order.
+  void forEachPoint(
+      const std::function<void(std::span<const int64_t>)> &Fn) const;
+
+  /// Total number of statement instances.
+  int64_t numPoints() const;
+};
+
+} // namespace core
+} // namespace hextile
+
+#endif // HEXTILE_CORE_ITERATIONDOMAIN_H

@@ -1,0 +1,273 @@
+//===- TileAnalysis.cpp - Exact per-tile cost analysis --------------------===//
+
+#include "core/TileAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace hextile;
+using namespace hextile::core;
+
+namespace {
+
+/// A value identity: (field, producer version, spatial cell...), flattened
+/// into a vector for set storage.
+using ValueKey = std::vector<int64_t>;
+
+/// Enumeration context shared by the slab walks.
+struct SlabContext {
+  const ir::StencilProgram &P;
+  const deps::DependenceInfo &Deps;
+  const HybridSchedule &Sched;
+  unsigned Rank;
+
+  /// Canonical-time distance of read \p R of statement \p J (consumer
+  /// minus producer).
+  int64_t readDistance(unsigned J, const ir::ReadAccess &R) const {
+    int Writer = P.writerOf(R.Field);
+    assert(Writer >= 0 && "gallery fields always have writers");
+    return -static_cast<int64_t>(P.numStmts()) * R.TimeOffset +
+           (static_cast<int64_t>(J) - Writer);
+  }
+
+  /// Visits every instance of the generic slab as (a, cell[0..rank)) where
+  /// cell[0] = b and cell[i] = slab-local s_i.
+  void forEachInstance(
+      const std::function<void(int64_t A, std::span<const int64_t> Cell)>
+          &Fn) const {
+    const HexTileParams &Par = Sched.params();
+    const HexagonGeometry &Hex = Sched.hex().hexagon();
+    std::vector<int64_t> Cell(Rank);
+    for (int64_t A = 0; A < Par.timePeriod(); ++A) {
+      int64_t LoB, HiB;
+      Hex.rowRange(A, LoB, HiB);
+      if (LoB > HiB)
+        continue;
+      // Inner windows shift with the skew at normalized time u = a.
+      std::vector<int64_t> Lo(Rank - 1), Hi(Rank - 1);
+      for (unsigned I = 0; I + 1 < Rank; ++I) {
+        int64_t Skew = Sched.inner()[I].skew(A);
+        Lo[I] = -Skew;
+        Hi[I] = Sched.inner()[I].width() - Skew;
+      }
+      std::function<void(unsigned)> Walk = [&](unsigned Dim) {
+        if (Dim == Rank) {
+          Fn(A, Cell);
+          return;
+        }
+        if (Dim == 0) {
+          for (int64_t B = LoB; B <= HiB; ++B) {
+            Cell[0] = B;
+            Walk(1);
+          }
+          return;
+        }
+        for (int64_t S = Lo[Dim - 1]; S < Hi[Dim - 1]; ++S) {
+          Cell[Dim] = S;
+          Walk(Dim + 1);
+        }
+      };
+      Walk(0);
+    }
+  }
+};
+
+ValueKey makeKey(unsigned Field, int64_t Version,
+                 std::span<const int64_t> Cell) {
+  ValueKey K;
+  K.reserve(Cell.size() + 2);
+  K.push_back(Field);
+  K.push_back(Version);
+  K.insert(K.end(), Cell.begin(), Cell.end());
+  return K;
+}
+
+/// Groups \p Values into maximal consecutive rows along the innermost
+/// coordinate (the last key component).
+std::vector<TransferRow> groupRows(const std::set<ValueKey> &Values) {
+  std::vector<TransferRow> Rows;
+  // std::set iterates in lexicographic order, so equal prefixes with
+  // increasing innermost coordinates are adjacent.
+  const ValueKey *PrevKey = nullptr;
+  for (const ValueKey &K : Values) {
+    bool Extends = false;
+    if (PrevKey && PrevKey->size() == K.size()) {
+      Extends = std::equal(K.begin(), K.end() - 1, PrevKey->begin()) &&
+                K.back() == PrevKey->back() + 1;
+    }
+    if (Extends) {
+      ++Rows.back().Len;
+    } else {
+      TransferRow R;
+      R.Field = static_cast<unsigned>(K[0]);
+      R.Start = K.back();
+      R.Len = 1;
+      Rows.push_back(R);
+    }
+    PrevKey = &K;
+  }
+  return Rows;
+}
+
+} // namespace
+
+SlabCosts core::analyzeSlab(const ir::StencilProgram &P,
+                            const deps::DependenceInfo &Deps,
+                            const HybridSchedule &Sched) {
+  SlabCosts C;
+  unsigned Rank = P.spaceRank();
+  assert(Sched.spaceRank() == Rank && "schedule/program rank mismatch");
+  SlabContext Ctx{P, Deps, Sched, Rank};
+
+  // Pass 1: the output set O and the instance-derived counters.
+  std::set<ValueKey> Out;
+  Ctx.forEachInstance([&](int64_t A, std::span<const int64_t> Cell) {
+    unsigned J = euclidMod(A, P.numStmts());
+    const ir::StencilStmt &S = P.stmts()[J];
+    ++C.Instances;
+    C.Flops += S.flops();
+    C.SharedLoads += S.numReads();
+    // Register sliding-window reuse merges reads that differ only in their
+    // s0 offset (same field, time offset and inner offsets) -- Sec. 4.3.2.
+    std::set<std::vector<int64_t>> Groups;
+    for (const ir::ReadAccess &R : S.Reads) {
+      std::vector<int64_t> G;
+      G.push_back(R.Field);
+      G.push_back(R.TimeOffset);
+      for (unsigned D = 1; D < Rank; ++D)
+        G.push_back(R.Offsets[D]);
+      Groups.insert(std::move(G));
+    }
+    C.SharedLoadsUnrolled += static_cast<int64_t>(Groups.size());
+    ++C.SharedStores;
+    Out.insert(makeKey(S.WriteField, A, Cell));
+  });
+  C.StoreValues = static_cast<int64_t>(Out.size());
+
+  // Pass 2: the input set I = reads \ O.
+  std::set<ValueKey> In;
+  std::vector<int64_t> RCell(Rank);
+  Ctx.forEachInstance([&](int64_t A, std::span<const int64_t> Cell) {
+    unsigned J = euclidMod(A, P.numStmts());
+    const ir::StencilStmt &S = P.stmts()[J];
+    for (const ir::ReadAccess &R : S.Reads) {
+      int64_t Version = A - Ctx.readDistance(J, R);
+      for (unsigned D = 0; D < Rank; ++D)
+        RCell[D] = Cell[D] + R.Offsets[D];
+      ValueKey K = makeKey(R.Field, Version, RCell);
+      if (!Out.count(K))
+        In.insert(std::move(K));
+    }
+  });
+  C.LoadValues = static_cast<int64_t>(In.size());
+  C.LoadRows = groupRows(In);
+
+  // Inter-tile reuse (Sec. 4.2.2): a value already present in the
+  // predecessor slab (previous window along the innermost classical
+  // dimension) moves within shared memory instead of being reloaded.
+  std::set<ValueKey> InReuse;
+  if (Rank >= 2) {
+    int64_t WLast = Sched.inner().back().width();
+    for (const ValueKey &K : In) {
+      ValueKey Shifted = K;
+      Shifted.back() += WLast;
+      if (!Out.count(Shifted) && !In.count(Shifted))
+        InReuse.insert(K);
+    }
+  } else {
+    InReuse = In;
+  }
+  C.LoadValuesReuse = static_cast<int64_t>(InReuse.size());
+  C.LoadRowsReuse = groupRows(InReuse);
+  C.StoreRows = groupRows(Out);
+
+  // Rectangular-box load rows (Sec. 4.2): one full-width, divergence-free
+  // row per distinct (field, version, outer-coordinates) combination that
+  // contributes any input value.
+  {
+    std::set<ValueKey> Prefixes;
+    for (const ValueKey &K : In) {
+      ValueKey Prefix(K.begin(), K.end() - 1);
+      Prefixes.insert(std::move(Prefix));
+    }
+    int64_t BoxLo, BoxLen;
+    if (Rank >= 2) {
+      unsigned Last = Rank - 1;
+      BoxLo = -P.loHalo(Last);
+      BoxLen = Sched.inner().back().width() + P.loHalo(Last) +
+               P.hiHalo(Last);
+    } else {
+      const HexagonGeometry &HexG = Sched.hex().hexagon();
+      BoxLo = HexG.minB() - P.loHalo(0);
+      BoxLen = HexG.maxB() - HexG.minB() + 1 + P.loHalo(0) + P.hiHalo(0);
+    }
+    for (const ValueKey &Prefix : Prefixes) {
+      TransferRow R;
+      R.Field = static_cast<unsigned>(Prefix[0]);
+      R.Start = BoxLo;
+      R.Len = BoxLen;
+      C.LoadRowsBox.push_back(R);
+      C.LoadValuesBox += BoxLen;
+    }
+  }
+
+  // Shared-memory footprint: per field a rotating window of (1 + depth)
+  // copies of the *sliding* spatial window. Along s0, the hexagon's full
+  // b-extent plus halo stays live; along the inner dimensions the buffer is
+  // indexed relative to the skewed window, so only w_i plus the halo is
+  // live at any time (older versions' cells outside the current halo are
+  // dead and get overwritten in place).
+  const HexagonGeometry &Hex = Sched.hex().hexagon();
+  int64_t BExtent =
+      Hex.maxB() - Hex.minB() + 1 + P.loHalo(0) + P.hiHalo(0);
+  for (unsigned F = 0; F < P.fields().size(); ++F) {
+    int64_t Depth = 1;
+    bool Touched = P.writerOf(F) >= 0;
+    for (const ir::StencilStmt &S : P.stmts())
+      for (const ir::ReadAccess &R : S.Reads)
+        if (R.Field == F) {
+          Depth = std::max(Depth, static_cast<int64_t>(1 - R.TimeOffset));
+          Touched = true;
+        }
+    if (!Touched)
+      continue;
+    int64_t Box = 4 * Depth * BExtent;
+    for (unsigned I = 1; I < Rank; ++I)
+      Box *= Sched.inner()[I - 1].width() + P.loHalo(I) + P.hiHalo(I);
+    C.SharedBytes += Box;
+  }
+  return C;
+}
+
+int64_t core::slabsPerBlock(const ir::StencilProgram &P,
+                            const HybridSchedule &Sched) {
+  IterationDomain D = IterationDomain::forProgram(P);
+  int64_t N = 1;
+  for (unsigned I = 1; I < P.spaceRank(); ++I) {
+    int64_t Extent = D.SpaceHi[I] - D.SpaceLo[I];
+    N *= ceilDiv(Extent, Sched.inner()[I - 1].width());
+  }
+  return N;
+}
+
+int64_t core::blocksPerLaunch(const ir::StencilProgram &P,
+                              const HybridSchedule &Sched) {
+  IterationDomain D = IterationDomain::forProgram(P);
+  int64_t Extent = D.SpaceHi[0] - D.SpaceLo[0];
+  return ceilDiv(Extent, Sched.params().spacePeriod()) + 1;
+}
+
+int64_t core::launches(const ir::StencilProgram &P,
+                       const HybridSchedule &Sched) {
+  IterationDomain D = IterationDomain::forProgram(P);
+  const HexTileParams &Par = Sched.params();
+  int64_t TP = Par.timePeriod();
+  // Phase 0: T = floor((t + h + 1) / TP) over t in [0, TE).
+  int64_t P0 = floorDiv(D.TimeExtent - 1 + Par.H + 1, TP) -
+               floorDiv(Par.H + 1, TP) + 1;
+  // Phase 1: T = floor(t / TP).
+  int64_t P1 = floorDiv(D.TimeExtent - 1, TP) + 1;
+  return P0 + P1;
+}

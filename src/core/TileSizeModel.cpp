@@ -1,0 +1,136 @@
+//===- TileSizeModel.cpp - Load-to-compute tile-size selection ------------===//
+
+#include "core/TileSizeModel.h"
+
+#include "deps/DeltaBounds.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::core;
+
+namespace {
+
+/// Builds the hybrid schedule for a candidate, if the parameters are valid.
+std::optional<HybridSchedule>
+makeCandidate(const std::vector<deps::ConeBounds> &Cones, int64_t H,
+              int64_t W0, const std::vector<int64_t> &InnerW) {
+  HexTileParams Params(H, W0, Cones[0].Delta0, Cones[0].Delta1);
+  if (!Params.isValid())
+    return std::nullopt;
+  std::vector<Rational> InnerD;
+  for (unsigned I = 1; I < Cones.size(); ++I)
+    InnerD.push_back(Cones[I].Delta1);
+  return HybridSchedule(Params, InnerW, InnerD);
+}
+
+/// Cheap shared-memory upper-bound estimate used to prune candidates before
+/// the exact analysis: rotating window times the bounding box of the slab
+/// plus halos.
+int64_t estimateSharedBytes(const ir::StencilProgram &P,
+                            const HybridSchedule &Sched) {
+  const HexagonGeometry &Hex = Sched.hex().hexagon();
+  int64_t BExtent = Hex.maxB() - Hex.minB() + 1 + P.loHalo(0) + P.hiHalo(0);
+  int64_t Bytes = 0;
+  for (unsigned F = 0; F < P.fields().size(); ++F) {
+    int64_t Depth = 1;
+    for (const ir::StencilStmt &S : P.stmts())
+      for (const ir::ReadAccess &R : S.Reads)
+        if (R.Field == F)
+          Depth = std::max(Depth, static_cast<int64_t>(1 - R.TimeOffset));
+    int64_t Box = 4 * Depth * BExtent;
+    for (unsigned I = 1; I < P.spaceRank(); ++I) {
+      int64_t MaxSkew = Sched.inner()[I - 1].skew(
+          Sched.params().timePeriod() - 1);
+      Box *= Sched.inner()[I - 1].width() + MaxSkew + P.loHalo(I) +
+             P.hiHalo(I);
+    }
+    Bytes += Box;
+  }
+  return Bytes;
+}
+
+} // namespace
+
+TileSizeChoice core::evaluateTileSizes(
+    const ir::StencilProgram &P, const deps::DependenceInfo &Deps,
+    const std::vector<deps::ConeBounds> &Cones, int64_t H, int64_t W0,
+    std::vector<int64_t> InnerWidths) {
+  std::optional<HybridSchedule> Sched =
+      makeCandidate(Cones, H, W0, InnerWidths);
+  assert(Sched && "invalid tile sizes for the dependence cone");
+  TileSizeChoice Choice;
+  Choice.Params = Sched->params();
+  Choice.InnerWidths = std::move(InnerWidths);
+  Choice.Costs = analyzeSlab(P, Deps, *Sched);
+  Choice.LoadToCompute = Choice.Costs.loadToCompute();
+  return Choice;
+}
+
+std::optional<TileSizeChoice>
+core::selectTileSizes(const ir::StencilProgram &P,
+                      const deps::DependenceInfo &Deps,
+                      const std::vector<deps::ConeBounds> &Cones,
+                      const TileSizeConstraints &Constraints) {
+  unsigned Rank = P.spaceRank();
+  assert(Cones.size() == Rank && "one cone per spatial dimension");
+
+  // Enumerate inner-width combinations: middle dims from MiddleWidths, the
+  // innermost from InnermostWidths (warp multiples, Sec. 4.2.3). For 1D
+  // programs there are no inner dims.
+  std::vector<std::vector<int64_t>> InnerCombos;
+  if (Rank == 1) {
+    InnerCombos.push_back({});
+  } else {
+    std::vector<int64_t> Cur(Rank - 1);
+    std::function<void(unsigned)> Gen = [&](unsigned I) {
+      if (I + 1 == Rank - 1 || Rank == 1) {
+        for (int64_t W : Constraints.InnermostWidths) {
+          assert(W % Constraints.WarpSize == 0 &&
+                 "innermost width must be a warp multiple");
+          Cur[Rank - 2] = W;
+          InnerCombos.push_back(Cur);
+        }
+        return;
+      }
+      for (int64_t W : Constraints.MiddleWidths) {
+        Cur[I] = W;
+        Gen(I + 1);
+      }
+    };
+    Gen(0);
+  }
+
+  std::optional<TileSizeChoice> Best;
+  int64_t K = P.numStmts();
+  for (int64_t H = 1; H <= Constraints.MaxH; ++H) {
+    // Each tile must start with the same statement (Sec. 3.3.2).
+    if ((H + 1) % K != 0)
+      continue;
+    for (int64_t W0 : Constraints.W0Widths) {
+      if (W0 > Constraints.MaxW0)
+        continue;
+      for (const std::vector<int64_t> &InnerW : InnerCombos) {
+        std::optional<HybridSchedule> Sched =
+            makeCandidate(Cones, H, W0, InnerW);
+        if (!Sched)
+          continue;
+        if (estimateSharedBytes(P, *Sched) > Constraints.SharedMemBytes)
+          continue;
+        SlabCosts Costs = analyzeSlab(P, Deps, *Sched);
+        if (Costs.SharedBytes > Constraints.SharedMemBytes)
+          continue;
+        double Ratio = Costs.loadToCompute();
+        if (!Best || Ratio < Best->LoadToCompute) {
+          TileSizeChoice Choice;
+          Choice.Params = Sched->params();
+          Choice.InnerWidths = InnerW;
+          Choice.Costs = Costs;
+          Choice.LoadToCompute = Ratio;
+          Best = std::move(Choice);
+        }
+      }
+    }
+  }
+  return Best;
+}

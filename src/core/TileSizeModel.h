@@ -1,0 +1,70 @@
+//===- TileSizeModel.h - Load-to-compute tile-size selection ---*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tile-size selection of Sec. 3.7: enumerate all (h, w0, ..., wn) whose
+/// memory tile fits the shared-memory bound, evaluate the exact number of
+/// iterations and loads per generic tile (via TileAnalysis), and pick the
+/// parameters minimizing the load-to-compute ratio. As in Sec. 6.2, the
+/// innermost width is constrained to a multiple of the warp size so full
+/// warps execute with stride-one, alignable accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CORE_TILESIZEMODEL_H
+#define HEXTILE_CORE_TILESIZEMODEL_H
+
+#include "core/TileAnalysis.h"
+#include "deps/DeltaBounds.h"
+
+#include <optional>
+
+namespace hextile {
+namespace core {
+
+/// Hardware-derived constraints on the search space.
+struct TileSizeConstraints {
+  int64_t SharedMemBytes = 48 * 1024; ///< Per-block shared memory.
+  int64_t WarpSize = 32;
+  int64_t MaxH = 6;
+  int64_t MaxW0 = 15;
+  std::vector<int64_t> MiddleWidths = {4, 6, 8, 10, 12, 16};
+  std::vector<int64_t> InnermostWidths = {32, 64};
+  /// Widths tried for w0 (the hexagonal peak width).
+  std::vector<int64_t> W0Widths = {1, 2, 3, 5, 7, 9, 11, 15};
+};
+
+/// One evaluated candidate.
+struct TileSizeChoice {
+  HexTileParams Params;
+  std::vector<int64_t> InnerWidths;
+  SlabCosts Costs;
+  double LoadToCompute = 0.0;
+};
+
+/// Enumerates admissible tile sizes for \p P (slopes from \p Cones) and
+/// returns the candidate with the smallest load-to-compute ratio, or
+/// nullopt when nothing fits the shared-memory bound. Heights are
+/// restricted to h with (h+1) divisible by the statement count so every
+/// tile starts with the same statement (Sec. 3.3.2).
+std::optional<TileSizeChoice>
+selectTileSizes(const ir::StencilProgram &P,
+                const deps::DependenceInfo &Deps,
+                const std::vector<deps::ConeBounds> &Cones,
+                const TileSizeConstraints &Constraints = {});
+
+/// Evaluates one specific size choice exactly (used by benches to report
+/// the Sec. 3.7 table for manual configurations).
+TileSizeChoice evaluateTileSizes(const ir::StencilProgram &P,
+                                 const deps::DependenceInfo &Deps,
+                                 const std::vector<deps::ConeBounds> &Cones,
+                                 int64_t H, int64_t W0,
+                                 std::vector<int64_t> InnerWidths);
+
+} // namespace core
+} // namespace hextile
+
+#endif // HEXTILE_CORE_TILESIZEMODEL_H

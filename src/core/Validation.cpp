@@ -1,0 +1,100 @@
+//===- Validation.cpp - Schedule correctness checks ------------------------===//
+
+#include "core/Validation.h"
+
+#include <map>
+
+using namespace hextile;
+using namespace hextile::core;
+
+std::string core::checkExactCover(const HexSchedule &Sched,
+                                  int64_t TimeWindow, int64_t SpaceWindow) {
+  const HexagonGeometry &Hex = Sched.hexagon();
+  for (int64_t T = -TimeWindow; T <= TimeWindow; ++T) {
+    for (int64_t S = -SpaceWindow; S <= SpaceWindow; ++S) {
+      HexTileCoord C0 = Sched.boxCoord(T, S, 0);
+      HexTileCoord C1 = Sched.boxCoord(T, S, 1);
+      int Owners = (Hex.contains(C0.A, C0.B) ? 1 : 0) +
+                   (Hex.contains(C1.A, C1.B) ? 1 : 0);
+      if (Owners != 1)
+        return "point (" + std::to_string(T) + ", " + std::to_string(S) +
+               ") owned by " + std::to_string(Owners) + " phases";
+    }
+  }
+  return "";
+}
+
+std::string core::checkLegality(const HybridSchedule &Sched,
+                                const deps::DependenceInfo &Deps,
+                                const IterationDomain &Domain) {
+  std::string Failure;
+  Domain.forEachPoint([&](std::span<const int64_t> Consumer) {
+    if (!Failure.empty())
+      return;
+    HybridVector VC = Sched.map(Consumer);
+    std::vector<int64_t> Producer(Consumer.begin(), Consumer.end());
+    for (const deps::DistanceVector &D : Deps.Vectors) {
+      Producer[0] = Consumer[0] - D.DT;
+      for (unsigned I = 0; I < Deps.SpaceRank; ++I)
+        Producer[I + 1] = Consumer[I + 1] - D.DS[I];
+      if (!Domain.contains(Producer))
+        continue;
+      HybridVector VP = Sched.map(Producer);
+      ExecOrder Ord = HybridSchedule::compare(VP, VC);
+      if (Ord != ExecOrder::Before) {
+        const char *Why = Ord == ExecOrder::After ? "after consumer"
+                          : Ord == ExecOrder::ParallelBlocks
+                              ? "in a concurrent block"
+                              : "in a concurrent thread";
+        Failure = "dependence " + D.str() + " violated at consumer (" +
+                  std::to_string(Consumer[0]) + ", ...): producer runs " +
+                  Why;
+        return;
+      }
+    }
+  });
+  return Failure;
+}
+
+std::string core::checkConstantCardinality(const HexSchedule &Sched,
+                                           int64_t TimeWindow,
+                                           int64_t SpaceWindow) {
+  // Count points per (T, p, S0) tile over the window; discard tiles whose
+  // bounding box leaves the window, then compare the rest.
+  struct Key {
+    int64_t T;
+    int P;
+    int64_t S0;
+    bool operator<(const Key &O) const {
+      if (T != O.T)
+        return T < O.T;
+      if (P != O.P)
+        return P < O.P;
+      return S0 < O.S0;
+    }
+  };
+  std::map<Key, int64_t> Counts;
+  for (int64_t T = 0; T < TimeWindow; ++T)
+    for (int64_t S = -SpaceWindow; S < SpaceWindow; ++S) {
+      HexTileCoord C = Sched.locate(T, S);
+      ++Counts[{C.T, C.Phase, C.S0}];
+    }
+
+  const HexTileParams &P = Sched.params();
+  int64_t Expected = Sched.hexagon().pointsPerTile();
+  for (const auto &[K, N] : Counts) {
+    // Interior test: the tile's box must lie strictly inside the window.
+    int64_t OrigT, OrigS;
+    Sched.tileOrigin(K.T, K.P, K.S0, OrigT, OrigS);
+    if (OrigT < 0 || OrigT + P.timePeriod() > TimeWindow)
+      continue;
+    if (OrigS < -SpaceWindow || OrigS + P.spacePeriod() > SpaceWindow)
+      continue;
+    if (N != Expected)
+      return "tile (T=" + std::to_string(K.T) + ", p=" +
+             std::to_string(K.P) + ", S0=" + std::to_string(K.S0) +
+             ") has " + std::to_string(N) + " points, expected " +
+             std::to_string(Expected);
+  }
+  return "";
+}

@@ -1,0 +1,56 @@
+//===- Validation.h - Schedule correctness checks --------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable proofs of the Sec. 3.3.3 correctness claims, used by the test
+/// suite and by the compiler's own self-checks:
+///
+///  * exact cover: every point of the (t, s0) plane belongs to exactly one
+///    phase's hexagon (the subtraction construction tiles the plane);
+///  * legality: every dependence is either intra-tile and respected by the
+///    intra-tile order, or crosses tiles forward in the sequential (T, p)
+///    or (S1..Sn, t') dimensions;
+///  * constant cardinality: all full tiles contain the same number of
+///    integer points (the property diamond tiling lacks, Sec. 2).
+///
+/// All checks return an empty string on success and a diagnostic otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CORE_VALIDATION_H
+#define HEXTILE_CORE_VALIDATION_H
+
+#include "core/HybridSchedule.h"
+#include "deps/DependenceAnalysis.h"
+
+#include <string>
+
+namespace hextile {
+namespace core {
+
+/// Verifies the exact-cover property over the window
+/// t in [-TimeWindow, TimeWindow], s0 in [-SpaceWindow, SpaceWindow].
+std::string checkExactCover(const HexSchedule &Sched, int64_t TimeWindow,
+                            int64_t SpaceWindow);
+
+/// Verifies dependence legality of \p Sched for all points of \p Domain
+/// under the dependence summary \p Deps: for every edge whose producer lies
+/// in the domain, the producer must execute strictly before the consumer.
+std::string checkLegality(const HybridSchedule &Sched,
+                          const deps::DependenceInfo &Deps,
+                          const IterationDomain &Domain);
+
+/// Verifies that all full hexagonal tiles intersected with the window
+/// [0, TimeWindow) x [-SpaceWindow, SpaceWindow) have identical point
+/// counts (tiles touching the window boundary are ignored).
+std::string checkConstantCardinality(const HexSchedule &Sched,
+                                     int64_t TimeWindow,
+                                     int64_t SpaceWindow);
+
+} // namespace core
+} // namespace hextile
+
+#endif // HEXTILE_CORE_VALIDATION_H

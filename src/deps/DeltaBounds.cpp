@@ -1,0 +1,53 @@
+//===- DeltaBounds.cpp - Dependence-cone slope bounds ---------------------===//
+
+#include "deps/DeltaBounds.h"
+
+#include "poly/LinearProgram.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::deps;
+
+/// Solves: minimize delta subject to (Sign * DS[Dim]) <= delta * DT for all
+/// vectors, i.e. delta * DT - Sign*DS >= 0. A one-variable rational LP.
+static Rational minimalSlope(const DependenceInfo &Info, unsigned Dim,
+                             int Sign) {
+  poly::IntegerSet Feasible(std::vector<std::string>{"delta"});
+  for (const DistanceVector &V : Info.Vectors) {
+    assert(V.DT >= 1 && "dependence not carried by time");
+    // delta * DT - Sign * DS >= 0.
+    poly::AffineExpr E = poly::AffineExpr::dim(1, 0) * Rational(V.DT) -
+                         poly::AffineExpr::constant(
+                             1, Rational(Sign * V.DS[Dim]));
+    Feasible.addConstraint(poly::Constraint::ge(E));
+  }
+  poly::LPResult R =
+      poly::minimize(Feasible, poly::AffineExpr::dim(1, 0));
+  assert(R.isOptimal() && "slope LP must have a finite optimum");
+  return R.Value;
+}
+
+ConeBounds deps::computeConeBounds(const DependenceInfo &Info, unsigned Dim,
+                                   const DeltaOptions &Opts) {
+  assert(!Info.Vectors.empty() && "no dependences to bound");
+  assert(Dim < Info.SpaceRank && "dimension out of range");
+  ConeBounds B;
+  B.Delta0 = minimalSlope(Info, Dim, /*Sign=*/+1);
+  B.Delta1 = minimalSlope(Info, Dim, /*Sign=*/-1);
+  if (Opts.ClampNonNegative) {
+    B.Delta0 = Rational::max(B.Delta0, Rational(0));
+    B.Delta1 = Rational::max(B.Delta1, Rational(0));
+  }
+  return B;
+}
+
+std::vector<ConeBounds>
+deps::computeAllConeBounds(const DependenceInfo &Info,
+                           const DeltaOptions &Opts) {
+  std::vector<ConeBounds> Out;
+  Out.reserve(Info.SpaceRank);
+  for (unsigned D = 0; D < Info.SpaceRank; ++D)
+    Out.push_back(computeConeBounds(Info, D, Opts));
+  return Out;
+}

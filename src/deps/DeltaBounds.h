@@ -1,0 +1,59 @@
+//===- DeltaBounds.h - Dependence-cone slope bounds ------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes, per spatial dimension d, the slopes of the opposite dependence
+/// cone of Sec. 3.3.2: the smallest rational constants delta0/delta1 with
+///
+///   Delta s_d <= delta0 * Delta t   and   Delta s_d >= -delta1 * Delta t
+///
+/// for every dependence distance vector. As in the paper, the constants are
+/// obtained through the solution of (two) LP problems, here solved exactly
+/// over the rationals by projection (poly::minimize). The classical tiling
+/// of Sec. 3.4 only needs the lower bound delta1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_DEPS_DELTABOUNDS_H
+#define HEXTILE_DEPS_DELTABOUNDS_H
+
+#include "deps/DependenceAnalysis.h"
+#include "support/Rational.h"
+
+namespace hextile {
+namespace deps {
+
+/// The two slopes bounding the dependence cone in one spatial dimension.
+struct ConeBounds {
+  Rational Delta0; ///< Upper slope: Delta s <= Delta0 * Delta t.
+  Rational Delta1; ///< Lower slope: Delta s >= -Delta1 * Delta t.
+
+  std::string str() const {
+    return "delta0=" + Delta0.str() + ", delta1=" + Delta1.str();
+  }
+};
+
+/// Options for the slope computation.
+struct DeltaOptions {
+  /// Clamp slopes at zero. The hexagon construction of Sec. 3.3 assumes the
+  /// opposite dependence cone contains the -t axis (true for every stencil
+  /// in the paper); clamping widens the cone, which is always legal.
+  bool ClampNonNegative = true;
+};
+
+/// Computes the cone bounds for spatial dimension \p Dim of \p Info.
+/// Asserts that at least one dependence vector exists.
+ConeBounds computeConeBounds(const DependenceInfo &Info, unsigned Dim,
+                             const DeltaOptions &Opts = {});
+
+/// Cone bounds for every spatial dimension, in order.
+std::vector<ConeBounds> computeAllConeBounds(const DependenceInfo &Info,
+                                             const DeltaOptions &Opts = {});
+
+} // namespace deps
+} // namespace hextile
+
+#endif // HEXTILE_DEPS_DELTABOUNDS_H

@@ -1,0 +1,114 @@
+//===- DependenceAnalysis.cpp - Stencil dependence analysis ---------------===//
+
+#include "deps/DependenceAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::deps;
+
+std::string DistanceVector::str() const {
+  std::string Out = "(";
+  Out += std::to_string(DT);
+  for (int64_t D : DS)
+    Out += ", " + std::to_string(D);
+  Out += ")";
+  switch (Kind) {
+  case DepKind::Flow:
+    Out += " [flow]";
+    break;
+  case DepKind::Anti:
+    Out += " [anti]";
+    break;
+  case DepKind::Output:
+    Out += " [output]";
+    break;
+  }
+  return Out;
+}
+
+std::vector<DistanceVector> DependenceInfo::flowVectors() const {
+  std::vector<DistanceVector> Out;
+  for (const DistanceVector &V : Vectors)
+    if (V.Kind == DepKind::Flow)
+      Out.push_back(V);
+  return Out;
+}
+
+std::string DependenceInfo::str() const {
+  std::string Out;
+  for (const DistanceVector &V : Vectors) {
+    if (!Out.empty())
+      Out += "; ";
+    Out += V.str();
+  }
+  return Out;
+}
+
+/// Appends \p V to \p Vectors unless an identical vector is present.
+static void addUnique(std::vector<DistanceVector> &Vectors,
+                      DistanceVector V) {
+  for (const DistanceVector &O : Vectors)
+    if (O.DT == V.DT && O.DS == V.DS && O.Kind == V.Kind)
+      return;
+  Vectors.push_back(std::move(V));
+}
+
+DependenceInfo deps::analyzeDependences(const ir::StencilProgram &P,
+                                        const DependenceOptions &Opts) {
+  assert(P.verify().empty() && "analyzing an invalid program");
+  DependenceInfo Info;
+  int64_t K = P.numStmts();
+  Info.NumStmts = K;
+  Info.SpaceRank = P.spaceRank();
+
+  // Rotating-buffer depth: deepest time offset any read needs, plus the
+  // current step; never less than the classic double buffer.
+  int64_t MaxDepth = 1;
+  for (const ir::StencilStmt &S : P.stmts())
+    for (const ir::ReadAccess &R : S.Reads)
+      MaxDepth = std::max(MaxDepth, static_cast<int64_t>(-R.TimeOffset));
+  Info.TimeBuffers = static_cast<unsigned>(MaxDepth + 1);
+
+  for (int64_t J = 0, E = P.numStmts(); J < E; ++J) {
+    const ir::StencilStmt &S = P.stmts()[J];
+    for (const ir::ReadAccess &R : S.Reads) {
+      int Writer = P.writerOf(R.Field);
+      if (Writer < 0)
+        continue; // Read-only field: no dependence.
+      int64_t I = Writer;
+      // Flow: producer (t + dt, s + ds) of stmt I -> consumer (t, s) of J.
+      DistanceVector Flow;
+      Flow.DT = -K * R.TimeOffset + (J - I);
+      Flow.DS.reserve(R.Offsets.size());
+      for (int64_t O : R.Offsets)
+        Flow.DS.push_back(-O);
+      Flow.Kind = DepKind::Flow;
+      assert(Flow.DT >= 1 && "input program is not a valid stencil sequence");
+      addUnique(Info.Vectors, std::move(Flow));
+
+      if (!Opts.IncludeMemoryDeps)
+        continue;
+      // Anti: the read of the value written at t + dt must precede the write
+      // that reuses the same buffer slot, i.e. the write of stmt I at time
+      // t + dt + TimeBuffers and position s + ds.
+      DistanceVector Anti;
+      Anti.DT = K * (R.TimeOffset + static_cast<int64_t>(Info.TimeBuffers)) +
+                (I - J);
+      Anti.DS.assign(R.Offsets.begin(), R.Offsets.end());
+      Anti.Kind = DepKind::Anti;
+      assert(Anti.DT >= 1 && "rotating buffer too shallow for read depth");
+      addUnique(Info.Vectors, std::move(Anti));
+    }
+    if (Opts.IncludeMemoryDeps) {
+      // Output: successive writes of the same statement to one buffer slot.
+      DistanceVector Out;
+      Out.DT = K * static_cast<int64_t>(Info.TimeBuffers);
+      Out.DS.assign(P.spaceRank(), 0);
+      Out.Kind = DepKind::Output;
+      addUnique(Info.Vectors, std::move(Out));
+    }
+  }
+  return Info;
+}

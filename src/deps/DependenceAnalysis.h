@@ -1,0 +1,78 @@
+//===- DependenceAnalysis.h - Stencil dependence analysis ------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the dependence distance vectors of a stencil program in the
+/// canonical schedule space L_i[t, s...] -> [k*t + i, s...] of Sec. 3.2
+/// (k = number of statements). For the constant-offset access relations of
+/// the paper's input class, dataflow analysis (Feautrier-style; isl in the
+/// paper) degenerates to exact constant distance vectors:
+///
+///   a read in statement j of field F at (t + dt, s + ds), produced by
+///   statement i = writer(F), induces the flow distance
+///   (Delta that = -k*dt + (j - i), Delta s = -ds).
+///
+/// We additionally expose the memory-based anti/output dependences induced
+/// by the rotating time-buffer implementation (double buffering in Fig. 1),
+/// so tilings remain legal when executed in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_DEPS_DEPENDENCEANALYSIS_H
+#define HEXTILE_DEPS_DEPENDENCEANALYSIS_H
+
+#include "ir/StencilProgram.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace deps {
+
+/// Classification of a dependence edge.
+enum class DepKind { Flow, Anti, Output };
+
+/// A constant dependence distance in canonical schedule space: the consumer
+/// executes DT canonical time steps and DS[d] spatial steps after the
+/// producer. Valid schedules require DT >= 1.
+struct DistanceVector {
+  int64_t DT = 0;
+  std::vector<int64_t> DS;
+  DepKind Kind = DepKind::Flow;
+
+  std::string str() const;
+};
+
+/// The full dependence summary of a program.
+struct DependenceInfo {
+  unsigned NumStmts = 1;   ///< k in the canonical schedule.
+  unsigned SpaceRank = 0;  ///< Number of spatial dimensions.
+  unsigned TimeBuffers = 2; ///< Rotating buffer depth of the implementation.
+  std::vector<DistanceVector> Vectors;
+
+  /// Only the value-based (flow) vectors.
+  std::vector<DistanceVector> flowVectors() const;
+
+  std::string str() const;
+};
+
+/// Options controlling which dependences are reported.
+struct DependenceOptions {
+  /// Include anti/output dependences of the rotating-buffer implementation.
+  bool IncludeMemoryDeps = true;
+};
+
+/// Analyzes \p P; asserts that P.verify() passes. All returned vectors have
+/// DT >= 1 (the canonical schedule is valid by construction for the
+/// supported input class).
+DependenceInfo analyzeDependences(const ir::StencilProgram &P,
+                                  const DependenceOptions &Opts = {});
+
+} // namespace deps
+} // namespace hextile
+
+#endif // HEXTILE_DEPS_DEPENDENCEANALYSIS_H

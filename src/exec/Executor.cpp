@@ -1,0 +1,119 @@
+//===- Executor.cpp - Reference and schedule-driven execution -------------===//
+
+#include "exec/Executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::exec;
+
+void exec::executeInstance(const ir::StencilProgram &P, GridStorage &Storage,
+                           std::span<const int64_t> Point) {
+  unsigned Rank = P.spaceRank();
+  assert(Point.size() == Rank + 1 && "point arity mismatch");
+  int64_t That = Point[0];
+  unsigned StmtIdx = euclidMod(That, P.numStmts());
+  int64_t Step = floorDiv(That, P.numStmts());
+  const ir::StencilStmt &S = P.stmts()[StmtIdx];
+
+  std::vector<float> ReadValues(S.Reads.size());
+  std::vector<int64_t> Coords(Rank);
+  for (unsigned R = 0; R < S.Reads.size(); ++R) {
+    const ir::ReadAccess &A = S.Reads[R];
+    for (unsigned D = 0; D < Rank; ++D)
+      Coords[D] = Point[D + 1] + A.Offsets[D];
+    ReadValues[R] = Storage.at(A.Field, Step + A.TimeOffset, Coords);
+  }
+  float Result = S.RHS.evaluate(ReadValues);
+  for (unsigned D = 0; D < Rank; ++D)
+    Coords[D] = Point[D + 1];
+  Storage.at(S.WriteField, Step, Coords) = Result;
+}
+
+void exec::runReference(const ir::StencilProgram &P, GridStorage &Storage) {
+  core::IterationDomain D = core::IterationDomain::forProgram(P);
+  D.forEachPoint([&](std::span<const int64_t> Point) {
+    executeInstance(P, Storage, Point);
+  });
+}
+
+namespace {
+
+/// One scheduled instance: key plus point, ordered by key.
+struct ScheduledInstance {
+  std::vector<int64_t> Key;
+  std::vector<int64_t> Point;
+  uint64_t Tie = 0; ///< Shuffle tiebreak for parallel instances.
+};
+
+uint64_t mix(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdull;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ull;
+  X ^= X >> 33;
+  return X;
+}
+
+} // namespace
+
+void exec::runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
+                       const core::IterationDomain &Domain,
+                       const ScheduleKeyFn &Key,
+                       const ScheduleRunOptions &Opts) {
+  std::vector<ScheduledInstance> Instances;
+  Instances.reserve(static_cast<size_t>(Domain.numPoints()));
+  Domain.forEachPoint([&](std::span<const int64_t> Point) {
+    ScheduledInstance I;
+    I.Point.assign(Point.begin(), Point.end());
+    I.Key = Key(Point);
+    Instances.push_back(std::move(I));
+  });
+
+  // Parallel components: truncate the comparison at ParallelFrom and break
+  // ties with a seeded hash, emulating arbitrary interleaving.
+  size_t SeqLen = Opts.ParallelFrom < 0
+                      ? SIZE_MAX
+                      : static_cast<size_t>(Opts.ParallelFrom);
+  if (Opts.ShuffleSeed != 0)
+    for (ScheduledInstance &I : Instances) {
+      uint64_t H = Opts.ShuffleSeed;
+      for (int64_t V : I.Point)
+        H = mix(H ^ static_cast<uint64_t>(V));
+      I.Tie = H;
+    }
+
+  std::sort(Instances.begin(), Instances.end(),
+            [&](const ScheduledInstance &A, const ScheduledInstance &B) {
+              size_t N = std::min(
+                  {A.Key.size(), B.Key.size(), SeqLen});
+              for (size_t I = 0; I < N; ++I)
+                if (A.Key[I] != B.Key[I])
+                  return A.Key[I] < B.Key[I];
+              if (Opts.ShuffleSeed != 0)
+                return A.Tie < B.Tie;
+              // Stable fallback: full key then point order.
+              if (A.Key != B.Key)
+                return A.Key < B.Key;
+              return A.Point < B.Point;
+            });
+
+  for (const ScheduledInstance &I : Instances)
+    executeInstance(P, Storage, I.Point);
+}
+
+std::string exec::checkScheduleEquivalence(const ir::StencilProgram &P,
+                                           const ScheduleKeyFn &Key,
+                                           const ScheduleRunOptions &Opts) {
+  GridStorage Ref(P);
+  runReference(P, Ref);
+
+  GridStorage Tiled(P);
+  core::IterationDomain Domain = core::IterationDomain::forProgram(P);
+  runSchedule(P, Tiled, Domain, Key, Opts);
+
+  // Compare the last TimeBuffers' worth of steps: every live value.
+  int64_t LastStep = P.timeSteps() - 1;
+  return GridStorage::compareAtStep(Ref, Tiled, LastStep);
+}

@@ -1,0 +1,75 @@
+//===- Executor.h - Reference and schedule-driven execution ----*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional execution of stencil programs, playing the role CUDA plays in
+/// the paper's evaluation:
+///
+///  * ReferenceExecutor runs the program in original (time-major) order;
+///  * ScheduleExecutor replays the statement instances in the order induced
+///    by an arbitrary schedule key, optionally shuffling equal keys to model
+///    the nondeterministic interleaving of parallel blocks/threads.
+///
+/// Both operate in place on rotating buffers, so an illegal tiling (a
+/// violated flow OR buffer anti-dependence) shows up as a bit-level mismatch
+/// against the reference -- this is how the test suite validates compiled
+/// schedules end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_EXEC_EXECUTOR_H
+#define HEXTILE_EXEC_EXECUTOR_H
+
+#include "core/IterationDomain.h"
+#include "exec/GridStorage.h"
+
+#include <functional>
+#include <vector>
+
+namespace hextile {
+namespace exec {
+
+/// Executes the single statement instance at canonical point \p Point
+/// ([that, s...]) of \p P against \p Storage.
+void executeInstance(const ir::StencilProgram &P, GridStorage &Storage,
+                     std::span<const int64_t> Point);
+
+/// Runs \p P for its configured number of time steps in original order.
+void runReference(const ir::StencilProgram &P, GridStorage &Storage);
+
+/// Maps a canonical iteration point to its schedule key; instances execute
+/// in lexicographic key order. Instances mapping to equal keys are treated
+/// as parallel and may run in any order.
+using ScheduleKeyFn = std::function<std::vector<int64_t>(
+    std::span<const int64_t> Point)>;
+
+/// Options for schedule-driven execution.
+struct ScheduleRunOptions {
+  /// Seed for shuffling instances with equal keys (0 = keep stable order).
+  /// Also used to shuffle *parallel dimensions* marked by ParallelPrefix.
+  uint64_t ShuffleSeed = 0;
+  /// Number of leading key components that are sequential; key components
+  /// from this index on are considered parallel (shuffled together with
+  /// their instances when ShuffleSeed != 0). Use -1 for "all sequential".
+  int ParallelFrom = -1;
+};
+
+/// Replays every instance of \p Domain ordered by \p Key.
+void runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
+                 const core::IterationDomain &Domain,
+                 const ScheduleKeyFn &Key,
+                 const ScheduleRunOptions &Opts = {});
+
+/// Convenience: reference-vs-schedule equivalence for \p P. Returns an
+/// empty string if the final fields agree bit-exactly.
+std::string checkScheduleEquivalence(const ir::StencilProgram &P,
+                                     const ScheduleKeyFn &Key,
+                                     const ScheduleRunOptions &Opts = {});
+
+} // namespace exec
+} // namespace hextile
+
+#endif // HEXTILE_EXEC_EXECUTOR_H

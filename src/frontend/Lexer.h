@@ -1,0 +1,73 @@
+//===- Lexer.h - Tokenizer for the stencil C dialect -----------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the restricted C dialect accepted by the front end (the
+/// role pet plays in the paper, Sec. 3.2): grid declarations, a time loop,
+/// perfectly nested spatial loops and constant-offset array assignments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_FRONTEND_LEXER_H
+#define HEXTILE_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace frontend {
+
+enum class TokenKind {
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  KwFor,
+  KwGrid,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Assign,   // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Less,
+  PlusPlus,
+  Eof,
+  Error
+};
+
+/// One token with its source location (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  double FloatValue = 0;
+  int64_t IntValue = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  std::string location() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+/// Tokenizes \p Source; an invalid character yields a trailing Error token.
+std::vector<Token> tokenize(const std::string &Source);
+
+/// Human-readable token kind name for diagnostics.
+std::string tokenKindName(TokenKind K);
+
+} // namespace frontend
+} // namespace hextile
+
+#endif // HEXTILE_FRONTEND_LEXER_H

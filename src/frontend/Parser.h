@@ -1,0 +1,52 @@
+//===- Parser.h - Parser/lowerer for the stencil C dialect -----*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser and semantic lowering for the stencil dialect,
+/// standing in for pet + the Sec. 3.2 canonicalization. Accepted form:
+///
+///   grid A[3072][3072];
+///   for (t = 0; t < 512; t++) {
+///     for (i = 1; i < 3071; i++)
+///       for (j = 1; j < 3071; j++)
+///         A[t+1][i][j] = 0.2f * (A[t][i][j] + A[t][i][j+1]
+///                      + A[t][i][j-1] + A[t][i+1][j] + A[t][i-1][j]);
+///   }
+///
+/// Multiple perfectly nested statement loops inside the time loop are
+/// allowed (fdtd). Reads use constant offsets from the surrounding spatial
+/// iterators and constant time offsets; calls sqrtf/fabsf/fminf/fmaxf are
+/// supported. Spatial loop bounds are checked to be constants and are used
+/// only for sanity (the IR derives the update domain from the halos).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_FRONTEND_PARSER_H
+#define HEXTILE_FRONTEND_PARSER_H
+
+#include "ir/StencilProgram.h"
+
+#include <string>
+
+namespace hextile {
+namespace frontend {
+
+/// Result of parsing: a program, or a diagnostic ("line:col: message").
+struct ParseResult {
+  ir::StencilProgram Program;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses and lowers \p Source; \p Name names the resulting program.
+ParseResult parseStencilProgram(const std::string &Source,
+                                const std::string &Name = "parsed");
+
+} // namespace frontend
+} // namespace hextile
+
+#endif // HEXTILE_FRONTEND_PARSER_H

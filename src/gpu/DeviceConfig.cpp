@@ -1,0 +1,34 @@
+//===- DeviceConfig.cpp - GPU device models --------------------------------===//
+
+#include "gpu/DeviceConfig.h"
+
+using namespace hextile;
+using namespace hextile::gpu;
+
+DeviceConfig DeviceConfig::gtx470() {
+  DeviceConfig D;
+  D.Name = "GTX 470";
+  D.NumSMs = 14;
+  D.CoresPerSM = 32;
+  D.ClockGHz = 1.215;
+  D.DramBandwidthGBs = 133.9;
+  D.L2BandwidthGBs = 380.0;
+  D.L2Bytes = 640 << 10;
+  D.SharedMemPerBlock = 48 << 10;
+  D.LaunchOverheadUs = 8.0;
+  return D;
+}
+
+DeviceConfig DeviceConfig::nvs5200() {
+  DeviceConfig D;
+  D.Name = "NVS 5200M";
+  D.NumSMs = 2;
+  D.CoresPerSM = 48;
+  D.ClockGHz = 1.344;
+  D.DramBandwidthGBs = 14.4;
+  D.L2BandwidthGBs = 60.0;
+  D.L2Bytes = 128 << 10;
+  D.SharedMemPerBlock = 48 << 10;
+  D.LaunchOverheadUs = 10.0;
+  return D;
+}

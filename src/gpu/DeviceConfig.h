@@ -1,0 +1,70 @@
+//===- DeviceConfig.h - GPU device models ----------------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Published-spec models of the two evaluation GPUs (Sec. 6): the GeForce
+/// GTX 470 (Fermi GF100, 14 SMs) and the NVS 5200M (Fermi GF108 mobile,
+/// 2 SMs, narrow DDR3). This is the paper's hardware substrate, substituted
+/// by an analytic simulator (see DESIGN.md section 4): absolute numbers are
+/// approximate, but the resource ratios that decide which tiling wins --
+/// compute vs. shared-memory vs. DRAM throughput -- follow the boards'
+/// published specifications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_GPU_DEVICECONFIG_H
+#define HEXTILE_GPU_DEVICECONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace hextile {
+namespace gpu {
+
+/// Architectural parameters of a modeled device.
+struct DeviceConfig {
+  std::string Name;
+  int NumSMs = 1;
+  int CoresPerSM = 32;
+  double ClockGHz = 1.0;
+  double DramBandwidthGBs = 100.0;
+  double L2BandwidthGBs = 200.0;   ///< Aggregate L2-to-SM bandwidth.
+  int64_t L2Bytes = 512 << 10;
+  int64_t SharedMemPerBlock = 48 << 10;
+  int WarpSize = 32;
+  int SharedBanks = 32;
+  int LsuWordsPerCycle = 16; ///< Fermi: 16 LD/ST units per SM.
+  int CacheLineBytes = 128;  ///< L2/DRAM line granularity.
+  int SectorBytes = 32;      ///< L2 transaction granularity.
+  double LaunchOverheadUs = 8.0;
+  /// Fraction of peak a well-tuned kernel sustains on each resource
+  /// (issue limits, barriers, partial occupancy, address arithmetic).
+  double SustainedFraction = 0.3;
+  /// Cycles one warp-level global access occupies when its latency is not
+  /// hidden (separate copy phases, Sec. 4.2.1).
+  double MemPipeCyclesPerWarp = 60.0;
+  /// Memory-level parallelism available to hide global-access latency when
+  /// accesses interleave with computation (cache-backed kernels).
+  double MemHidingFactor = 8.0;
+
+  /// Peak single-precision GFLOP/s (1 FLOP per core per cycle model).
+  double peakGFlops() const { return NumSMs * CoresPerSM * ClockGHz; }
+  /// Peak shared-memory words (4B) per second across the chip: one warp
+  /// access per SM per cycle.
+  double peakSharedWordsPerSec() const {
+    return NumSMs * static_cast<double>(SharedBanks) * ClockGHz * 1e9;
+  }
+
+  /// The GeForce GTX 470 of Table 1 (448 cores, 133.9 GB/s GDDR5).
+  static DeviceConfig gtx470();
+  /// The NVS 5200M of Table 2 (96 cores, 14.4 GB/s DDR3).
+  static DeviceConfig nvs5200();
+};
+
+} // namespace gpu
+} // namespace hextile
+
+#endif // HEXTILE_GPU_DEVICECONFIG_H

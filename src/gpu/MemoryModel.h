@@ -1,0 +1,82 @@
+//===- MemoryModel.h - Warp coalescing and bank conflicts ------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-transaction model behind the Table 5 performance counters.
+/// Global accesses are issued per warp over 32 consecutive elements of a
+/// row; the model counts, exactly, the 128-byte cache lines and 32-byte
+/// sectors each warp access touches given the row's byte alignment. From
+/// these the paper's counters follow:
+///
+///   gld efficiency          = useful bytes / (touched lines * 128)
+///   l2 read transactions    = requested 32B sectors
+///   dram read transactions  = touched 128B lines * 4 sectors
+///
+/// Shared-memory bank conflicts are modeled by replaying one warp's access
+/// pattern against the 32 banks (transactions per request, Table 5's
+/// "shared loads per request").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_GPU_MEMORYMODEL_H
+#define HEXTILE_GPU_MEMORYMODEL_H
+
+#include "gpu/DeviceConfig.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hextile {
+namespace gpu {
+
+/// One batch of identical global-memory rows: \p Count rows of \p Len
+/// consecutive 32-bit values whose first element sits at byte offset
+/// 4*AlignElems within a 128-byte line (AlignElems in [0, 32)).
+struct RowBatch {
+  int64_t Count = 1;
+  int64_t Len = 0;
+  int64_t AlignElems = 0;
+};
+
+/// Exact transaction statistics for a set of row batches.
+struct TrafficStats {
+  int64_t ThreadInsts = 0; ///< 32-bit load/store thread instructions.
+  int64_t WarpInsts = 0;   ///< Warp-level access instructions.
+  int64_t Lines = 0;       ///< Touched 128B lines (DRAM granularity).
+  int64_t Sectors = 0;     ///< Requested 32B sectors (L2 granularity).
+  int64_t UsefulBytes = 0;
+
+  double efficiency() const {
+    return Lines == 0 ? 1.0
+                      : static_cast<double>(UsefulBytes) / (Lines * 128.0);
+  }
+
+  TrafficStats &operator+=(const TrafficStats &O);
+};
+
+/// Computes the traffic of one row (Len elements at AlignElems).
+TrafficStats analyzeRow(const DeviceConfig &Dev, int64_t Len,
+                        int64_t AlignElems);
+
+/// Computes the combined traffic of \p Batches.
+TrafficStats analyzeBatches(const DeviceConfig &Dev,
+                            std::span<const RowBatch> Batches);
+
+/// Shared-memory transactions per request for one warp accessing 32-bit
+/// words at the given addresses (in words): the maximum number of distinct
+/// words requested from a single bank.
+double bankTransactionsPerRequest(const DeviceConfig &Dev,
+                                  std::span<const int64_t> WordAddrs);
+
+/// Transactions per request for a strided pattern: thread i accesses word
+/// Base + i * StrideWords (the common shared-memory row access).
+double stridedBankTransactions(const DeviceConfig &Dev, int64_t StrideWords);
+
+} // namespace gpu
+} // namespace hextile
+
+#endif // HEXTILE_GPU_MEMORYMODEL_H

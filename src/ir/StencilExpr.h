@@ -1,0 +1,125 @@
+//===- StencilExpr.h - Stencil right-hand-side expressions -----*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression trees for the right-hand side of a stencil update. Leaves are
+/// either single-precision constants or references to one of the statement's
+/// declared reads; interior nodes are arithmetic operations. The tree is what
+/// the functional executor evaluates and what Table 3's FLOPs-per-stencil
+/// column is derived from (one FLOP per arithmetic node, matching how the
+/// paper counts e.g. 6 FLOPs for the 5-point laplacian).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_IR_STENCILEXPR_H
+#define HEXTILE_IR_STENCILEXPR_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace hextile {
+namespace ir {
+
+/// Operation kinds for stencil expressions.
+enum class ExprKind {
+  ReadRef, ///< Reference to read #Index of the surrounding statement.
+  ConstF32,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Neg,
+  Sqrt,
+  Abs,
+  Min,
+  Max
+};
+
+/// Returns true for kinds that count as one floating-point operation.
+bool isArithmetic(ExprKind K);
+
+/// An immutable stencil expression node; copied by shared subtree.
+class StencilExpr {
+public:
+  /// Leaf referencing read #\p Index in the statement's read list.
+  static StencilExpr read(unsigned Index);
+  /// Single-precision constant leaf.
+  static StencilExpr constant(float Value);
+
+  static StencilExpr add(const StencilExpr &A, const StencilExpr &B) {
+    return binary(ExprKind::Add, A, B);
+  }
+  static StencilExpr sub(const StencilExpr &A, const StencilExpr &B) {
+    return binary(ExprKind::Sub, A, B);
+  }
+  static StencilExpr mul(const StencilExpr &A, const StencilExpr &B) {
+    return binary(ExprKind::Mul, A, B);
+  }
+  static StencilExpr div(const StencilExpr &A, const StencilExpr &B) {
+    return binary(ExprKind::Div, A, B);
+  }
+  static StencilExpr min(const StencilExpr &A, const StencilExpr &B) {
+    return binary(ExprKind::Min, A, B);
+  }
+  static StencilExpr max(const StencilExpr &A, const StencilExpr &B) {
+    return binary(ExprKind::Max, A, B);
+  }
+  static StencilExpr neg(const StencilExpr &A) {
+    return unary(ExprKind::Neg, A);
+  }
+  static StencilExpr sqrt(const StencilExpr &A) {
+    return unary(ExprKind::Sqrt, A);
+  }
+  static StencilExpr abs(const StencilExpr &A) {
+    return unary(ExprKind::Abs, A);
+  }
+
+  StencilExpr operator+(const StencilExpr &O) const { return add(*this, O); }
+  StencilExpr operator-(const StencilExpr &O) const { return sub(*this, O); }
+  StencilExpr operator*(const StencilExpr &O) const { return mul(*this, O); }
+  StencilExpr operator/(const StencilExpr &O) const { return div(*this, O); }
+
+  ExprKind kind() const { return K; }
+  unsigned readIndex() const { return Index; }
+  float constantValue() const { return Value; }
+  const StencilExpr *lhs() const { return LHS.get(); }
+  const StencilExpr *rhs() const { return RHS.get(); }
+
+  /// Number of arithmetic nodes (the paper's FLOPs-per-stencil metric).
+  unsigned countFlops() const;
+
+  /// Number of ReadRef leaves (>= 1 per declared read if all reads used).
+  unsigned countReadRefs() const;
+
+  /// Largest read index referenced, or -1 when none.
+  int maxReadIndex() const;
+
+  /// Evaluates with \p ReadValues[i] substituted for read #i.
+  float evaluate(std::span<const float> ReadValues) const;
+
+  /// Renders the expression with \p ReadNames[i] naming read #i (falls back
+  /// to "r<k>").
+  std::string str(std::span<const std::string> ReadNames = {}) const;
+
+private:
+  explicit StencilExpr(ExprKind K) : K(K) {}
+  static StencilExpr binary(ExprKind K, const StencilExpr &A,
+                            const StencilExpr &B);
+  static StencilExpr unary(ExprKind K, const StencilExpr &A);
+
+  ExprKind K;
+  unsigned Index = 0;
+  float Value = 0.0f;
+  std::shared_ptr<const StencilExpr> LHS;
+  std::shared_ptr<const StencilExpr> RHS;
+};
+
+} // namespace ir
+} // namespace hextile
+
+#endif // HEXTILE_IR_STENCILEXPR_H

@@ -1,0 +1,272 @@
+//===- StencilGallery.cpp - The paper's benchmark stencils ----------------===//
+
+#include "ir/StencilGallery.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::ir;
+
+namespace {
+
+/// Small helper collecting reads of a single field at time t-1.
+class ReadSet {
+public:
+  ReadSet(unsigned Field, unsigned Rank, int TimeOffset = -1)
+      : Field(Field), Rank(Rank), TimeOffset(TimeOffset) {}
+
+  /// Declares a read at the given spatial offsets; returns its ReadRef leaf.
+  StencilExpr at(std::vector<int64_t> Offsets) {
+    assert(Offsets.size() == Rank && "offset arity mismatch");
+    Reads.push_back({Field, TimeOffset, std::move(Offsets)});
+    return StencilExpr::read(Reads.size() - 1);
+  }
+
+  std::vector<ReadAccess> take() { return std::move(Reads); }
+
+private:
+  unsigned Field;
+  unsigned Rank;
+  int TimeOffset;
+  std::vector<ReadAccess> Reads;
+};
+
+} // namespace
+
+StencilProgram ir::makeJacobi2D(int64_t N, int64_t T) {
+  StencilProgram P("jacobi2d", 2);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 2);
+  StencilExpr C = R.at({0, 0}), E = R.at({0, 1}), W = R.at({0, -1}),
+              S = R.at({1, 0}), Nn = R.at({-1, 0});
+  // 0.2f * (c + e + w + s + n): 4 adds + 1 mul = 5 flops, 5 loads (Fig. 2).
+  StencilExpr RHS = StencilExpr::constant(0.2f) * (C + E + W + S + Nn);
+  P.addStmt({"jacobi", A, R.take(), RHS});
+  P.setSpaceSizes({N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeLaplacian2D(int64_t N, int64_t T) {
+  StencilProgram P("laplacian2d", 2);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 2);
+  StencilExpr C = R.at({0, 0}), E = R.at({0, 1}), W = R.at({0, -1}),
+              S = R.at({1, 0}), Nn = R.at({-1, 0});
+  // c0*c + c1*(((e+w)+s)+n): 3 adds + 2 muls + 1 add = 6 flops, 5 loads.
+  StencilExpr RHS = StencilExpr::constant(0.5f) * C +
+                    StencilExpr::constant(0.125f) * (((E + W) + S) + Nn);
+  P.addStmt({"laplacian", A, R.take(), RHS});
+  P.setSpaceSizes({N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeHeat2D(int64_t N, int64_t T) {
+  StencilProgram P("heat2d", 2);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 2);
+  // 3x3 box sum (8 adds) times one coefficient (1 mul): 9 flops, 9 loads.
+  StencilExpr Sum = R.at({-1, -1});
+  for (int64_t I = -1; I <= 1; ++I)
+    for (int64_t J = -1; J <= 1; ++J) {
+      if (I == -1 && J == -1)
+        continue;
+      Sum = Sum + R.at({I, J});
+    }
+  StencilExpr RHS = StencilExpr::constant(1.0f / 9.0f) * Sum;
+  P.addStmt({"heat", A, R.take(), RHS});
+  P.setSpaceSizes({N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeGradient2D(int64_t N, int64_t T) {
+  StencilProgram P("gradient2d", 2);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 2);
+  StencilExpr C = R.at({0, 0}), E = R.at({0, 1}), W = R.at({0, -1}),
+              S = R.at({1, 0}), Nn = R.at({-1, 0});
+  // 4 subs + 4 abs + 3 adds + sqrt + mul + mul + add = 15 flops, 5 loads.
+  auto Mag = [&](const StencilExpr &X) { return StencilExpr::abs(C - X); };
+  StencilExpr Sum = ((Mag(E) + Mag(W)) + Mag(S)) + Mag(Nn);
+  StencilExpr RHS = StencilExpr::constant(0.25f) * StencilExpr::sqrt(Sum) +
+                    StencilExpr::constant(0.5f) * C;
+  P.addStmt({"gradient", A, R.take(), RHS});
+  P.setSpaceSizes({N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeFdtd2D(int64_t N, int64_t T) {
+  StencilProgram P("fdtd2d", 2);
+  unsigned Ey = P.addField("ey");
+  unsigned Ex = P.addField("ex");
+  unsigned Hz = P.addField("hz");
+
+  // S0: ey[i][j] = ey[i][j] - 0.5*(hz[i][j] - hz[i-1][j]); 3 loads, 3 flops.
+  {
+    std::vector<ReadAccess> Reads;
+    Reads.push_back({Ey, -1, {0, 0}});
+    Reads.push_back({Hz, -1, {0, 0}});
+    Reads.push_back({Hz, -1, {-1, 0}});
+    StencilExpr EyC = StencilExpr::read(0), HzC = StencilExpr::read(1),
+                HzW = StencilExpr::read(2);
+    StencilExpr RHS = EyC - StencilExpr::constant(0.5f) * (HzC - HzW);
+    P.addStmt({"ey", Ey, std::move(Reads), RHS});
+  }
+  // S1: ex[i][j] = ex[i][j] - 0.5*(hz[i][j] - hz[i][j-1]); 3 loads, 3 flops.
+  {
+    std::vector<ReadAccess> Reads;
+    Reads.push_back({Ex, -1, {0, 0}});
+    Reads.push_back({Hz, -1, {0, 0}});
+    Reads.push_back({Hz, -1, {0, -1}});
+    StencilExpr ExC = StencilExpr::read(0), HzC = StencilExpr::read(1),
+                HzS = StencilExpr::read(2);
+    StencilExpr RHS = ExC - StencilExpr::constant(0.5f) * (HzC - HzS);
+    P.addStmt({"ex", Ex, std::move(Reads), RHS});
+  }
+  // S2: hz[i][j] = hz[i][j] - 0.7*(ex[i][j+1] - ex[i][j]
+  //                               + ey[i+1][j] - ey[i][j]);
+  // reads ex/ey of the *same* step (updated by S0/S1): 5 loads, 5 flops.
+  {
+    std::vector<ReadAccess> Reads;
+    Reads.push_back({Hz, -1, {0, 0}});
+    Reads.push_back({Ex, 0, {0, 1}});
+    Reads.push_back({Ex, 0, {0, 0}});
+    Reads.push_back({Ey, 0, {1, 0}});
+    Reads.push_back({Ey, 0, {0, 0}});
+    StencilExpr HzC = StencilExpr::read(0), ExE = StencilExpr::read(1),
+                ExC = StencilExpr::read(2), EyS = StencilExpr::read(3),
+                EyC = StencilExpr::read(4);
+    StencilExpr RHS =
+        HzC - StencilExpr::constant(0.7f) * (((ExE - ExC) + EyS) - EyC);
+    P.addStmt({"hz", Hz, std::move(Reads), RHS});
+  }
+  P.setSpaceSizes({N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeLaplacian3D(int64_t N, int64_t T) {
+  StencilProgram P("laplacian3d", 3);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 3);
+  StencilExpr C = R.at({0, 0, 0});
+  StencilExpr Sum = R.at({0, 0, 1});
+  Sum = Sum + R.at({0, 0, -1});
+  Sum = Sum + R.at({0, 1, 0});
+  Sum = Sum + R.at({0, -1, 0});
+  Sum = Sum + R.at({1, 0, 0});
+  Sum = Sum + R.at({-1, 0, 0});
+  // 5 adds + 2 muls + 1 add = 8 flops, 7 loads.
+  StencilExpr RHS = StencilExpr::constant(0.4f) * C +
+                    StencilExpr::constant(0.1f) * Sum;
+  P.addStmt({"laplacian", A, R.take(), RHS});
+  P.setSpaceSizes({N, N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeHeat3D(int64_t N, int64_t T) {
+  StencilProgram P("heat3d", 3);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 3);
+  // 3x3x3 box sum (26 adds) times one coefficient: 27 flops, 27 loads.
+  StencilExpr Sum = R.at({-1, -1, -1});
+  for (int64_t I = -1; I <= 1; ++I)
+    for (int64_t J = -1; J <= 1; ++J)
+      for (int64_t K = -1; K <= 1; ++K) {
+        if (I == -1 && J == -1 && K == -1)
+          continue;
+        Sum = Sum + R.at({I, J, K});
+      }
+  StencilExpr RHS = StencilExpr::constant(1.0f / 27.0f) * Sum;
+  P.addStmt({"heat", A, R.take(), RHS});
+  P.setSpaceSizes({N, N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeGradient3D(int64_t N, int64_t T) {
+  StencilProgram P("gradient3d", 3);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 3);
+  StencilExpr C = R.at({0, 0, 0});
+  StencilExpr E = R.at({0, 0, 1}), W = R.at({0, 0, -1}), S = R.at({0, 1, 0}),
+              Nn = R.at({0, -1, 0}), U = R.at({1, 0, 0}), D = R.at({-1, 0, 0});
+  // 6 subs + 6 abs + 5 adds + sqrt + mul + add = 20 flops, 7 loads.
+  auto Mag = [&](const StencilExpr &X) { return StencilExpr::abs(C - X); };
+  StencilExpr Sum = Mag(E) + Mag(W);
+  Sum = Sum + Mag(S);
+  Sum = Sum + Mag(Nn);
+  Sum = Sum + Mag(U);
+  Sum = Sum + Mag(D);
+  StencilExpr RHS = StencilExpr::constant(0.25f) * StencilExpr::sqrt(Sum) + C;
+  P.addStmt({"gradient", A, R.take(), RHS});
+  P.setSpaceSizes({N, N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeSkewedExample1D(int64_t N, int64_t T) {
+  StencilProgram P("skewed1d", 1);
+  unsigned A = P.addField("A");
+  std::vector<ReadAccess> Reads;
+  Reads.push_back({A, -2, {-2}});
+  Reads.push_back({A, -1, {2}});
+  StencilExpr RHS = StencilExpr::constant(0.5f) *
+                    (StencilExpr::read(0) + StencilExpr::read(1));
+  P.addStmt({"skewed", A, std::move(Reads), RHS});
+  P.setSpaceSizes({N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeJacobi1D(int64_t N, int64_t T) {
+  StencilProgram P("jacobi1d", 1);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 1);
+  StencilExpr W = R.at({-1}), C = R.at({0}), E = R.at({1});
+  StencilExpr RHS = StencilExpr::constant(1.0f / 3.0f) * ((W + C) + E);
+  P.addStmt({"jacobi", A, R.take(), RHS});
+  P.setSpaceSizes({N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+std::vector<StencilProgram> ir::makeBenchmarkSuite() {
+  std::vector<StencilProgram> Suite;
+  Suite.push_back(makeLaplacian2D());
+  Suite.push_back(makeHeat2D());
+  Suite.push_back(makeGradient2D());
+  Suite.push_back(makeFdtd2D());
+  Suite.push_back(makeLaplacian3D());
+  Suite.push_back(makeHeat3D());
+  Suite.push_back(makeGradient3D());
+  return Suite;
+}
+
+StencilProgram ir::makeByName(const std::string &Name) {
+  if (Name == "jacobi2d")
+    return makeJacobi2D();
+  if (Name == "laplacian2d")
+    return makeLaplacian2D();
+  if (Name == "heat2d")
+    return makeHeat2D();
+  if (Name == "gradient2d")
+    return makeGradient2D();
+  if (Name == "fdtd2d")
+    return makeFdtd2D();
+  if (Name == "laplacian3d")
+    return makeLaplacian3D();
+  if (Name == "heat3d")
+    return makeHeat3D();
+  if (Name == "gradient3d")
+    return makeGradient3D();
+  if (Name == "skewed1d")
+    return makeSkewedExample1D();
+  if (Name == "jacobi1d")
+    return makeJacobi1D();
+  return StencilProgram();
+}

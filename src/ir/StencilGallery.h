@@ -1,0 +1,73 @@
+//===- StencilGallery.h - The paper's benchmark stencils -------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for every stencil the paper evaluates (Table 3), plus the Fig. 1
+/// Jacobi 2D example and the skewed 1D example of Sec. 3.3.2 used for
+/// Figs. 3 and 4. The expression trees are constructed so that the derived
+/// Loads / FLOPs-per-stencil counts reproduce Table 3 exactly:
+///
+///   laplacian 2D : 5 loads,  6 flops      heat 2D     : 9 loads,  9 flops
+///   gradient 2D  : 5 loads, 15 flops      fdtd 2D     : 3/3/5 loads+flops
+///   laplacian 3D : 7 loads,  8 flops      heat 3D     : 27 loads, 27 flops
+///   gradient 3D  : 7 loads, 20 flops
+///
+/// Default problem sizes follow Table 3: 3072^2 x 512 steps for 2D and
+/// 384^3 x 128 steps for 3D.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_IR_STENCILGALLERY_H
+#define HEXTILE_IR_STENCILGALLERY_H
+
+#include "ir/StencilProgram.h"
+
+namespace hextile {
+namespace ir {
+
+/// Fig. 1: A[t+1][i][j] = 0.2f*(c + e + w + s + n). 5 loads, 5 flops.
+StencilProgram makeJacobi2D(int64_t N = 3072, int64_t T = 512);
+
+/// Table 3 laplacian 2D: 5 loads, 6 flops.
+StencilProgram makeLaplacian2D(int64_t N = 3072, int64_t T = 512);
+
+/// Table 3 heat 2D: 3x3 box, 9 loads, 9 flops.
+StencilProgram makeHeat2D(int64_t N = 3072, int64_t T = 512);
+
+/// Table 3 gradient 2D: 5 loads, 15 flops.
+StencilProgram makeGradient2D(int64_t N = 3072, int64_t T = 512);
+
+/// Table 3 fdtd 2D: three statements (ey, ex, hz) with 3/3/5 loads+flops.
+StencilProgram makeFdtd2D(int64_t N = 3072, int64_t T = 512);
+
+/// Table 3 laplacian 3D: 7-point, 7 loads, 8 flops.
+StencilProgram makeLaplacian3D(int64_t N = 384, int64_t T = 128);
+
+/// Table 3 heat 3D: 3x3x3 box, 27 loads, 27 flops.
+StencilProgram makeHeat3D(int64_t N = 384, int64_t T = 128);
+
+/// Table 3 gradient 3D: 7 loads, 20 flops.
+StencilProgram makeGradient3D(int64_t N = 384, int64_t T = 128);
+
+/// Sec. 3.3.2 example: A[t][i] = f(A[t-2][i-2], A[t-1][i+2]) (1D, skewed
+/// dependence cone with delta0 = 1, delta1 = 2).
+StencilProgram makeSkewedExample1D(int64_t N = 1024, int64_t T = 64);
+
+/// Jacobi 1D three-point stencil (extra coverage; the paper's hybrid method
+/// degenerates to pure hexagonal tiling here).
+StencilProgram makeJacobi1D(int64_t N = 4096, int64_t T = 256);
+
+/// All Table 1/2 benchmark programs in paper order with default sizes.
+std::vector<StencilProgram> makeBenchmarkSuite();
+
+/// Looks up a gallery program by name ("laplacian2d", "heat3d", ...).
+/// Returns an empty name program when unknown.
+StencilProgram makeByName(const std::string &Name);
+
+} // namespace ir
+} // namespace hextile
+
+#endif // HEXTILE_IR_STENCILGALLERY_H

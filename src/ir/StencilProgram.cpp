@@ -1,0 +1,162 @@
+//===- StencilProgram.cpp - Iterative stencil programs --------------------===//
+
+#include "ir/StencilProgram.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::ir;
+
+std::string ReadAccess::str(const std::vector<FieldDecl> &Fields) const {
+  std::string Out = Fields[Field].Name + "[t";
+  if (TimeOffset != 0)
+    Out += std::to_string(TimeOffset);
+  Out += "]";
+  for (unsigned D = 0; D < Offsets.size(); ++D) {
+    Out += "[s" + std::to_string(D);
+    if (Offsets[D] > 0)
+      Out += "+" + std::to_string(Offsets[D]);
+    else if (Offsets[D] < 0)
+      Out += std::to_string(Offsets[D]);
+    Out += "]";
+  }
+  return Out;
+}
+
+unsigned StencilProgram::addField(std::string Name) {
+  Fields.push_back({std::move(Name), Rank});
+  return Fields.size() - 1;
+}
+
+void StencilProgram::addStmt(StencilStmt Stmt) {
+  if (Stmt.Name.empty())
+    Stmt.Name = "S" + std::to_string(Stmts.size());
+  Stmts.push_back(std::move(Stmt));
+}
+
+void StencilProgram::setSpaceSizes(std::vector<int64_t> Sizes) {
+  assert(Sizes.size() == Rank && "size arity mismatch");
+  SizeS = std::move(Sizes);
+}
+
+int64_t StencilProgram::loHalo(unsigned Dim) const {
+  int64_t H = 0;
+  for (const StencilStmt &S : Stmts)
+    for (const ReadAccess &R : S.Reads)
+      H = std::max(H, -R.Offsets[Dim]);
+  return H;
+}
+
+int64_t StencilProgram::hiHalo(unsigned Dim) const {
+  int64_t H = 0;
+  for (const StencilStmt &S : Stmts)
+    for (const ReadAccess &R : S.Reads)
+      H = std::max(H, R.Offsets[Dim]);
+  return H;
+}
+
+unsigned StencilProgram::totalReads() const {
+  unsigned N = 0;
+  for (const StencilStmt &S : Stmts)
+    N += S.numReads();
+  return N;
+}
+
+unsigned StencilProgram::totalFlops() const {
+  unsigned N = 0;
+  for (const StencilStmt &S : Stmts)
+    N += S.flops();
+  return N;
+}
+
+int64_t StencilProgram::pointsPerTimeStep() const {
+  int64_t N = 1;
+  for (unsigned D = 0; D < Rank; ++D) {
+    int64_t Extent = SizeS[D] - loHalo(D) - hiHalo(D);
+    assert(Extent > 0 && "grid smaller than stencil halo");
+    N *= Extent;
+  }
+  return N;
+}
+
+int64_t StencilProgram::dataBytes() const {
+  int64_t PerField = 4; // f32
+  for (unsigned D = 0; D < Rank; ++D)
+    PerField *= SizeS[D];
+  return PerField * static_cast<int64_t>(Fields.size());
+}
+
+int StencilProgram::writerOf(unsigned Field) const {
+  for (unsigned I = 0, E = Stmts.size(); I < E; ++I)
+    if (Stmts[I].WriteField == Field)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string StencilProgram::verify() const {
+  if (Rank == 0)
+    return "program has no spatial dimensions";
+  if (Stmts.empty())
+    return "program has no statements";
+  if (SizeS.size() != Rank)
+    return "space sizes not set";
+  for (unsigned I = 0, E = Stmts.size(); I < E; ++I) {
+    const StencilStmt &S = Stmts[I];
+    if (S.WriteField >= Fields.size())
+      return S.Name + ": write field out of range";
+    for (const ReadAccess &R : S.Reads) {
+      if (R.Field >= Fields.size())
+        return S.Name + ": read field out of range";
+      if (R.Offsets.size() != Rank)
+        return S.Name + ": read offset arity mismatch";
+      if (R.TimeOffset > 0)
+        return S.Name + ": read of a future time step";
+      if (R.TimeOffset == 0) {
+        int Writer = writerOf(R.Field);
+        if (Writer >= 0 && static_cast<unsigned>(Writer) >= I)
+          return S.Name + ": same-step read of field '" +
+                 Fields[R.Field].Name +
+                 "' not written by an earlier statement";
+      }
+    }
+    int MaxRef = S.RHS.maxReadIndex();
+    if (MaxRef >= 0 && static_cast<unsigned>(MaxRef) >= S.Reads.size())
+      return S.Name + ": expression references undeclared read";
+  }
+  // A field must have at most one writer for the time semantics to be
+  // well-defined.
+  std::vector<int> WriterCount(Fields.size(), 0);
+  for (const StencilStmt &S : Stmts)
+    ++WriterCount[S.WriteField];
+  for (unsigned F = 0; F < Fields.size(); ++F)
+    if (WriterCount[F] > 1)
+      return "field '" + Fields[F].Name + "' written by multiple statements";
+  return "";
+}
+
+std::string StencilProgram::str() const {
+  std::string Out;
+  Out += "// " + ProgName + "\n";
+  Out += "for (t = 0; t < " + std::to_string(TimeSteps) + "; t++)\n";
+  for (const StencilStmt &S : Stmts) {
+    std::string Indent = "  ";
+    for (unsigned D = 0; D < Rank; ++D) {
+      std::string IV = "s" + std::to_string(D);
+      Out += Indent + "for (" + IV + " = " + std::to_string(loHalo(D)) +
+             "; " + IV + " < " + std::to_string(SizeS[D]) + " - " +
+             std::to_string(hiHalo(D)) + "; " + IV + "++)\n";
+      Indent += "  ";
+    }
+    std::vector<std::string> ReadNames;
+    ReadNames.reserve(S.Reads.size());
+    for (const ReadAccess &R : S.Reads)
+      ReadNames.push_back(R.str(Fields));
+    std::string LHS = Fields[S.WriteField].Name + "[t+1]";
+    for (unsigned D = 0; D < Rank; ++D)
+      LHS += "[s" + std::to_string(D) + "]";
+    Out += Indent + LHS + " = " + S.RHS.str(ReadNames) + "; // " + S.Name +
+           "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,135 @@
+//===- AffineExpr.cpp - Affine expressions over named dims ---------------===//
+
+#include "poly/AffineExpr.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+AffineExpr AffineExpr::dim(unsigned NumDims, unsigned Dim) {
+  assert(Dim < NumDims && "dimension out of range");
+  AffineExpr E(NumDims);
+  E.Coeffs[Dim] = Rational(1);
+  return E;
+}
+
+AffineExpr AffineExpr::constant(unsigned NumDims, Rational C) {
+  AffineExpr E(NumDims);
+  E.Const = C;
+  return E;
+}
+
+bool AffineExpr::isConstant() const {
+  for (const Rational &C : Coeffs)
+    if (!C.isZero())
+      return false;
+  return true;
+}
+
+bool AffineExpr::dependsOnlyOnDimsBelow(unsigned From) const {
+  for (unsigned I = From, E = numDims(); I < E; ++I)
+    if (!Coeffs[I].isZero())
+      return false;
+  return true;
+}
+
+AffineExpr AffineExpr::operator+(const AffineExpr &O) const {
+  assert(numDims() == O.numDims() && "dimension mismatch");
+  AffineExpr R(numDims());
+  for (unsigned I = 0, E = numDims(); I < E; ++I)
+    R.Coeffs[I] = Coeffs[I] + O.Coeffs[I];
+  R.Const = Const + O.Const;
+  return R;
+}
+
+AffineExpr AffineExpr::operator-(const AffineExpr &O) const {
+  return *this + (-O);
+}
+
+AffineExpr AffineExpr::operator-() const {
+  AffineExpr R(numDims());
+  for (unsigned I = 0, E = numDims(); I < E; ++I)
+    R.Coeffs[I] = -Coeffs[I];
+  R.Const = -Const;
+  return R;
+}
+
+AffineExpr AffineExpr::operator*(const Rational &S) const {
+  AffineExpr R(numDims());
+  for (unsigned I = 0, E = numDims(); I < E; ++I)
+    R.Coeffs[I] = Coeffs[I] * S;
+  R.Const = Const * S;
+  return R;
+}
+
+Rational AffineExpr::evaluate(std::span<const int64_t> Point) const {
+  assert(Point.size() == numDims() && "point arity mismatch");
+  Rational Sum = Const;
+  for (unsigned I = 0, E = numDims(); I < E; ++I)
+    if (!Coeffs[I].isZero())
+      Sum += Coeffs[I] * Rational(Point[I]);
+  return Sum;
+}
+
+Rational AffineExpr::evaluateRational(std::span<const Rational> Point) const {
+  assert(Point.size() == numDims() && "point arity mismatch");
+  Rational Sum = Const;
+  for (unsigned I = 0, E = numDims(); I < E; ++I)
+    if (!Coeffs[I].isZero())
+      Sum += Coeffs[I] * Point[I];
+  return Sum;
+}
+
+AffineExpr AffineExpr::scaledToIntegers() const {
+  int64_t L = Const.den();
+  for (const Rational &C : Coeffs)
+    L = lcm64(L, C.den());
+  return *this * Rational(L);
+}
+
+AffineExpr AffineExpr::normalizedIntegers() const {
+  int64_t G = 0;
+  assert(Const.isInteger() && "normalizedIntegers needs integral expression");
+  G = gcd64(G, Const.num());
+  for (const Rational &C : Coeffs) {
+    assert(C.isInteger() && "normalizedIntegers needs integral expression");
+    G = gcd64(G, C.num());
+  }
+  if (G <= 1)
+    return *this;
+  return *this * Rational(1, G);
+}
+
+std::string AffineExpr::str(std::span<const std::string> DimNames) const {
+  std::string Out;
+  bool First = true;
+  auto append = [&](const Rational &C, const std::string &Name) {
+    if (C.isZero())
+      return;
+    if (!First)
+      Out += C.isNegative() ? " - " : " + ";
+    else if (C.isNegative())
+      Out += "-";
+    First = false;
+    Rational A = C.isNegative() ? -C : C;
+    if (Name.empty()) {
+      Out += A.str();
+      return;
+    }
+    if (A != Rational(1)) {
+      Out += A.str();
+      Out += "*";
+    }
+    Out += Name;
+  };
+  for (unsigned I = 0, E = numDims(); I < E; ++I) {
+    std::string Name = I < DimNames.size() ? DimNames[I]
+                                           : ("i" + std::to_string(I));
+    append(Coeffs[I], Name);
+  }
+  append(Const, "");
+  if (First)
+    Out = "0";
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- AffineExpr.h - Affine expressions over named dims ------*- C++ -*-===//
+//
+// Part of the hextile project: a reproduction of "Hybrid Hexagonal/Classical
+// Tiling for GPUs" (Grosser et al., CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An affine expression c0*x0 + ... + cn-1*xn-1 + c over a fixed-arity
+/// dimension space, with exact rational coefficients. This is the basic
+/// building block of the polyhedral substrate (our stand-in for isl).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_POLY_AFFINEEXPR_H
+#define HEXTILE_POLY_AFFINEEXPR_H
+
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace poly {
+
+/// An affine expression over \c numDims() dimensions with rational
+/// coefficients and a rational constant term.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+
+  /// Creates the zero expression over \p NumDims dimensions.
+  explicit AffineExpr(unsigned NumDims)
+      : Coeffs(NumDims, Rational(0)), Const(0) {}
+
+  /// Creates an expression with the given coefficients and constant.
+  AffineExpr(std::vector<Rational> Coefficients, Rational Constant)
+      : Coeffs(std::move(Coefficients)), Const(Constant) {}
+
+  /// Returns the expression "x_Dim" over \p NumDims dimensions.
+  static AffineExpr dim(unsigned NumDims, unsigned Dim);
+
+  /// Returns the constant expression \p C over \p NumDims dimensions.
+  static AffineExpr constant(unsigned NumDims, Rational C);
+
+  unsigned numDims() const { return Coeffs.size(); }
+
+  const Rational &coeff(unsigned Dim) const { return Coeffs[Dim]; }
+  Rational &coeff(unsigned Dim) { return Coeffs[Dim]; }
+  const Rational &constantTerm() const { return Const; }
+  Rational &constantTerm() { return Const; }
+
+  bool isConstant() const;
+
+  /// True if all coefficients of dims in [\p From, numDims()) are zero.
+  bool dependsOnlyOnDimsBelow(unsigned From) const;
+
+  AffineExpr operator+(const AffineExpr &O) const;
+  AffineExpr operator-(const AffineExpr &O) const;
+  AffineExpr operator-() const;
+  AffineExpr operator*(const Rational &S) const;
+
+  /// Evaluates at an integer point; \p Point must have numDims() entries.
+  Rational evaluate(std::span<const int64_t> Point) const;
+
+  /// Evaluates with rational values for the dims.
+  Rational evaluateRational(std::span<const Rational> Point) const;
+
+  /// Multiplies through by the lcm of all denominators so every coefficient
+  /// and the constant become integers. Returns the scaled expression.
+  AffineExpr scaledToIntegers() const;
+
+  /// Divides by the gcd of all (integer) coefficients and the constant.
+  /// Requires an already integral expression.
+  AffineExpr normalizedIntegers() const;
+
+  /// Renders e.g. "2*i0 - 1/2*i1 + 3" using \p DimNames (or "i<k>" when
+  /// empty).
+  std::string str(std::span<const std::string> DimNames = {}) const;
+
+private:
+  std::vector<Rational> Coeffs;
+  Rational Const;
+};
+
+} // namespace poly
+} // namespace hextile
+
+#endif // HEXTILE_POLY_AFFINEEXPR_H

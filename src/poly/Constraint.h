@@ -1,0 +1,65 @@
+//===- Constraint.h - Affine constraints ----------------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An affine constraint is an affine expression compared against zero:
+/// either Expr >= 0 (inequality) or Expr == 0 (equality).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_POLY_CONSTRAINT_H
+#define HEXTILE_POLY_CONSTRAINT_H
+
+#include "poly/AffineExpr.h"
+
+namespace hextile {
+namespace poly {
+
+enum class ConstraintKind {
+  GE, ///< Expr >= 0
+  EQ  ///< Expr == 0
+};
+
+/// A single affine constraint over the dimensions of its expression.
+struct Constraint {
+  AffineExpr Expr;
+  ConstraintKind Kind = ConstraintKind::GE;
+
+  Constraint() = default;
+  Constraint(AffineExpr E, ConstraintKind K) : Expr(std::move(E)), Kind(K) {}
+
+  /// Builds "E >= 0".
+  static Constraint ge(AffineExpr E) {
+    return Constraint(std::move(E), ConstraintKind::GE);
+  }
+  /// Builds "E == 0".
+  static Constraint eq(AffineExpr E) {
+    return Constraint(std::move(E), ConstraintKind::EQ);
+  }
+  /// Builds "A >= B" as "A - B >= 0".
+  static Constraint ge(const AffineExpr &A, const AffineExpr &B) {
+    return ge(A - B);
+  }
+  /// Builds "A <= B" as "B - A >= 0".
+  static Constraint le(const AffineExpr &A, const AffineExpr &B) {
+    return ge(B - A);
+  }
+
+  /// True if an integer point satisfies the constraint.
+  bool isSatisfied(std::span<const int64_t> Point) const {
+    Rational V = Expr.evaluate(Point);
+    return Kind == ConstraintKind::EQ ? V.isZero() : !(V < Rational(0));
+  }
+
+  std::string str(std::span<const std::string> DimNames = {}) const {
+    return Expr.str(DimNames) + (Kind == ConstraintKind::EQ ? " = 0" : " >= 0");
+  }
+};
+
+} // namespace poly
+} // namespace hextile
+
+#endif // HEXTILE_POLY_CONSTRAINT_H

@@ -1,0 +1,96 @@
+//===- FourierMotzkin.cpp - Variable elimination --------------------------===//
+
+#include "poly/FourierMotzkin.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+/// Substitutes x_Dim := Solution (an expression not involving x_Dim) into
+/// \p E, where \p E may involve x_Dim.
+static AffineExpr substitute(const AffineExpr &E, unsigned Dim,
+                             const AffineExpr &Solution) {
+  Rational C = E.coeff(Dim);
+  if (C.isZero())
+    return E;
+  AffineExpr R = E;
+  R.coeff(Dim) = Rational(0);
+  return R + Solution * C;
+}
+
+IntegerSet poly::eliminateDim(const IntegerSet &Set, unsigned Dim) {
+  assert(Dim < Set.numDims() && "dimension out of range");
+  std::vector<Constraint> Work(Set.constraints().begin(),
+                               Set.constraints().end());
+
+  // Step 1: if an equality involves x_Dim, solve it for x_Dim and substitute
+  // everywhere. The equality itself disappears.
+  for (unsigned I = 0, E = Work.size(); I < E; ++I) {
+    const Constraint &Eq = Work[I];
+    if (Eq.Kind != ConstraintKind::EQ || Eq.Expr.coeff(Dim).isZero())
+      continue;
+    // c*x + rest == 0  =>  x == -rest / c.
+    Rational C = Eq.Expr.coeff(Dim);
+    AffineExpr Rest = Eq.Expr;
+    Rest.coeff(Dim) = Rational(0);
+    AffineExpr Solution = (-Rest) * (Rational(1) / C);
+    std::vector<Constraint> Next;
+    Next.reserve(Work.size() - 1);
+    for (unsigned J = 0, F = Work.size(); J < F; ++J) {
+      if (J == I)
+        continue;
+      Next.emplace_back(substitute(Work[J].Expr, Dim, Solution),
+                        Work[J].Kind);
+    }
+    IntegerSet Result(Set.dimNames());
+    for (Constraint &C2 : Next)
+      Result.addConstraint(std::move(C2));
+    return Result;
+  }
+
+  // Step 2: classic FM on the inequalities.
+  std::vector<AffineExpr> Lower; // x >= expr (after normalization)
+  std::vector<AffineExpr> Upper; // x <= expr
+  std::vector<Constraint> Rest;
+  for (const Constraint &C : Work) {
+    Rational Coef = C.Expr.coeff(Dim);
+    if (Coef.isZero()) {
+      Rest.push_back(C);
+      continue;
+    }
+    assert(C.Kind == ConstraintKind::GE &&
+           "equalities involving x_Dim were handled by substitution above");
+    // Coef*x + rest >= 0.
+    AffineExpr RestE = C.Expr;
+    RestE.coeff(Dim) = Rational(0);
+    AffineExpr Bound = (-RestE) * (Rational(1) / Coef);
+    if (Coef > Rational(0))
+      Lower.push_back(Bound); // x >= Bound
+    else
+      Upper.push_back(Bound); // x <= Bound
+  }
+
+  IntegerSet Result(Set.dimNames());
+  for (Constraint &C : Rest)
+    Result.addConstraint(std::move(C));
+  for (const AffineExpr &L : Lower)
+    for (const AffineExpr &U : Upper)
+      Result.addConstraint(Constraint::ge(U - L)); // U >= L
+  return Result;
+}
+
+IntegerSet poly::projectOntoDim(const IntegerSet &Set, unsigned Keep) {
+  IntegerSet Cur = Set;
+  for (unsigned D = 0, E = Set.numDims(); D < E; ++D)
+    if (D != Keep)
+      Cur = eliminateDim(Cur, D);
+  return Cur;
+}
+
+IntegerSet poly::eliminateDimsFrom(const IntegerSet &Set, unsigned From) {
+  IntegerSet Cur = Set;
+  for (unsigned D = Set.numDims(); D > From; --D)
+    Cur = eliminateDim(Cur, D - 1);
+  return Cur;
+}

@@ -1,0 +1,42 @@
+//===- FourierMotzkin.h - Variable elimination ------------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fourier-Motzkin elimination over the rationals. Projecting a polyhedron
+/// onto a subset of its dimensions is the workhorse behind emptiness tests,
+/// LP bounds (LinearProgram.h) and loop-bound extraction (LoopNest.h) -- the
+/// roles isl plays in the paper's implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_POLY_FOURIERMOTZKIN_H
+#define HEXTILE_POLY_FOURIERMOTZKIN_H
+
+#include "poly/IntegerSet.h"
+
+namespace hextile {
+namespace poly {
+
+/// Eliminates dimension \p Dim from \p Set, returning the rational projection
+/// onto the remaining dimensions. The resulting set keeps the same arity;
+/// the eliminated dimension becomes unconstrained.
+///
+/// Equalities involving \p Dim are used for exact substitution before the
+/// inequality combination step, which both sharpens the result and avoids
+/// the classic FM blowup.
+IntegerSet eliminateDim(const IntegerSet &Set, unsigned Dim);
+
+/// Eliminates every dimension except \p Keep (projection onto x_Keep).
+IntegerSet projectOntoDim(const IntegerSet &Set, unsigned Keep);
+
+/// Eliminates all dimensions in [From, numDims()). Used to compute, level by
+/// level, the loop-bound systems of LoopNest.h.
+IntegerSet eliminateDimsFrom(const IntegerSet &Set, unsigned From);
+
+} // namespace poly
+} // namespace hextile
+
+#endif // HEXTILE_POLY_FOURIERMOTZKIN_H

@@ -1,0 +1,95 @@
+//===- IntegerSet.cpp - Sets of integer points -----------------------------===//
+
+#include "poly/IntegerSet.h"
+
+#include "poly/FourierMotzkin.h"
+#include "poly/LoopNest.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+IntegerSet::IntegerSet(unsigned NumDims) {
+  Names.reserve(NumDims);
+  for (unsigned I = 0; I < NumDims; ++I)
+    Names.push_back("i" + std::to_string(I));
+}
+
+void IntegerSet::addConstraint(Constraint C) {
+  assert(C.Expr.numDims() == numDims() && "constraint arity mismatch");
+  Cons.push_back(std::move(C));
+}
+
+void IntegerSet::addBounds(unsigned Dim, int64_t Lo, int64_t Hi) {
+  AffineExpr X = AffineExpr::dim(numDims(), Dim);
+  addConstraint(Constraint::ge(X - AffineExpr::constant(numDims(), Lo)));
+  addConstraint(Constraint::ge(AffineExpr::constant(numDims(), Hi) - X));
+}
+
+bool IntegerSet::contains(std::span<const int64_t> Point) const {
+  assert(Point.size() == numDims() && "point arity mismatch");
+  for (const Constraint &C : Cons)
+    if (!C.isSatisfied(Point))
+      return false;
+  return true;
+}
+
+IntegerSet IntegerSet::intersect(const IntegerSet &O) const {
+  assert(numDims() == O.numDims() && "arity mismatch in intersection");
+  IntegerSet R = *this;
+  for (const Constraint &C : O.Cons)
+    R.addConstraint(C);
+  return R;
+}
+
+bool IntegerSet::isRationalEmpty() const {
+  // Eliminate every dimension; the residue is a set of constant constraints.
+  IntegerSet Residue = eliminateDimsFrom(*this, 0);
+  std::vector<int64_t> NoPoint(numDims(), 0);
+  for (const Constraint &C : Residue.constraints()) {
+    assert(C.Expr.isConstant() && "projection left non-constant constraint");
+    if (!C.isSatisfied(NoPoint))
+      return true;
+  }
+  return false;
+}
+
+bool IntegerSet::isIntegerEmpty() const {
+  if (isRationalEmpty())
+    return true;
+  bool Found = false;
+  enumerate([&](std::span<const int64_t>) {
+    Found = true;
+    return false; // Stop at the first point.
+  });
+  return !Found;
+}
+
+bool IntegerSet::enumerate(
+    const std::function<bool(std::span<const int64_t>)> &Fn) const {
+  return LoopNest(*this).enumerate(Fn);
+}
+
+int64_t IntegerSet::countPoints() const { return LoopNest(*this).count(); }
+
+std::string IntegerSet::str() const {
+  std::string Out = "{ [";
+  for (unsigned I = 0, E = numDims(); I < E; ++I) {
+    if (I)
+      Out += ", ";
+    Out += Names[I];
+  }
+  Out += "] : ";
+  if (Cons.empty()) {
+    Out += "true }";
+    return Out;
+  }
+  for (unsigned I = 0, E = Cons.size(); I < E; ++I) {
+    if (I)
+      Out += " and ";
+    Out += Cons[I].str(Names);
+  }
+  Out += " }";
+  return Out;
+}

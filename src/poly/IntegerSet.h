@@ -1,0 +1,87 @@
+//===- IntegerSet.h - Sets of integer points --------------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A (basic) integer set: the integer points inside a conjunction of affine
+/// constraints over named dimensions. This is the hextile stand-in for
+/// isl_basic_set, providing exactly the operations the hybrid tiling
+/// algorithm and its validation need: membership, intersection, projection
+/// (Fourier-Motzkin, see FourierMotzkin.h), enumeration and counting
+/// (LoopNest.h) and LP bounds (LinearProgram.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_POLY_INTEGERSET_H
+#define HEXTILE_POLY_INTEGERSET_H
+
+#include "poly/Constraint.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace poly {
+
+/// A conjunction of affine constraints over a named dimension space.
+class IntegerSet {
+public:
+  IntegerSet() = default;
+
+  /// Creates the universe set over \p DimNames.
+  explicit IntegerSet(std::vector<std::string> DimNames)
+      : Names(std::move(DimNames)) {}
+
+  /// Creates the universe set over \p NumDims anonymous dimensions.
+  explicit IntegerSet(unsigned NumDims);
+
+  unsigned numDims() const { return Names.size(); }
+  const std::vector<std::string> &dimNames() const { return Names; }
+  const std::vector<Constraint> &constraints() const { return Cons; }
+
+  /// Appends a constraint; its arity must match numDims().
+  void addConstraint(Constraint C);
+
+  /// Convenience: Lo <= x_Dim <= Hi.
+  void addBounds(unsigned Dim, int64_t Lo, int64_t Hi);
+
+  /// True if the integer \p Point satisfies every constraint.
+  bool contains(std::span<const int64_t> Point) const;
+
+  /// Set intersection; both sets must share the same dimension arity.
+  IntegerSet intersect(const IntegerSet &O) const;
+
+  /// True if the *rational* relaxation is empty (sound "no integer points"
+  /// certificate; may return false for integer-empty sets with rational
+  /// points).
+  bool isRationalEmpty() const;
+
+  /// True if the set contains no integer point. Requires the rational
+  /// relaxation to be bounded (asserts otherwise); implemented by
+  /// enumeration with early exit.
+  bool isIntegerEmpty() const;
+
+  /// Enumerates all integer points (requires boundedness); returns false
+  /// from the callback to stop early. Returns true if fully enumerated.
+  bool enumerate(
+      const std::function<bool(std::span<const int64_t>)> &Fn) const;
+
+  /// Counts integer points (requires boundedness).
+  int64_t countPoints() const;
+
+  /// Renders "{ [i, j] : i >= 0 and ... }".
+  std::string str() const;
+
+private:
+  std::vector<std::string> Names;
+  std::vector<Constraint> Cons;
+};
+
+} // namespace poly
+} // namespace hextile
+
+#endif // HEXTILE_POLY_INTEGERSET_H

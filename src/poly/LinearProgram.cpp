@@ -1,0 +1,86 @@
+//===- LinearProgram.cpp - Rational LP over polyhedra ---------------------===//
+
+#include "poly/LinearProgram.h"
+
+#include "poly/FourierMotzkin.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+/// Shared driver: appends a dimension z, constrains z == Objective,
+/// eliminates the original dimensions and reads the bound on z.
+static LPResult solve(const IntegerSet &Set, const AffineExpr &Objective,
+                      bool Maximize) {
+  unsigned N = Set.numDims();
+  assert(Objective.numDims() == N && "objective arity mismatch");
+
+  // Lift everything into an (N+1)-dim space with z last.
+  std::vector<std::string> Names = Set.dimNames();
+  Names.push_back("__obj");
+  IntegerSet Lifted(Names);
+  auto lift = [N](const AffineExpr &E) {
+    std::vector<Rational> Coeffs;
+    Coeffs.reserve(N + 1);
+    for (unsigned I = 0; I < N; ++I)
+      Coeffs.push_back(E.coeff(I));
+    Coeffs.push_back(Rational(0));
+    return AffineExpr(std::move(Coeffs), E.constantTerm());
+  };
+  for (const Constraint &C : Set.constraints())
+    Lifted.addConstraint(Constraint(lift(C.Expr), C.Kind));
+  AffineExpr Z = AffineExpr::dim(N + 1, N);
+  Lifted.addConstraint(Constraint::eq(Z - lift(Objective)));
+
+  // Project onto z.
+  IntegerSet OnZ = projectOntoDim(Lifted, N);
+
+  // Infeasibility shows up as contradictory constant constraints or as an
+  // empty [lower, upper] interval on z.
+  LPResult R;
+  bool HaveLo = false, HaveHi = false;
+  Rational Lo, Hi;
+  std::vector<int64_t> Zero(N + 1, 0);
+  for (const Constraint &C : OnZ.constraints()) {
+    AffineExpr E = C.Expr;
+    Rational Cz = E.coeff(N);
+    if (Cz.isZero()) {
+      assert(E.isConstant() && "projection left a non-z dimension");
+      if (!C.isSatisfied(Zero))
+        return R; // Infeasible.
+      continue;
+    }
+    // Cz*z + c >= 0 (equalities give both directions via +/-).
+    auto consider = [&](Rational Coef, Rational ConstT) {
+      Rational Bound = -ConstT / Coef;
+      if (Coef < Rational(0)) { // z <= Bound.
+        Hi = HaveHi ? Rational::min(Hi, Bound) : Bound;
+        HaveHi = true;
+      } else { // z >= Bound.
+        Lo = HaveLo ? Rational::max(Lo, Bound) : Bound;
+        HaveLo = true;
+      }
+    };
+    consider(Cz, E.constantTerm());
+    if (C.Kind == ConstraintKind::EQ)
+      consider(-Cz, -E.constantTerm());
+  }
+  if (HaveLo && HaveHi && Hi < Lo)
+    return R; // Infeasible.
+  if (Maximize ? !HaveHi : !HaveLo) {
+    R.Status = LPResult::StatusKind::Unbounded;
+    return R;
+  }
+  R.Status = LPResult::StatusKind::Optimal;
+  R.Value = Maximize ? Hi : Lo;
+  return R;
+}
+
+LPResult poly::maximize(const IntegerSet &Set, const AffineExpr &Objective) {
+  return solve(Set, Objective, /*Maximize=*/true);
+}
+
+LPResult poly::minimize(const IntegerSet &Set, const AffineExpr &Objective) {
+  return solve(Set, Objective, /*Maximize=*/false);
+}

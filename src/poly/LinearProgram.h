@@ -1,0 +1,44 @@
+//===- LinearProgram.h - Rational LP over polyhedra ------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rational linear programming by projection: Sec. 3.3.2 computes the
+/// dependence-cone slopes delta0/delta1 "through the solution of an
+/// LP-problem"; we solve such problems exactly by adding the objective as a
+/// fresh dimension and Fourier-Motzkin-projecting everything else away.
+/// Suitable for the small dimensionality of tiling problems.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_POLY_LINEARPROGRAM_H
+#define HEXTILE_POLY_LINEARPROGRAM_H
+
+#include "poly/IntegerSet.h"
+
+#include <optional>
+
+namespace hextile {
+namespace poly {
+
+/// Result of a rational LP: infeasible, unbounded, or an exact optimum.
+struct LPResult {
+  enum class StatusKind { Infeasible, Unbounded, Optimal };
+  StatusKind Status = StatusKind::Infeasible;
+  Rational Value; ///< Valid only when Status == Optimal.
+
+  bool isOptimal() const { return Status == StatusKind::Optimal; }
+};
+
+/// Maximizes \p Objective over the rational relaxation of \p Set.
+LPResult maximize(const IntegerSet &Set, const AffineExpr &Objective);
+
+/// Minimizes \p Objective over the rational relaxation of \p Set.
+LPResult minimize(const IntegerSet &Set, const AffineExpr &Objective);
+
+} // namespace poly
+} // namespace hextile
+
+#endif // HEXTILE_POLY_LINEARPROGRAM_H

@@ -1,0 +1,135 @@
+//===- LoopNest.cpp - Loop-bound extraction and enumeration ---------------===//
+
+#include "poly/LoopNest.h"
+
+#include "poly/FourierMotzkin.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+int64_t LoopBound::evaluate(std::span<const int64_t> Outer,
+                            bool IsLower) const {
+  Rational V = Numer.evaluate(Outer);
+  assert(V.isInteger() && "loop bound numerator must be integral");
+  return IsLower ? ceilDiv(V.num(), Divisor) : floorDiv(V.num(), Divisor);
+}
+
+std::string LoopBound::str(std::span<const std::string> DimNames,
+                           bool IsLower) const {
+  std::string Body = Numer.str(DimNames);
+  if (Divisor == 1)
+    return Body;
+  return (IsLower ? std::string("ceil((") : std::string("floor((")) + Body +
+         ")/" + std::to_string(Divisor) + ")";
+}
+
+int64_t LoopDim::lowerAt(std::span<const int64_t> Outer) const {
+  int64_t Best = std::numeric_limits<int64_t>::min();
+  for (const LoopBound &B : Lower)
+    Best = std::max(Best, B.evaluate(Outer, /*IsLower=*/true));
+  return Best;
+}
+
+int64_t LoopDim::upperAt(std::span<const int64_t> Outer) const {
+  int64_t Best = std::numeric_limits<int64_t>::max();
+  for (const LoopBound &B : Upper)
+    Best = std::min(Best, B.evaluate(Outer, /*IsLower=*/false));
+  return Best;
+}
+
+/// Extracts the bounds dimension \p Dim contributes to \p Out from the
+/// (already projected) constraint system \p Sys, whose constraints only
+/// involve dims 0..Dim.
+static void extractBounds(const IntegerSet &Sys, unsigned Dim, LoopDim &Out) {
+  for (const Constraint &C : Sys.constraints()) {
+    // Scale to integer coefficients so bounds use exact int arithmetic.
+    AffineExpr E = C.Expr.scaledToIntegers();
+    Rational Coef = E.coeff(Dim);
+    if (Coef.isZero())
+      continue;
+    assert(E.dependsOnlyOnDimsBelow(Dim + 1) &&
+           "projected system may only involve outer dims");
+    assert(Coef.isInteger());
+    int64_t CoefI = Coef.num();
+    AffineExpr Rest = E;
+    Rest.coeff(Dim) = Rational(0);
+    // For GE: CoefI*x + Rest >= 0.
+    //   CoefI > 0: x >= ceil(-Rest / CoefI)
+    //   CoefI < 0: x <= floor(Rest / -CoefI)
+    if (C.Kind == ConstraintKind::GE) {
+      if (CoefI > 0)
+        Out.Lower.push_back({-Rest, CoefI});
+      else
+        Out.Upper.push_back({Rest, -CoefI});
+      continue;
+    }
+    // Equality: contributes both bounds.
+    if (CoefI < 0) {
+      Rest = -Rest;
+      CoefI = -CoefI;
+    }
+    Out.Lower.push_back({-Rest, CoefI});
+    Out.Upper.push_back({-Rest, CoefI});
+  }
+}
+
+LoopNest::LoopNest(const IntegerSet &Set) : Source(Set) {
+  unsigned N = Set.numDims();
+  Dims.resize(N);
+  // Sys_k: constraints over dims 0..k, obtained by eliminating k+1..N-1.
+  IntegerSet Cur = Set;
+  for (unsigned K = N; K-- > 0;) {
+    // At this point Cur constrains dims 0..K.
+    extractBounds(Cur, K, Dims[K]);
+    if (K > 0)
+      Cur = eliminateDim(Cur, K);
+  }
+}
+
+bool LoopNest::enumerateFrom(
+    std::vector<int64_t> &Point, unsigned Level,
+    const std::function<bool(std::span<const int64_t>)> &Fn) const {
+  unsigned N = Source.numDims();
+  if (Level == N) {
+    // Rational projections can over-approximate; re-check membership.
+    if (!Source.contains(Point))
+      return true;
+    return Fn(Point);
+  }
+  const LoopDim &D = Dims[Level];
+  assert((!D.Lower.empty() && !D.Upper.empty()) &&
+         "enumeration requires a bounded set");
+  int64_t Lo = D.lowerAt(std::span<const int64_t>(Point.data(), Level));
+  int64_t Hi = D.upperAt(std::span<const int64_t>(Point.data(), Level));
+  for (int64_t V = Lo; V <= Hi; ++V) {
+    Point[Level] = V;
+    if (!enumerateFrom(Point, Level + 1, Fn))
+      return false;
+  }
+  return true;
+}
+
+bool LoopNest::enumerate(
+    const std::function<bool(std::span<const int64_t>)> &Fn) const {
+  if (Source.numDims() == 0) {
+    // Zero-dimensional set: one point iff all constant constraints hold.
+    std::vector<int64_t> Empty;
+    if (Source.contains(Empty))
+      return Fn(Empty);
+    return true;
+  }
+  std::vector<int64_t> Point(Source.numDims(), 0);
+  return enumerateFrom(Point, 0, Fn);
+}
+
+int64_t LoopNest::count() const {
+  int64_t N = 0;
+  enumerate([&](std::span<const int64_t>) {
+    ++N;
+    return true;
+  });
+  return N;
+}

@@ -1,0 +1,82 @@
+//===- LoopNest.h - Loop-bound extraction and enumeration ------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns an integer set into a perfect loop nest: for each dimension, a list
+/// of affine lower/upper bounds over the *outer* dimensions (the generated
+/// loop takes the max of the lower and the min of the upper bounds). This is
+/// the small slice of polyhedral AST generation (isl's codegen) that both the
+/// enumerator and the CUDA code generator need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_POLY_LOOPNEST_H
+#define HEXTILE_POLY_LOOPNEST_H
+
+#include "poly/IntegerSet.h"
+
+namespace hextile {
+namespace poly {
+
+/// A single loop bound: x_dim >= ceil(Numer/Divisor) for lower bounds, or
+/// x_dim <= floor(Numer/Divisor) for upper bounds, where Numer is an affine
+/// expression with *integer* coefficients over the outer dimensions and
+/// Divisor is a positive integer.
+struct LoopBound {
+  AffineExpr Numer;
+  int64_t Divisor = 1;
+
+  /// Evaluates the bound at \p Outer (values for dims 0..dim-1; remaining
+  /// entries ignored), rounding per \p IsLower.
+  int64_t evaluate(std::span<const int64_t> Outer, bool IsLower) const;
+
+  std::string str(std::span<const std::string> DimNames, bool IsLower) const;
+};
+
+/// Bounds for one loop dimension.
+struct LoopDim {
+  std::vector<LoopBound> Lower; ///< x >= each of these.
+  std::vector<LoopBound> Upper; ///< x <= each of these.
+
+  /// Largest lower bound at \p Outer; INT64_MIN when unbounded below.
+  int64_t lowerAt(std::span<const int64_t> Outer) const;
+  /// Smallest upper bound at \p Outer; INT64_MAX when unbounded above.
+  int64_t upperAt(std::span<const int64_t> Outer) const;
+};
+
+/// A complete loop nest scanning all integer points of a set in
+/// lexicographic order.
+class LoopNest {
+public:
+  /// Builds the nest via per-level Fourier-Motzkin projection. The innermost
+  /// levels may over-approximate the set (rational projection); enumerate()
+  /// therefore re-checks membership at the innermost level.
+  explicit LoopNest(const IntegerSet &Set);
+
+  const IntegerSet &set() const { return Source; }
+  const std::vector<LoopDim> &dims() const { return Dims; }
+
+  /// Visits every integer point in lexicographic order; the callback returns
+  /// false to stop. Returns true if enumeration ran to completion.
+  bool enumerate(
+      const std::function<bool(std::span<const int64_t>)> &Fn) const;
+
+  /// Number of integer points.
+  int64_t count() const;
+
+private:
+  bool enumerateFrom(std::vector<int64_t> &Point, unsigned Level,
+                     const std::function<bool(std::span<const int64_t>)> &Fn)
+      const;
+
+  IntegerSet Source;
+  std::vector<LoopDim> Dims;
+};
+
+} // namespace poly
+} // namespace hextile
+
+#endif // HEXTILE_POLY_LOOPNEST_H

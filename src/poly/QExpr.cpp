@@ -1,0 +1,110 @@
+//===- QExpr.cpp - Quasi-affine expression trees ---------------------------===//
+
+#include "poly/QExpr.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+QExpr QExpr::var(unsigned Index, std::string Name) {
+  QExpr E(Kind::Var);
+  E.VarIndex = Index;
+  E.VarName = std::move(Name);
+  return E;
+}
+
+QExpr QExpr::constant(int64_t Value) {
+  QExpr E(Kind::Const);
+  E.Value = Value;
+  return E;
+}
+
+QExpr QExpr::binary(Kind K, const QExpr &O) const {
+  QExpr E(K);
+  E.LHS = std::make_shared<QExpr>(*this);
+  E.RHS = std::make_shared<QExpr>(O);
+  return E;
+}
+
+QExpr QExpr::operator*(int64_t Factor) const {
+  QExpr E(Kind::Mul);
+  E.Value = Factor;
+  E.LHS = std::make_shared<QExpr>(*this);
+  return E;
+}
+
+QExpr QExpr::floorDiv(int64_t Divisor) const {
+  assert(Divisor > 0 && "floorDiv requires a positive divisor");
+  QExpr E(Kind::FloorDiv);
+  E.Value = Divisor;
+  E.LHS = std::make_shared<QExpr>(*this);
+  return E;
+}
+
+QExpr QExpr::mod(int64_t Divisor) const {
+  assert(Divisor > 0 && "mod requires a positive divisor");
+  QExpr E(Kind::Mod);
+  E.Value = Divisor;
+  E.LHS = std::make_shared<QExpr>(*this);
+  return E;
+}
+
+int64_t QExpr::evaluate(std::span<const int64_t> Vars) const {
+  switch (K) {
+  case Kind::Var:
+    assert(VarIndex < Vars.size() && "variable index out of range");
+    return Vars[VarIndex];
+  case Kind::Const:
+    return Value;
+  case Kind::Add:
+    return addChecked(LHS->evaluate(Vars), RHS->evaluate(Vars));
+  case Kind::Sub:
+    return addChecked(LHS->evaluate(Vars), -RHS->evaluate(Vars));
+  case Kind::Mul:
+    return mulChecked(LHS->evaluate(Vars), Value);
+  case Kind::FloorDiv:
+    return hextile::floorDiv(LHS->evaluate(Vars), Value);
+  case Kind::Mod:
+    return euclidMod(LHS->evaluate(Vars), Value);
+  }
+  assert(false && "unknown QExpr kind");
+  return 0;
+}
+
+std::string QExpr::str() const {
+  switch (K) {
+  case Kind::Var:
+    return VarName.empty() ? "x" + std::to_string(VarIndex) : VarName;
+  case Kind::Const:
+    return std::to_string(Value);
+  case Kind::Add:
+    return "(" + LHS->str() + " + " + RHS->str() + ")";
+  case Kind::Sub:
+    return "(" + LHS->str() + " - " + RHS->str() + ")";
+  case Kind::Mul:
+    return std::to_string(Value) + "*" + LHS->str();
+  case Kind::FloorDiv:
+    return "floor(" + LHS->str() + " / " + std::to_string(Value) + ")";
+  case Kind::Mod:
+    return "(" + LHS->str() + " mod " + std::to_string(Value) + ")";
+  }
+  return "?";
+}
+
+int QExpr::maxVarIndex() const {
+  switch (K) {
+  case Kind::Var:
+    return static_cast<int>(VarIndex);
+  case Kind::Const:
+    return -1;
+  case Kind::Add:
+  case Kind::Sub:
+    return std::max(LHS->maxVarIndex(), RHS->maxVarIndex());
+  case Kind::Mul:
+  case Kind::FloorDiv:
+  case Kind::Mod:
+    return LHS->maxVarIndex();
+  }
+  return -1;
+}

@@ -1,0 +1,78 @@
+//===- QExpr.h - Quasi-affine expression trees ------------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quasi-affine expressions: affine expressions extended with floor-division
+/// and Euclidean modulo by positive integer constants. The paper's schedule
+/// dimensions -- e.g. T = floor((t+h+1)/(2h+2)) from eq. (2) or
+/// s0' = (s0+h+1+w0) mod (2h+2+2w0) from Fig. 6 -- are exactly of this form.
+/// QExpr gives the scheduler a representation that is simultaneously
+/// evaluable (for execution and validation) and printable (to reproduce
+/// Fig. 6 and to emit CUDA index expressions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_POLY_QEXPR_H
+#define HEXTILE_POLY_QEXPR_H
+
+#include "support/MathExt.h"
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace poly {
+
+/// A quasi-affine expression over a vector of named input dimensions.
+/// Immutable and cheap to copy (shared subtrees).
+class QExpr {
+public:
+  enum class Kind { Var, Const, Add, Sub, Mul, FloorDiv, Mod };
+
+  /// The variable x_Index.
+  static QExpr var(unsigned Index, std::string Name = "");
+  static QExpr constant(int64_t Value);
+
+  QExpr operator+(const QExpr &O) const { return binary(Kind::Add, O); }
+  QExpr operator-(const QExpr &O) const { return binary(Kind::Sub, O); }
+  /// Multiplication by an integer constant (quasi-affine restriction).
+  QExpr operator*(int64_t Factor) const;
+  /// floor(this / Divisor), Divisor > 0.
+  QExpr floorDiv(int64_t Divisor) const;
+  /// this mod Divisor (Euclidean, in [0, Divisor)), Divisor > 0.
+  QExpr mod(int64_t Divisor) const;
+
+  Kind kind() const { return K; }
+
+  /// Evaluates at integer values for the variables.
+  int64_t evaluate(std::span<const int64_t> Vars) const;
+
+  /// Renders the expression; variables use their attached names, falling
+  /// back to "x<k>".
+  std::string str() const;
+
+  /// Largest variable index used, or -1 when constant.
+  int maxVarIndex() const;
+
+private:
+  QExpr(Kind K) : K(K) {}
+  QExpr binary(Kind K, const QExpr &O) const;
+
+  Kind K;
+  unsigned VarIndex = 0;
+  std::string VarName;
+  int64_t Value = 0; // Const value, Mul factor, or FloorDiv/Mod divisor.
+  std::shared_ptr<const QExpr> LHS;
+  std::shared_ptr<const QExpr> RHS;
+};
+
+} // namespace poly
+} // namespace hextile
+
+#endif // HEXTILE_POLY_QEXPR_H

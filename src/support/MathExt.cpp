@@ -1,0 +1,29 @@
+//===- MathExt.cpp - Integer arithmetic helpers --------------------------===//
+
+#include "support/MathExt.h"
+
+using namespace hextile;
+
+int64_t hextile::gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t hextile::lcm64(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A < 0)
+    A = -A;
+  if (B < 0)
+    B = -B;
+  int64_t G = gcd64(A, B);
+  return mulChecked(A / G, B);
+}

@@ -1,0 +1,78 @@
+//===- MathExt.h - Integer arithmetic helpers -----------------*- C++ -*-===//
+//
+// Part of the hextile project: a reproduction of "Hybrid Hexagonal/Classical
+// Tiling for GPUs" (Grosser et al., CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact integer helpers used throughout the scheduler: floor/ceil division
+/// and Euclidean remainders with the mathematical (not C) semantics that the
+/// tile-index formulas (2)-(5) and (14)-(17) of the paper require.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_SUPPORT_MATHEXT_H
+#define HEXTILE_SUPPORT_MATHEXT_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace hextile {
+
+/// Floor division: the unique q with q*D <= N < (q+1)*D for D > 0.
+/// Unlike C's operator/ this rounds toward negative infinity.
+inline int64_t floorDiv(int64_t N, int64_t D) {
+  assert(D != 0 && "floorDiv by zero");
+  int64_t Q = N / D;
+  int64_t R = N % D;
+  // C division truncates toward zero; fix up when signs disagree.
+  if (R != 0 && ((R < 0) != (D < 0)))
+    --Q;
+  return Q;
+}
+
+/// Ceil division: the unique q with (q-1)*D < N <= q*D for D > 0.
+inline int64_t ceilDiv(int64_t N, int64_t D) {
+  assert(D != 0 && "ceilDiv by zero");
+  int64_t Q = N / D;
+  int64_t R = N % D;
+  if (R != 0 && ((R < 0) == (D < 0)))
+    ++Q;
+  return Q;
+}
+
+/// Euclidean remainder: result always lies in [0, |D|).
+/// This matches the "mod" used by the paper's local tile coordinates.
+inline int64_t euclidMod(int64_t N, int64_t D) {
+  assert(D != 0 && "euclidMod by zero");
+  int64_t R = N % D;
+  if (R < 0)
+    R += (D < 0 ? -D : D);
+  return R;
+}
+
+/// Greatest common divisor of |A| and |B|; gcd(0, 0) == 0.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Least common multiple of |A| and |B|; asserts on overflow.
+int64_t lcm64(int64_t A, int64_t B);
+
+/// Multiplies with an overflow assertion. The polyhedral substrate works with
+/// small coefficients, so overflow always indicates a logic error.
+inline int64_t mulChecked(int64_t A, int64_t B) {
+  __int128 P = static_cast<__int128>(A) * B;
+  assert(P <= INT64_MAX && P >= INT64_MIN && "int64 multiply overflow");
+  return static_cast<int64_t>(P);
+}
+
+/// Adds with an overflow assertion.
+inline int64_t addChecked(int64_t A, int64_t B) {
+  __int128 S = static_cast<__int128>(A) + B;
+  assert(S <= INT64_MAX && S >= INT64_MIN && "int64 add overflow");
+  return static_cast<int64_t>(S);
+}
+
+} // namespace hextile
+
+#endif // HEXTILE_SUPPORT_MATHEXT_H

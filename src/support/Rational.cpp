@@ -1,0 +1,71 @@
+//===- Rational.cpp - Exact rational arithmetic ---------------------------===//
+
+#include "support/Rational.h"
+
+#include <cassert>
+
+using namespace hextile;
+
+Rational::Rational(int64_t N, int64_t D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (D < 0) {
+    N = -N;
+    D = -D;
+  }
+  int64_t G = gcd64(N, D);
+  if (G > 1) {
+    N /= G;
+    D /= G;
+  }
+  Num = N;
+  Den = D;
+}
+
+Rational Rational::fract() const {
+  int64_t F = floor();
+  return *this - Rational(F);
+}
+
+Rational Rational::operator-() const { return Rational(-Num, Den); }
+
+Rational Rational::operator+(const Rational &O) const {
+  // Use the lcm of the denominators to keep intermediates small.
+  int64_t G = gcd64(Den, O.Den);
+  int64_t L = mulChecked(Den / G, O.Den);
+  int64_t A = mulChecked(Num, L / Den);
+  int64_t B = mulChecked(O.Num, L / O.Den);
+  return Rational(addChecked(A, B), L);
+}
+
+Rational Rational::operator-(const Rational &O) const { return *this + (-O); }
+
+Rational Rational::operator*(const Rational &O) const {
+  // Cross-reduce before multiplying to avoid overflow.
+  int64_t G1 = gcd64(Num, O.Den);
+  int64_t G2 = gcd64(O.Num, Den);
+  return Rational(mulChecked(Num / G1, O.Num / G2),
+                  mulChecked(Den / G2, O.Den / G1));
+}
+
+Rational Rational::operator/(const Rational &O) const {
+  assert(!O.isZero() && "rational division by zero");
+  return *this * Rational(O.Den, O.Num);
+}
+
+bool Rational::operator<(const Rational &O) const {
+  __int128 L = static_cast<__int128>(Num) * O.Den;
+  __int128 R = static_cast<__int128>(O.Num) * Den;
+  return L < R;
+}
+
+bool Rational::operator<=(const Rational &O) const {
+  __int128 L = static_cast<__int128>(Num) * O.Den;
+  __int128 R = static_cast<__int128>(O.Num) * Den;
+  return L <= R;
+}
+
+std::string Rational::str() const {
+  if (Den == 1)
+    return std::to_string(Num);
+  return std::to_string(Num) + "/" + std::to_string(Den);
+}

@@ -1,0 +1,95 @@
+//===- Rational.h - Exact rational arithmetic -----------------*- C++ -*-===//
+//
+// Part of the hextile project: a reproduction of "Hybrid Hexagonal/Classical
+// Tiling for GPUs" (Grosser et al., CGO 2014).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over checked 64-bit integers. The dependence-cone
+/// slopes delta0/delta1 of Sec. 3.3.2 are rationals in general (e.g. the
+/// example A[t][i] = f(A[t-2][i-2], A[t-1][i+2]) yields delta0 = 1 after
+/// taking the max of -2/1 and 2/2), and the hexagon constraints (6)-(13)
+/// involve their denominators explicitly, so floating point is not an option.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_SUPPORT_RATIONAL_H
+#define HEXTILE_SUPPORT_RATIONAL_H
+
+#include "support/MathExt.h"
+
+#include <cstdint>
+#include <string>
+
+namespace hextile {
+
+/// An exact rational number Num/Den with Den > 0 and gcd(Num, Den) == 1.
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Num(0), Den(1) {}
+
+  /// Constructs the integer \p N.
+  Rational(int64_t N) : Num(N), Den(1) {} // NOLINT: implicit by design.
+
+  /// Constructs \p N / \p D; asserts D != 0 and normalizes the sign and gcd.
+  Rational(int64_t N, int64_t D);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isInteger() const { return Den == 1; }
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+
+  /// Largest integer <= this (the paper's floor-bracket).
+  int64_t floor() const { return floorDiv(Num, Den); }
+
+  /// Smallest integer >= this.
+  int64_t ceil() const { return ceilDiv(Num, Den); }
+
+  /// Fractional part {x} = x - floor(x); always in [0, 1).
+  Rational fract() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational &O) const;
+  Rational operator-(const Rational &O) const;
+  Rational operator*(const Rational &O) const;
+  /// Division; asserts the divisor is nonzero.
+  Rational operator/(const Rational &O) const;
+
+  Rational &operator+=(const Rational &O) { return *this = *this + O; }
+  Rational &operator-=(const Rational &O) { return *this = *this - O; }
+  Rational &operator*=(const Rational &O) { return *this = *this * O; }
+  Rational &operator/=(const Rational &O) { return *this = *this / O; }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const;
+  bool operator<=(const Rational &O) const;
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return O <= *this; }
+
+  /// Renders "n" for integers and "n/d" otherwise.
+  std::string str() const;
+
+  double toDouble() const { return static_cast<double>(Num) / Den; }
+
+  static Rational min(const Rational &A, const Rational &B) {
+    return A < B ? A : B;
+  }
+  static Rational max(const Rational &A, const Rational &B) {
+    return A < B ? B : A;
+  }
+
+private:
+  int64_t Num;
+  int64_t Den;
+};
+
+} // namespace hextile
+
+#endif // HEXTILE_SUPPORT_RATIONAL_H

@@ -1,0 +1,124 @@
+//===- BaselinesTest.cpp - Baseline model tests --------------------------------===//
+
+#include "baselines/Baselines.h"
+#include "baselines/DiamondTiling.h"
+#include "core/HexagonGeometry.h"
+#include "exec/Executor.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::baselines;
+
+TEST(BaselinesTest, PpcgProducesPerStatementKernels) {
+  gpu::DeviceConfig Dev = gpu::DeviceConfig::gtx470();
+  BaselineResult R = compilePpcg(ir::makeFdtd2D(256, 16), Dev);
+  EXPECT_EQ(R.Kernels.size(), 3u);
+  for (const gpu::KernelModel &K : R.Kernels) {
+    EXPECT_EQ(K.Launches, 16);
+    EXPECT_FALSE(K.OverlapCopyOut); // Separate staging phases.
+    EXPECT_GT(K.SharedLoadsPerSlab, 0);
+  }
+}
+
+TEST(BaselinesTest, PpcgScheduleIsFunctionallyCorrect) {
+  ir::StencilProgram P = ir::makeJacobi2D(16, 5);
+  gpu::DeviceConfig Dev = gpu::DeviceConfig::gtx470();
+  BaselineResult R = compilePpcg(P, Dev);
+  ASSERT_TRUE(R.Key);
+  EXPECT_EQ(exec::checkScheduleEquivalence(P, R.Key), "");
+}
+
+TEST(BaselinesTest, Par4allRejectsFdtd) {
+  // The paper reports "invalid CUDA" for Par4All on fdtd-2d.
+  gpu::DeviceConfig Dev = gpu::DeviceConfig::gtx470();
+  BaselineResult R = compilePar4all(ir::makeFdtd2D(256, 16), Dev);
+  EXPECT_TRUE(R.Kernels.empty());
+  EXPECT_EQ(R.TuningNote, "invalid CUDA");
+}
+
+TEST(BaselinesTest, Par4allHandlesSingleStatement) {
+  gpu::DeviceConfig Dev = gpu::DeviceConfig::gtx470();
+  BaselineResult R = compilePar4all(ir::makeGradient2D(256, 16), Dev);
+  ASSERT_EQ(R.Kernels.size(), 1u);
+  EXPECT_EQ(R.Kernels[0].SharedBytesPerBlock, 0); // No staging.
+  EXPECT_EQ(R.Kernels[0].SharedLoadsPerSlab, 0);
+  EXPECT_FALSE(R.Kernels[0].LoadDistinctRows.empty());
+  ASSERT_TRUE(R.Key);
+  EXPECT_EQ(exec::checkScheduleEquivalence(
+                ir::makeGradient2D(12, 4), R.Key),
+            "");
+}
+
+TEST(BaselinesTest, OvertileAutotunesTimeTilingFor2D) {
+  gpu::DeviceConfig Dev = gpu::DeviceConfig::gtx470();
+  BaselineResult R = compileOvertile(ir::makeLaplacian2D(3072, 512), Dev);
+  ASSERT_FALSE(R.Kernels.empty());
+  // Sec. 6.1: Overtile exploits time tiling on 2D kernels...
+  EXPECT_EQ(R.TuningNote.find("hT=1,"), std::string::npos)
+      << R.TuningNote;
+}
+
+TEST(BaselinesTest, OvertileFallsBackToSpaceTilingFor3D) {
+  // ...but falls back to space tiling for 3D kernels (redundant halo
+  // computation grows cubically).
+  gpu::DeviceConfig Dev = gpu::DeviceConfig::gtx470();
+  BaselineResult R = compileOvertile(ir::makeHeat3D(384, 128), Dev);
+  ASSERT_FALSE(R.Kernels.empty());
+  EXPECT_NE(R.TuningNote.find("hT=1,"), std::string::npos)
+      << R.TuningNote;
+}
+
+TEST(BaselinesTest, OvertileRedundancyAccounting) {
+  // With time tiling, computed flops must exceed the useful minimum.
+  gpu::DeviceConfig Dev = gpu::DeviceConfig::gtx470();
+  BaselineResult R = compileOvertile(ir::makeJacobi2D(3072, 512), Dev);
+  const gpu::KernelModel &K = R.Kernels[0];
+  int64_t UsefulFlops = K.UpdatesPerSlab * 5;
+  EXPECT_GT(K.FlopsPerSlab, UsefulFlops);
+}
+
+TEST(DiamondTilingTest, PointCountVariesForOddPeriods) {
+  // Sec. 2: diamond tiles may contain different numbers of integer points.
+  DiamondTiling D(5);
+  int64_t Min, Max;
+  D.countRange(3, Min, Max);
+  EXPECT_LT(Min, Max);
+  EXPECT_EQ(Min + Max, 25); // ceil + floor of P^2/2.
+}
+
+TEST(DiamondTilingTest, PointCountConstantForEvenPeriods) {
+  DiamondTiling D(6);
+  int64_t Min, Max;
+  D.countRange(3, Min, Max);
+  EXPECT_EQ(Min, Max);
+  EXPECT_EQ(Min, 18); // P^2/2.
+}
+
+TEST(DiamondTilingTest, HexagonalTilesAreAlwaysConstant) {
+  // The contrast claimed in Sec. 2: every full hexagonal tile has the same
+  // cardinality, for any parameters.
+  for (int64_t H : {1, 2, 3})
+    for (int64_t W0 : {1, 3, 5}) {
+      core::HexagonGeometry G(
+          core::HexTileParams(H, W0, Rational(1), Rational(1)));
+      EXPECT_GT(G.pointsPerTile(), 0);
+      // pointsPerTile is a single number by construction -- the shape is
+      // translation-invariant, unlike the diamond lattice cells.
+    }
+}
+
+TEST(DiamondTilingTest, LocateIsConsistentWithCounts) {
+  DiamondTiling D(4);
+  // Count points mapping to tile (0, 0) by brute force.
+  int64_t N = 0;
+  for (int64_t T = -10; T <= 10; ++T)
+    for (int64_t S = -10; S <= 10; ++S) {
+      int64_t A, B;
+      D.locate(T, S, A, B);
+      if (A == 0 && B == 0)
+        ++N;
+    }
+  EXPECT_EQ(N, D.pointCount(0, 0));
+}

@@ -1,0 +1,95 @@
+//===- CudaEmitterTest.cpp - CUDA rendering tests ------------------------------===//
+
+#include "codegen/CudaEmitter.h"
+#include "codegen/HybridCompiler.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::codegen;
+
+namespace {
+
+CompiledHybrid compile(const ir::StencilProgram &P, int64_t H, int64_t W0,
+                       std::vector<int64_t> Inner,
+                       OptimizationConfig Config = {}) {
+  TileSizeRequest R;
+  R.H = H;
+  R.W0 = W0;
+  R.InnerWidths = std::move(Inner);
+  return compileHybrid(P, R, Config);
+}
+
+} // namespace
+
+TEST(CudaEmitterTest, ThreeDimensionalKernelStructure) {
+  CompiledHybrid C = compile(ir::makeHeat3D(64, 8), 2, 3, {4, 32});
+  std::string Src = emitCuda(C);
+  // Two sequential classical loops inside the kernel (S1 and S2).
+  EXPECT_NE(Src.find("for (int S1 = 0;"), std::string::npos);
+  EXPECT_NE(Src.find("for (int S2 = 0;"), std::string::npos);
+  // Shared window with the rotating depth and the halo'd extents.
+  EXPECT_NE(Src.find("__shared__ float s_A[2]"), std::string::npos);
+  // Time loop over the 2h+2 = 6 local rows.
+  EXPECT_NE(Src.find("for (int a = 0; a < 6; ++a)"), std::string::npos);
+}
+
+TEST(CudaEmitterTest, FdtdEmitsAllFields) {
+  CompiledHybrid C = compile(ir::makeFdtd2D(64, 6), 2, 3, {8});
+  std::string Src = emitCuda(C);
+  EXPECT_NE(Src.find("float *g_ey"), std::string::npos);
+  EXPECT_NE(Src.find("float *g_ex"), std::string::npos);
+  EXPECT_NE(Src.find("float *g_hz"), std::string::npos);
+  // Each statement appears in the unrolled full-tile listing.
+  EXPECT_NE(Src.find("stmt ey"), std::string::npos);
+  EXPECT_NE(Src.find("stmt ex"), std::string::npos);
+  EXPECT_NE(Src.find("stmt hz"), std::string::npos);
+}
+
+TEST(CudaEmitterTest, ScheduleCommentMatchesFormulas) {
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8});
+  std::string Src = emitCuda(C);
+  // The schedule header comment carries the Fig. 6 forms.
+  EXPECT_NE(Src.find("floor((t + 3) / 6)"), std::string::npos);
+  EXPECT_NE(Src.find("(t mod 6)"), std::string::npos);
+}
+
+TEST(CudaEmitterTest, ReuseConfigAnnotatesKernels) {
+  OptimizationConfig F = OptimizationConfig::level('f');
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8}, F);
+  std::string Src = emitCuda(C);
+  EXPECT_NE(Src.find("inter-tile reuse: move the previous tile's overlap"),
+            std::string::npos);
+  OptimizationConfig E = OptimizationConfig::level('e');
+  CompiledHybrid CE = compile(ir::makeJacobi2D(64, 8), 2, 3, {8}, E);
+  EXPECT_NE(emitCuda(CE).find("static global->shared mapping"),
+            std::string::npos);
+}
+
+TEST(CudaEmitterTest, SeparateCopyOutAnnotated) {
+  OptimizationConfig B = OptimizationConfig::level('b');
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8}, B);
+  std::string Src = emitCuda(C);
+  EXPECT_NE(Src.find("separate copy-out phase"), std::string::npos);
+  EXPECT_EQ(Src.find("interleaved copy-out: stores issue"),
+            std::string::npos);
+}
+
+TEST(CudaEmitterTest, HostLoopLaunchesBothPhases) {
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8});
+  std::string Src = emitCuda(C);
+  size_t P0 = Src.find("jacobi2d_phase0<<<");
+  size_t P1 = Src.find("jacobi2d_phase1<<<");
+  ASSERT_NE(P0, std::string::npos);
+  ASSERT_NE(P1, std::string::npos);
+  EXPECT_LT(P0, P1); // Phase 0 launches first within a time tile.
+}
+
+TEST(CudaEmitterTest, FullAndPartialTilePathsPresent) {
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 1, 2, {8});
+  std::string Src = emitCuda(C);
+  EXPECT_NE(Src.find("if (__tile_is_full)"), std::string::npos);
+  EXPECT_NE(Src.find("partial tiles: generic guarded code"),
+            std::string::npos);
+}

@@ -1,0 +1,83 @@
+//===- ClassicalTilingTest.cpp - Classical tiling tests ----------------------===//
+
+#include "core/ClassicalTiling.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::core;
+
+TEST(ClassicalTilingTest, Eq14TileIndex) {
+  // w = 4, delta1 = 1, period 6: S = floor((s + u) / 4).
+  ClassicalTiling T(4, Rational(1), 6);
+  EXPECT_EQ(T.tileIndex(0, 0), 0);
+  EXPECT_EQ(T.tileIndex(3, 0), 0);
+  EXPECT_EQ(T.tileIndex(4, 0), 1);
+  EXPECT_EQ(T.tileIndex(3, 1), 1); // Skewed by u.
+  EXPECT_EQ(T.tileIndex(-1, 0), -1);
+}
+
+TEST(ClassicalTilingTest, Eq17LocalIndex) {
+  ClassicalTiling T(4, Rational(1), 6);
+  for (int64_t S = -10; S <= 10; ++S)
+    for (int64_t U = 0; U < 6; ++U) {
+      int64_t Local = T.localIndex(S, U);
+      EXPECT_GE(Local, 0);
+      EXPECT_LT(Local, 4);
+      EXPECT_EQ(T.tileIndex(S, U) * 4 + Local, S + T.skew(U));
+    }
+}
+
+TEST(ClassicalTilingTest, Eq15Eq16NormalizedTime) {
+  // h = 2 -> period 6. Phase 0: u = (t+3) mod 6; phase 1: u = t mod 6.
+  ClassicalTiling T(4, Rational(1), 6);
+  EXPECT_EQ(T.normalizedTime(0, 0, 2), 3);
+  EXPECT_EQ(T.normalizedTime(3, 0, 2), 0);
+  EXPECT_EQ(T.normalizedTime(0, 1, 2), 0);
+  EXPECT_EQ(T.normalizedTime(5, 1, 2), 5);
+  EXPECT_EQ(T.normalizedTime(-1, 1, 2), 5);
+}
+
+TEST(ClassicalTilingTest, FractionalSkewUsesFloor) {
+  // delta1 = 1/2: skew(u) = floor(u/2).
+  ClassicalTiling T(4, Rational(1, 2), 6);
+  EXPECT_EQ(T.skew(0), 0);
+  EXPECT_EQ(T.skew(1), 0);
+  EXPECT_EQ(T.skew(2), 1);
+  EXPECT_EQ(T.skew(5), 2);
+}
+
+TEST(ClassicalTilingTest, SkewLegalityProperty) {
+  // For any dependence with Ds >= -delta1*Dt (integer Ds) the skewed
+  // coordinate never decreases: Ds + skew(u+Dt) - skew(u) >= 0.
+  for (int64_t Num : {0, 1, 2, 3})
+    for (int64_t Den : {1, 2, 3}) {
+      Rational D1(Num, Den);
+      ClassicalTiling T(5, D1, 12);
+      for (int64_t U = 0; U < 12; ++U)
+        for (int64_t Dt = 1; Dt <= 6 && U + Dt < 12; ++Dt) {
+          // Smallest admissible integer Ds.
+          int64_t MinDs = -(D1 * Rational(Dt)).floor();
+          int64_t Advance = MinDs + T.skew(U + Dt) - T.skew(U);
+          EXPECT_GE(Advance, 0)
+              << "d1=" << D1.str() << " u=" << U << " dt=" << Dt;
+        }
+    }
+}
+
+TEST(ClassicalTilingTest, SymbolicFormsMatch) {
+  ClassicalTiling T(4, Rational(3, 2), 6);
+  poly::QExpr Tile = T.exprTile(0, 1, "s");
+  poly::QExpr Local = T.exprLocal(0, 1, "s");
+  for (int64_t U = 0; U < 6; ++U)
+    for (int64_t S = -9; S <= 9; ++S) {
+      int64_t Vars[2] = {U, S};
+      EXPECT_EQ(Tile.evaluate(Vars), T.tileIndex(S, U));
+      EXPECT_EQ(Local.evaluate(Vars), T.localIndex(S, U));
+    }
+}
+
+TEST(ClassicalTilingTest, IntegerSlopePrintsWithoutInnerFloor) {
+  ClassicalTiling T(10, Rational(1), 6);
+  EXPECT_EQ(T.exprTile(0, 1, "s1").str(), "floor((s1 + 1*u) / 10)");
+}

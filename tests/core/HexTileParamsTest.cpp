@@ -1,0 +1,63 @@
+//===- HexTileParamsTest.cpp - Tile parameter tests --------------------------===//
+
+#include "core/HexTileParams.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::core;
+
+TEST(HexTileParamsTest, DerivedQuantitiesUnitSlopes) {
+  HexTileParams P(2, 3, Rational(1), Rational(1));
+  EXPECT_EQ(P.floorD0H(), 2);
+  EXPECT_EQ(P.floorD1H(), 2);
+  EXPECT_EQ(P.timePeriod(), 6);
+  EXPECT_EQ(P.spacePeriod(), 12); // 2*3 + 2 + 2 + 2.
+  EXPECT_EQ(P.drift(), 0);
+  EXPECT_TRUE(P.isValid());
+}
+
+TEST(HexTileParamsTest, DerivedQuantitiesPaperExample) {
+  // Sec. 3.3.2 example: delta0 = 1, delta1 = 2, h = 2, w0 = 3 (Fig. 4).
+  HexTileParams P(2, 3, Rational(1), Rational(2));
+  EXPECT_EQ(P.floorD0H(), 2);
+  EXPECT_EQ(P.floorD1H(), 4);
+  EXPECT_EQ(P.spacePeriod(), 14); // 2*3 + 2 + 2 + 4.
+  EXPECT_EQ(P.drift(), 2);
+}
+
+TEST(HexTileParamsTest, MinWidthEq1IntegerSlopes) {
+  // Integer slopes: {delta*h} = 0, so w0 >= max(delta0, delta1) - 1.
+  EXPECT_EQ(HexTileParams::minWidth(Rational(1), Rational(1), 2),
+            Rational(0));
+  EXPECT_EQ(HexTileParams::minWidth(Rational(1), Rational(2), 2),
+            Rational(1));
+  EXPECT_EQ(HexTileParams::minWidth(Rational(3), Rational(1), 5),
+            Rational(2));
+}
+
+TEST(HexTileParamsTest, MinWidthEq1FractionalSlopes) {
+  // delta = 3/2, h = 3: {4.5} = 1/2, so bound = 3/2 + 1/2 - 1 = 1.
+  EXPECT_EQ(HexTileParams::minWidth(Rational(3, 2), Rational(0), 3),
+            Rational(1));
+  // delta = 2/3, h = 2: {4/3} = 1/3, bound = 2/3 + 1/3 - 1 = 0.
+  EXPECT_EQ(HexTileParams::minWidth(Rational(2, 3), Rational(0), 2),
+            Rational(0));
+}
+
+TEST(HexTileParamsTest, ValidityRejectsTooNarrow) {
+  // delta1 = 3 needs w0 >= 2.
+  EXPECT_FALSE(HexTileParams(2, 1, Rational(1), Rational(3)).isValid());
+  EXPECT_TRUE(HexTileParams(2, 2, Rational(1), Rational(3)).isValid());
+}
+
+TEST(HexTileParamsTest, ValidityRejectsDegenerate) {
+  EXPECT_FALSE(HexTileParams(0, 3, Rational(1), Rational(1)).isValid());
+  EXPECT_FALSE(HexTileParams(2, 0, Rational(1), Rational(1)).isValid());
+  EXPECT_FALSE(HexTileParams(2, 3, Rational(-1), Rational(1)).isValid());
+}
+
+TEST(HexTileParamsTest, Str) {
+  HexTileParams P(2, 3, Rational(1), Rational(1, 2));
+  EXPECT_EQ(P.str(), "h=2, w0=3, delta0=1, delta1=1/2");
+}

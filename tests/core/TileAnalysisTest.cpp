@@ -1,0 +1,163 @@
+//===- TileAnalysisTest.cpp - Exact slab-cost tests ---------------------------===//
+
+#include "core/TileAnalysis.h"
+#include "core/TileSizeModel.h"
+#include "deps/DeltaBounds.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::core;
+
+namespace {
+
+HybridSchedule makeSchedule(const ir::StencilProgram &P, int64_t H,
+                            int64_t W0, std::vector<int64_t> InnerW,
+                            deps::DependenceInfo &DepsOut) {
+  DepsOut = deps::analyzeDependences(P);
+  std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(DepsOut);
+  HexTileParams Params(H, W0, Cones[0].Delta0, Cones[0].Delta1);
+  std::vector<Rational> InnerD;
+  for (unsigned I = 1; I < Cones.size(); ++I)
+    InnerD.push_back(Cones[I].Delta1);
+  return HybridSchedule(Params, std::move(InnerW), std::move(InnerD));
+}
+
+} // namespace
+
+TEST(TileAnalysisTest, JacobiInstancesMatchHexTimesWidth) {
+  ir::StencilProgram P = ir::makeJacobi2D(64, 8);
+  deps::DependenceInfo Deps;
+  HybridSchedule S = makeSchedule(P, 2, 3, {8}, Deps);
+  SlabCosts C = analyzeSlab(P, Deps, S);
+  int64_t Hex = S.hex().hexagon().pointsPerTile();
+  EXPECT_EQ(C.Instances, Hex * 8);
+  EXPECT_EQ(C.Flops, C.Instances * 5);
+  EXPECT_EQ(C.StoreValues, C.Instances);
+  EXPECT_EQ(C.SharedStores, C.Instances);
+}
+
+TEST(TileAnalysisTest, SharedLoadGroupsMatchFig2) {
+  // Jacobi 2D: 5 reads collapse to 3 groups under register reuse.
+  ir::StencilProgram P = ir::makeJacobi2D(64, 8);
+  deps::DependenceInfo Deps;
+  HybridSchedule S = makeSchedule(P, 2, 3, {8}, Deps);
+  SlabCosts C = analyzeSlab(P, Deps, S);
+  EXPECT_EQ(C.SharedLoads, C.Instances * 5);
+  EXPECT_EQ(C.SharedLoadsUnrolled, C.Instances * 3);
+}
+
+TEST(TileAnalysisTest, Heat3DSharedLoadGroups) {
+  // 27 reads group by the 9 (ds1, ds2) combinations.
+  ir::StencilProgram P = ir::makeHeat3D(32, 4);
+  deps::DependenceInfo Deps;
+  HybridSchedule S = makeSchedule(P, 2, 3, {4, 32}, Deps);
+  SlabCosts C = analyzeSlab(P, Deps, S);
+  EXPECT_EQ(C.SharedLoadsUnrolled, C.Instances * 9);
+}
+
+TEST(TileAnalysisTest, ReuseNeverIncreasesLoads) {
+  for (const char *Name : {"jacobi2d", "heat2d", "laplacian3d", "heat3d"}) {
+    ir::StencilProgram P = ir::makeByName(Name);
+    std::vector<int64_t> Sizes(P.spaceRank(), 64);
+    P.setSpaceSizes(Sizes);
+    P.setTimeSteps(8);
+    deps::DependenceInfo Deps;
+    std::vector<int64_t> InnerW(P.spaceRank() - 1, 8);
+    if (!InnerW.empty())
+      InnerW.back() = 32;
+    HybridSchedule S = makeSchedule(P, 2, 3, InnerW, Deps);
+    SlabCosts C = analyzeSlab(P, Deps, S);
+    EXPECT_LE(C.LoadValuesReuse, C.LoadValues) << Name;
+    EXPECT_GT(C.LoadValuesReuse, 0) << Name;
+    EXPECT_GT(C.SharedBytes, 0) << Name;
+  }
+}
+
+TEST(TileAnalysisTest, RowsSumToValues) {
+  ir::StencilProgram P = ir::makeHeat2D(64, 8);
+  deps::DependenceInfo Deps;
+  HybridSchedule S = makeSchedule(P, 1, 3, {16}, Deps);
+  SlabCosts C = analyzeSlab(P, Deps, S);
+  int64_t FromRows = 0;
+  for (const TransferRow &R : C.LoadRows)
+    FromRows += R.Len;
+  EXPECT_EQ(FromRows, C.LoadValues);
+  FromRows = 0;
+  for (const TransferRow &R : C.LoadRowsReuse)
+    FromRows += R.Len;
+  EXPECT_EQ(FromRows, C.LoadValuesReuse);
+  FromRows = 0;
+  for (const TransferRow &R : C.StoreRows)
+    FromRows += R.Len;
+  EXPECT_EQ(FromRows, C.StoreValues);
+}
+
+TEST(TileAnalysisTest, TimeTilingAmortizesLoads) {
+  // Higher tiles amortize the halo: load-to-compute must drop with h.
+  ir::StencilProgram P = ir::makeJacobi2D(128, 8);
+  deps::DependenceInfo Deps;
+  HybridSchedule S1 = makeSchedule(P, 1, 7, {32}, Deps);
+  HybridSchedule S3 = makeSchedule(P, 3, 7, {32}, Deps);
+  double R1 = analyzeSlab(P, Deps, S1).loadToCompute();
+  double R3 = analyzeSlab(P, Deps, S3).loadToCompute();
+  EXPECT_LT(R3, R1);
+}
+
+TEST(TileAnalysisTest, LaunchAndBlockCounts) {
+  ir::StencilProgram P = ir::makeJacobi2D(64, 12);
+  deps::DependenceInfo Deps;
+  HybridSchedule S = makeSchedule(P, 2, 3, {8}, Deps);
+  // Time period 6, 12 canonical steps: phases cover T in about [0, 2].
+  EXPECT_GE(launches(P, S), 4);
+  EXPECT_LE(launches(P, S), 6);
+  // s0 extent 62, space period 12: 6 tiles + 1 boundary.
+  EXPECT_EQ(blocksPerLaunch(P, S), 7);
+  // s1 extent 62, width 8 -> 8 slabs.
+  EXPECT_EQ(slabsPerBlock(P, S), 8);
+}
+
+TEST(TileSizeModelTest, PaperHeat3DConfigurationFits) {
+  // Sec. 6.2: heat 3D with h=2, w0=7, w1=10, w2=32 fits 48KB shared memory.
+  ir::StencilProgram P = ir::makeHeat3D(384, 128);
+  deps::DependenceInfo Deps = deps::analyzeDependences(P);
+  std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
+  TileSizeChoice C = evaluateTileSizes(P, Deps, Cones, 2, 7, {10, 32});
+  EXPECT_LE(C.Costs.SharedBytes, 48 * 1024);
+  EXPECT_GT(C.Costs.Instances, 0);
+  // |hex| = 2*(1+2h+h^2+w0(h+1)) = 60 for h=2, w0=7 -> 60*10*32 updates.
+  EXPECT_EQ(C.Costs.Instances, 60 * 10 * 32);
+}
+
+TEST(TileSizeModelTest, SelectionRespectsConstraints) {
+  ir::StencilProgram P = ir::makeJacobi2D(512, 64);
+  deps::DependenceInfo Deps = deps::analyzeDependences(P);
+  std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
+  TileSizeConstraints Constraints;
+  Constraints.MaxH = 4;
+  Constraints.W0Widths = {1, 3, 5};
+  Constraints.InnermostWidths = {32};
+  std::optional<TileSizeChoice> Best =
+      selectTileSizes(P, Deps, Cones, Constraints);
+  ASSERT_TRUE(Best.has_value());
+  EXPECT_LE(Best->Costs.SharedBytes, Constraints.SharedMemBytes);
+  EXPECT_LE(Best->Params.H, 4);
+  EXPECT_EQ(Best->InnerWidths.back() % 32, 0);
+  EXPECT_GT(Best->LoadToCompute, 0.0);
+}
+
+TEST(TileSizeModelTest, FdtdHeightsAlignToStatements) {
+  // k = 3 statements: only h with (h+1) % 3 == 0 are admissible.
+  ir::StencilProgram P = ir::makeFdtd2D(512, 64);
+  deps::DependenceInfo Deps = deps::analyzeDependences(P);
+  std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
+  TileSizeConstraints Constraints;
+  Constraints.MaxH = 6;
+  Constraints.W0Widths = {3, 5};
+  Constraints.InnermostWidths = {32};
+  std::optional<TileSizeChoice> Best =
+      selectTileSizes(P, Deps, Cones, Constraints);
+  ASSERT_TRUE(Best.has_value());
+  EXPECT_EQ((Best->Params.H + 1) % 3, 0);
+}

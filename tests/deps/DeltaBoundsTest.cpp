@@ -1,0 +1,99 @@
+//===- DeltaBoundsTest.cpp - Dependence-cone slope tests ---------------------===//
+
+#include "deps/DeltaBounds.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::deps;
+
+TEST(DeltaBoundsTest, PaperExampleFig3) {
+  // Distances (1, -2) and (2, 2): delta0 = max(-2/1, 2/2) = 1,
+  // delta1 = max(2/1, -2/2) = 2 (the blue points of Fig. 3).
+  DependenceOptions Opts;
+  Opts.IncludeMemoryDeps = false;
+  DependenceInfo Info =
+      analyzeDependences(ir::makeSkewedExample1D(64, 8), Opts);
+  ConeBounds B = computeConeBounds(Info, 0);
+  EXPECT_EQ(B.Delta0, Rational(1));
+  EXPECT_EQ(B.Delta1, Rational(2));
+}
+
+TEST(DeltaBoundsTest, JacobiUnitCone) {
+  DependenceInfo Info = analyzeDependences(ir::makeJacobi2D(64, 4));
+  for (unsigned D = 0; D < 2; ++D) {
+    ConeBounds B = computeConeBounds(Info, D);
+    EXPECT_EQ(B.Delta0, Rational(1)) << D;
+    EXPECT_EQ(B.Delta1, Rational(1)) << D;
+  }
+}
+
+TEST(DeltaBoundsTest, FdtdFractionalSlopes) {
+  // fdtd's canonical distances mix statement offsets: slopes become
+  // rationals <= 1; the cone must still bound every vector.
+  DependenceInfo Info = analyzeDependences(ir::makeFdtd2D(64, 4));
+  for (unsigned D = 0; D < 2; ++D) {
+    ConeBounds B = computeConeBounds(Info, D);
+    for (const DistanceVector &V : Info.Vectors) {
+      EXPECT_LE(Rational(V.DS[D]), B.Delta0 * Rational(V.DT));
+      EXPECT_GE(Rational(V.DS[D]), -(B.Delta1 * Rational(V.DT)));
+    }
+  }
+}
+
+TEST(DeltaBoundsTest, BoundsAreTight) {
+  // Minimality: shrinking either slope by any epsilon violates some vector.
+  DependenceOptions DOpts;
+  DOpts.IncludeMemoryDeps = false;
+  DependenceInfo Info =
+      analyzeDependences(ir::makeSkewedExample1D(64, 8), DOpts);
+  DeltaOptions Opts;
+  Opts.ClampNonNegative = false;
+  ConeBounds B = computeConeBounds(Info, 0, Opts);
+  auto violates = [&](Rational D0, Rational D1) {
+    for (const DistanceVector &V : Info.Vectors) {
+      if (Rational(V.DS[0]) > D0 * Rational(V.DT))
+        return true;
+      if (Rational(V.DS[0]) < -(D1 * Rational(V.DT)))
+        return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(violates(B.Delta0, B.Delta1));
+  EXPECT_TRUE(violates(B.Delta0 - Rational(1, 100), B.Delta1));
+  EXPECT_TRUE(violates(B.Delta0, B.Delta1 - Rational(1, 100)));
+}
+
+TEST(DeltaBoundsTest, ClampingNonNegative) {
+  // One-sided stencil: A[t][i] = f(A[t-1][i-1]) has distance (1, 1);
+  // the raw delta1 would be -1, clamping lifts it to 0.
+  ir::StencilProgram P("oneside", 1);
+  unsigned A = P.addField("A");
+  ir::StencilStmt S;
+  S.WriteField = A;
+  S.Reads.push_back({A, -1, {-1}});
+  S.RHS = ir::StencilExpr::read(0);
+  P.addStmt(std::move(S));
+  P.setSpaceSizes({32});
+  P.setTimeSteps(4);
+
+  DependenceOptions DOpts;
+  DOpts.IncludeMemoryDeps = false;
+  DependenceInfo Info = analyzeDependences(P, DOpts);
+  DeltaOptions Raw;
+  Raw.ClampNonNegative = false;
+  EXPECT_EQ(computeConeBounds(Info, 0, Raw).Delta1, Rational(-1));
+  EXPECT_EQ(computeConeBounds(Info, 0).Delta1, Rational(0));
+  EXPECT_EQ(computeConeBounds(Info, 0).Delta0, Rational(1));
+}
+
+TEST(DeltaBoundsTest, AllDimsAtOnce) {
+  DependenceInfo Info = analyzeDependences(ir::makeHeat3D(32, 2));
+  std::vector<ConeBounds> All = computeAllConeBounds(Info);
+  ASSERT_EQ(All.size(), 3u);
+  for (const ConeBounds &B : All) {
+    EXPECT_EQ(B.Delta0, Rational(1));
+    EXPECT_EQ(B.Delta1, Rational(1));
+  }
+}

@@ -1,0 +1,101 @@
+//===- DependenceAnalysisTest.cpp - Dependence analysis tests ----------------===//
+
+#include "deps/DependenceAnalysis.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::deps;
+
+namespace {
+
+bool hasVector(const DependenceInfo &Info, int64_t DT,
+               std::vector<int64_t> DS, DepKind K) {
+  for (const DistanceVector &V : Info.Vectors)
+    if (V.DT == DT && V.DS == DS && V.Kind == K)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(DependenceAnalysisTest, Jacobi2DFlowVectors) {
+  DependenceInfo Info = analyzeDependences(ir::makeJacobi2D(64, 4));
+  EXPECT_EQ(Info.NumStmts, 1u);
+  EXPECT_EQ(Info.SpaceRank, 2u);
+  EXPECT_EQ(Info.TimeBuffers, 2u);
+  // Consumer (t, i, j) depends on (t-1, i+-1/0, j+-1/0): distances (1, -ds).
+  EXPECT_TRUE(hasVector(Info, 1, {0, 0}, DepKind::Flow));
+  EXPECT_TRUE(hasVector(Info, 1, {0, -1}, DepKind::Flow));
+  EXPECT_TRUE(hasVector(Info, 1, {0, 1}, DepKind::Flow));
+  EXPECT_TRUE(hasVector(Info, 1, {-1, 0}, DepKind::Flow));
+  EXPECT_TRUE(hasVector(Info, 1, {1, 0}, DepKind::Flow));
+  EXPECT_EQ(Info.flowVectors().size(), 5u);
+}
+
+TEST(DependenceAnalysisTest, Jacobi2DMemoryVectors) {
+  DependenceInfo Info = analyzeDependences(ir::makeJacobi2D(64, 4));
+  // Double buffering: anti deps (1, +ds) and the output dep (2, 0, 0).
+  EXPECT_TRUE(hasVector(Info, 1, {0, 1}, DepKind::Anti));
+  EXPECT_TRUE(hasVector(Info, 1, {0, -1}, DepKind::Anti));
+  EXPECT_TRUE(hasVector(Info, 2, {0, 0}, DepKind::Output));
+}
+
+TEST(DependenceAnalysisTest, MemoryDepsCanBeDisabled) {
+  DependenceOptions Opts;
+  Opts.IncludeMemoryDeps = false;
+  DependenceInfo Info = analyzeDependences(ir::makeJacobi2D(64, 4), Opts);
+  for (const DistanceVector &V : Info.Vectors)
+    EXPECT_EQ(V.Kind, DepKind::Flow);
+}
+
+TEST(DependenceAnalysisTest, SkewedExampleMatchesSec332) {
+  // A[t][i] = f(A[t-2][i-2], A[t-1][i+2]): distances (2, 2) and (1, -2).
+  DependenceOptions Opts;
+  Opts.IncludeMemoryDeps = false;
+  DependenceInfo Info =
+      analyzeDependences(ir::makeSkewedExample1D(64, 8), Opts);
+  ASSERT_EQ(Info.Vectors.size(), 2u);
+  EXPECT_TRUE(hasVector(Info, 2, {2}, DepKind::Flow));
+  EXPECT_TRUE(hasVector(Info, 1, {-2}, DepKind::Flow));
+  EXPECT_EQ(Info.TimeBuffers, 3u); // Reads two steps back.
+}
+
+TEST(DependenceAnalysisTest, FdtdInterStatementDistances) {
+  DependenceOptions Opts;
+  Opts.IncludeMemoryDeps = false;
+  DependenceInfo Info = analyzeDependences(ir::makeFdtd2D(64, 4), Opts);
+  EXPECT_EQ(Info.NumStmts, 3u);
+  // hz (stmt 2) reads ex (stmt 1) of the same step: canonical distance 1.
+  EXPECT_TRUE(hasVector(Info, 1, {0, -1}, DepKind::Flow)); // ex[i][j+1].
+  EXPECT_TRUE(hasVector(Info, 1, {0, 0}, DepKind::Flow));
+  // hz reads ey (stmt 0) of the same step: canonical distance 2.
+  EXPECT_TRUE(hasVector(Info, 2, {-1, 0}, DepKind::Flow)); // ey[i+1][j].
+  // ey (stmt 0) reads hz (stmt 2) of the previous step: 3 - 2 = 1.
+  EXPECT_TRUE(hasVector(Info, 1, {1, 0}, DepKind::Flow)); // hz[i-1][j].
+  // All distances strictly positive.
+  for (const DistanceVector &V : Info.Vectors)
+    EXPECT_GE(V.DT, 1);
+}
+
+TEST(DependenceAnalysisTest, VectorsAreDeduplicated) {
+  DependenceInfo Info = analyzeDependences(ir::makeHeat2D(64, 4));
+  for (unsigned I = 0; I < Info.Vectors.size(); ++I)
+    for (unsigned J = I + 1; J < Info.Vectors.size(); ++J) {
+      bool Same = Info.Vectors[I].DT == Info.Vectors[J].DT &&
+                  Info.Vectors[I].DS == Info.Vectors[J].DS &&
+                  Info.Vectors[I].Kind == Info.Vectors[J].Kind;
+      EXPECT_FALSE(Same);
+    }
+}
+
+TEST(DependenceAnalysisTest, StrRendersVectors) {
+  DependenceOptions Opts;
+  Opts.IncludeMemoryDeps = false;
+  DependenceInfo Info =
+      analyzeDependences(ir::makeSkewedExample1D(64, 8), Opts);
+  std::string S = Info.str();
+  EXPECT_NE(S.find("(1, -2) [flow]"), std::string::npos);
+  EXPECT_NE(S.find("(2, 2) [flow]"), std::string::npos);
+}

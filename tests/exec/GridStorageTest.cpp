@@ -1,0 +1,66 @@
+//===- GridStorageTest.cpp - Rotating-buffer storage tests -------------------===//
+
+#include "exec/GridStorage.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::exec;
+
+TEST(GridStorageTest, DepthsFollowReadOffsets) {
+  GridStorage S2(ir::makeJacobi2D(16, 2));
+  EXPECT_EQ(S2.depth(0), 2u); // Reads one step back: double buffer.
+  GridStorage S3(ir::makeSkewedExample1D(32, 2));
+  EXPECT_EQ(S3.depth(0), 3u); // Reads two steps back: triple buffer.
+}
+
+TEST(GridStorageTest, RotatingSlots) {
+  ir::StencilProgram P = ir::makeJacobi2D(8, 2);
+  GridStorage S(P);
+  int64_t C[2] = {3, 4};
+  S.at(0, 0, C) = 1.5f;
+  S.at(0, 1, C) = 2.5f;
+  // Slot t mod 2: step 2 aliases step 0, step -1 aliases step 1.
+  EXPECT_FLOAT_EQ(S.at(0, 2, C), 1.5f);
+  EXPECT_FLOAT_EQ(S.at(0, -1, C), 2.5f);
+  EXPECT_FLOAT_EQ(S.at(0, 3, C), 2.5f);
+}
+
+TEST(GridStorageTest, AllSlotsStartIdentical) {
+  ir::StencilProgram P = ir::makeSkewedExample1D(32, 2);
+  GridStorage S(P);
+  int64_t C[1] = {7};
+  EXPECT_EQ(S.at(0, 0, C), S.at(0, 1, C));
+  EXPECT_EQ(S.at(0, 1, C), S.at(0, 2, C));
+}
+
+TEST(GridStorageTest, DefaultInitIsDeterministicAndVaried) {
+  int64_t A[2] = {1, 2}, B[2] = {2, 1};
+  EXPECT_EQ(defaultInit(0, A), defaultInit(0, A));
+  EXPECT_NE(defaultInit(0, A), defaultInit(0, B));
+  EXPECT_NE(defaultInit(0, A), defaultInit(1, A));
+  EXPECT_GE(defaultInit(0, A), 0.0f);
+  EXPECT_LT(defaultInit(0, A), 1.0f);
+}
+
+TEST(GridStorageTest, CompareAtStepDetectsMismatch) {
+  ir::StencilProgram P = ir::makeJacobi2D(8, 2);
+  GridStorage A(P), B(P);
+  EXPECT_EQ(GridStorage::compareAtStep(A, B, 1), "");
+  int64_t C[2] = {3, 3};
+  B.at(0, 1, C) = 99.0f;
+  std::string Diff = GridStorage::compareAtStep(A, B, 1);
+  EXPECT_NE(Diff.find("field 0"), std::string::npos);
+  EXPECT_NE(Diff.find("(3, 3)"), std::string::npos);
+  // The other slot still matches.
+  EXPECT_EQ(GridStorage::compareAtStep(A, B, 0), "");
+}
+
+TEST(GridStorageTest, InBounds) {
+  GridStorage S(ir::makeJacobi2D(8, 2));
+  int64_t In[2] = {0, 7}, Out[2] = {0, 8}, Neg[2] = {-1, 0};
+  EXPECT_TRUE(S.inBounds(In));
+  EXPECT_FALSE(S.inBounds(Out));
+  EXPECT_FALSE(S.inBounds(Neg));
+}

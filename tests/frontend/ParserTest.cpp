@@ -1,0 +1,193 @@
+//===- ParserTest.cpp - Front-end parsing and lowering tests ------------------===//
+
+#include "frontend/Parser.h"
+#include "exec/Executor.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::frontend;
+
+namespace {
+
+const char *JacobiSrc = R"(
+grid A[3072][3072];
+for (t = 0; t < 512; t++) {
+  for (i = 1; i < 3071; i++)
+    for (j = 1; j < 3071; j++)
+      A[t+1][i][j] = 0.2f * (A[t][i][j] + A[t][i][j+1] + A[t][i][j-1]
+                             + A[t][i+1][j] + A[t][i-1][j]);
+}
+)";
+
+const char *FdtdSrc = R"(
+grid ey[512][512];
+grid ex[512][512];
+grid hz[512][512];
+for (t = 0; t < 64; t++) {
+  for (i = 1; i < 511; i++)
+    for (j = 1; j < 511; j++)
+      ey[t+1][i][j] = ey[t][i][j] - 0.5f * (hz[t][i][j] - hz[t][i-1][j]);
+  for (i = 1; i < 511; i++)
+    for (j = 1; j < 511; j++)
+      ex[t+1][i][j] = ex[t][i][j] - 0.5f * (hz[t][i][j] - hz[t][i][j-1]);
+  for (i = 1; i < 511; i++)
+    for (j = 1; j < 511; j++)
+      hz[t+1][i][j] = hz[t][i][j] - 0.7f * (ex[t+1][i][j+1] - ex[t+1][i][j]
+                                   + ey[t+1][i+1][j] - ey[t+1][i][j]);
+}
+)";
+
+} // namespace
+
+TEST(ParserTest, ParsesJacobi2D) {
+  ParseResult R = parseStencilProgram(JacobiSrc, "jacobi2d");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const ir::StencilProgram &P = R.Program;
+  EXPECT_EQ(P.spaceRank(), 2u);
+  EXPECT_EQ(P.timeSteps(), 512);
+  EXPECT_EQ(P.spaceSizes()[0], 3072);
+  EXPECT_EQ(P.numStmts(), 1u);
+  EXPECT_EQ(P.totalReads(), 5u);
+  EXPECT_EQ(P.totalFlops(), 5u);
+  EXPECT_EQ(P.loHalo(0), 1);
+  EXPECT_EQ(P.hiHalo(1), 1);
+}
+
+TEST(ParserTest, ParsedJacobiMatchesGallerySemantics) {
+  ParseResult R = parseStencilProgram(JacobiSrc, "jacobi2d");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ir::StencilProgram Gallery = ir::makeJacobi2D(3072, 512);
+  // Same reads (field, dt, offsets) up to ordering.
+  ASSERT_EQ(R.Program.stmts()[0].Reads.size(),
+            Gallery.stmts()[0].Reads.size());
+  for (const ir::ReadAccess &A : R.Program.stmts()[0].Reads) {
+    bool Found = false;
+    for (const ir::ReadAccess &B : Gallery.stmts()[0].Reads)
+      Found |= A.Field == B.Field && A.TimeOffset == B.TimeOffset &&
+               A.Offsets == B.Offsets;
+    EXPECT_TRUE(Found) << A.str(R.Program.fields());
+  }
+}
+
+TEST(ParserTest, ParsesMultiStatementFdtd) {
+  ParseResult R = parseStencilProgram(FdtdSrc, "fdtd2d");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const ir::StencilProgram &P = R.Program;
+  ASSERT_EQ(P.numStmts(), 3u);
+  EXPECT_EQ(P.stmts()[0].numReads(), 3u);
+  EXPECT_EQ(P.stmts()[2].numReads(), 5u);
+  // hz reads ex/ey of the same step (t+1 subscript -> TimeOffset 0).
+  int SameStep = 0;
+  for (const ir::ReadAccess &A : P.stmts()[2].Reads)
+    if (A.TimeOffset == 0)
+      ++SameStep;
+  EXPECT_EQ(SameStep, 4);
+}
+
+TEST(ParserTest, IntrinsicCalls) {
+  ParseResult R = parseStencilProgram(R"(
+grid A[64];
+for (t = 0; t < 4; t++)
+  for (i = 1; i < 63; i++)
+    A[t+1][i] = sqrtf(fabsf(A[t][i-1] - A[t][i+1]))
+              + fminf(A[t][i], fmaxf(A[t][i-1], A[t][i+1]));
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Program.totalFlops(), 6u); // sqrt, abs, sub, min, max, add.
+}
+
+TEST(ParserTest, ErrorUnknownGrid) {
+  ParseResult R = parseStencilProgram(R"(
+grid A[64];
+for (t = 0; t < 4; t++)
+  for (i = 1; i < 63; i++)
+    A[t+1][i] = B[t][i];
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown grid 'B'"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorFutureRead) {
+  ParseResult R = parseStencilProgram(R"(
+grid A[64];
+for (t = 0; t < 4; t++)
+  for (i = 1; i < 63; i++)
+    A[t+1][i] = A[t+2][i];
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("future"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorWrongIterator) {
+  ParseResult R = parseStencilProgram(R"(
+grid A[64][64];
+for (t = 0; t < 4; t++)
+  for (i = 1; i < 63; i++)
+    for (j = 1; j < 63; j++)
+      A[t+1][j][i] = A[t][i][j];
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("must use iterator"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorRankMismatch) {
+  ParseResult R = parseStencilProgram(R"(
+grid A[64][64];
+for (t = 0; t < 4; t++)
+  for (i = 1; i < 63; i++)
+    A[t+1][i][i] = A[t][i][i];
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("spatial loops"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorWriteToCurrentStep) {
+  ParseResult R = parseStencilProgram(R"(
+grid A[64];
+for (t = 0; t < 4; t++)
+  for (i = 1; i < 63; i++)
+    A[t][i] = A[t][i];
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("next time step"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnknownFunction) {
+  ParseResult R = parseStencilProgram(R"(
+grid A[64];
+for (t = 0; t < 4; t++)
+  for (i = 1; i < 63; i++)
+    A[t+1][i] = expf(A[t][i]);
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown function"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorMismatchedGridExtents) {
+  ParseResult R = parseStencilProgram(R"(
+grid A[64][64];
+grid B[32][32];
+for (t = 0; t < 4; t++)
+  for (i = 1; i < 63; i++)
+    for (j = 1; j < 63; j++)
+      A[t+1][i][j] = B[t][i][j];
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("extents differ"), std::string::npos);
+}
+
+TEST(ParserTest, ParsedProgramExecutes) {
+  // End-to-end: parse, then run the reference executor.
+  ParseResult R = parseStencilProgram(R"(
+grid A[16];
+for (t = 0; t < 2; t++)
+  for (i = 1; i < 15; i++)
+    A[t+1][i] = 0.5f * (A[t][i-1] + A[t][i+1]);
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  exec::GridStorage S(R.Program);
+  exec::runReference(R.Program, S);
+  SUCCEED();
+}

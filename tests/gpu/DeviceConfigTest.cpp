@@ -1,0 +1,41 @@
+//===- DeviceConfigTest.cpp - Device preset tests ------------------------------===//
+
+#include "gpu/DeviceConfig.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::gpu;
+
+TEST(DeviceConfigTest, Gtx470MatchesBoardSpecs) {
+  DeviceConfig D = DeviceConfig::gtx470();
+  EXPECT_EQ(D.NumSMs * D.CoresPerSM, 448); // 448 CUDA cores.
+  EXPECT_NEAR(D.ClockGHz, 1.215, 1e-9);
+  EXPECT_NEAR(D.DramBandwidthGBs, 133.9, 1e-9);
+  EXPECT_EQ(D.SharedMemPerBlock, 48 << 10);
+  EXPECT_EQ(D.L2Bytes, 640 << 10);
+}
+
+TEST(DeviceConfigTest, Nvs5200MatchesBoardSpecs) {
+  DeviceConfig D = DeviceConfig::nvs5200();
+  EXPECT_EQ(D.NumSMs * D.CoresPerSM, 96); // 96 CUDA cores.
+  EXPECT_NEAR(D.DramBandwidthGBs, 14.4, 1e-9);
+}
+
+TEST(DeviceConfigTest, PeakRatesScaleWithSpecs) {
+  DeviceConfig Big = DeviceConfig::gtx470();
+  DeviceConfig Small = DeviceConfig::nvs5200();
+  EXPECT_GT(Big.peakGFlops(), 4 * Small.peakGFlops());
+  EXPECT_GT(Big.peakSharedWordsPerSec(), Small.peakSharedWordsPerSec());
+  // GTX 470: 448 * 1.215 = 544 GFLOP/s at 1 FLOP/core/cycle.
+  EXPECT_NEAR(Big.peakGFlops(), 544.3, 0.5);
+}
+
+TEST(DeviceConfigTest, FermiMemoryGeometry) {
+  DeviceConfig D = DeviceConfig::gtx470();
+  EXPECT_EQ(D.WarpSize, 32);
+  EXPECT_EQ(D.SharedBanks, 32);
+  EXPECT_EQ(D.CacheLineBytes, 128);
+  EXPECT_EQ(D.SectorBytes, 32);
+  EXPECT_EQ(D.CacheLineBytes % D.SectorBytes, 0);
+}

@@ -1,0 +1,83 @@
+//===- MemoryModelTest.cpp - Coalescing and bank model tests -----------------===//
+
+#include "gpu/MemoryModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::gpu;
+
+namespace {
+DeviceConfig dev() { return DeviceConfig::gtx470(); }
+} // namespace
+
+TEST(MemoryModelTest, AlignedFullWarpRow) {
+  // 32 elements at offset 0: one 128B line, 4 sectors, 100% efficiency.
+  TrafficStats S = analyzeRow(dev(), 32, 0);
+  EXPECT_EQ(S.ThreadInsts, 32);
+  EXPECT_EQ(S.WarpInsts, 1);
+  EXPECT_EQ(S.Lines, 1);
+  EXPECT_EQ(S.Sectors, 4);
+  EXPECT_DOUBLE_EQ(S.efficiency(), 1.0);
+}
+
+TEST(MemoryModelTest, MisalignedWarpRowTouchesTwoLines) {
+  // 32 elements at offset 31 (the "-1 halo" case): 2 lines, 50% efficiency.
+  TrafficStats S = analyzeRow(dev(), 32, 31);
+  EXPECT_EQ(S.WarpInsts, 1);
+  EXPECT_EQ(S.Lines, 2);
+  EXPECT_DOUBLE_EQ(S.efficiency(), 0.5);
+  EXPECT_EQ(S.Sectors, 5); // 4B at the end of one sector + 4 more sectors.
+}
+
+TEST(MemoryModelTest, HaloRowWithTail) {
+  // 34 elements at offset 0 (aligned tile + 2-wide halo tail): the second
+  // warp load moves 2 elements but touches a whole line.
+  TrafficStats S = analyzeRow(dev(), 34, 0);
+  EXPECT_EQ(S.WarpInsts, 2);
+  EXPECT_EQ(S.Lines, 2);
+  EXPECT_EQ(S.UsefulBytes, 136);
+  EXPECT_DOUBLE_EQ(S.efficiency(), 136.0 / 256.0);
+}
+
+TEST(MemoryModelTest, HaloRowMisaligned) {
+  // 34 elements at offset 31 (natural "-1" start): three lines touched.
+  TrafficStats S = analyzeRow(dev(), 34, 31);
+  EXPECT_EQ(S.Lines, 3);
+  EXPECT_NEAR(S.efficiency(), 136.0 / 384.0, 1e-9);
+}
+
+TEST(MemoryModelTest, EmptyRow) {
+  TrafficStats S = analyzeRow(dev(), 0, 5);
+  EXPECT_EQ(S.WarpInsts, 0);
+  EXPECT_EQ(S.Lines, 0);
+  EXPECT_DOUBLE_EQ(S.efficiency(), 1.0);
+}
+
+TEST(MemoryModelTest, BatchesScaleByCount) {
+  RowBatch B;
+  B.Count = 10;
+  B.Len = 32;
+  B.AlignElems = 0;
+  TrafficStats S = analyzeBatches(dev(), std::vector<RowBatch>{B});
+  EXPECT_EQ(S.Lines, 10);
+  EXPECT_EQ(S.ThreadInsts, 320);
+}
+
+TEST(MemoryModelTest, BankConflictsUnitStride) {
+  EXPECT_DOUBLE_EQ(stridedBankTransactions(dev(), 1), 1.0);
+}
+
+TEST(MemoryModelTest, BankConflictsEvenStrides) {
+  EXPECT_DOUBLE_EQ(stridedBankTransactions(dev(), 2), 2.0);
+  EXPECT_DOUBLE_EQ(stridedBankTransactions(dev(), 4), 4.0);
+  EXPECT_DOUBLE_EQ(stridedBankTransactions(dev(), 32), 32.0);
+  // Odd strides are conflict-free on 32 banks.
+  EXPECT_DOUBLE_EQ(stridedBankTransactions(dev(), 33), 1.0);
+  EXPECT_DOUBLE_EQ(stridedBankTransactions(dev(), 3), 1.0);
+}
+
+TEST(MemoryModelTest, BroadcastIsFree) {
+  std::vector<int64_t> Same(32, 7);
+  EXPECT_DOUBLE_EQ(bankTransactionsPerRequest(dev(), Same), 1.0);
+}

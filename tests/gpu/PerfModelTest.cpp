@@ -1,0 +1,124 @@
+//===- PerfModelTest.cpp - Performance model tests ----------------------------===//
+
+#include "gpu/PerfModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::gpu;
+
+namespace {
+
+KernelModel baseKernel() {
+  KernelModel K;
+  K.Name = "k";
+  K.Launches = 10;
+  K.BlocksPerLaunch = 64;
+  K.SlabsPerBlock = 4;
+  K.UpdatesPerSlab = 1000;
+  K.FlopsPerSlab = 6000;
+  RowBatch B;
+  B.Count = 10;
+  B.Len = 32;
+  B.AlignElems = 0;
+  K.LoadRequestRows = {B};
+  K.StoreRows = {B};
+  K.SharedLoadsPerSlab = 3000;
+  K.SharedStoresPerSlab = 1000;
+  return K;
+}
+
+} // namespace
+
+TEST(PerfModelTest, BasicInvariants) {
+  DeviceConfig Dev = DeviceConfig::gtx470();
+  PerfResult R = simulate(Dev, {baseKernel()});
+  EXPECT_GT(R.Seconds, 0.0);
+  EXPECT_GT(R.GStencilsPerSec, 0.0);
+  EXPECT_EQ(R.TotalUpdates, 10 * 64 * 4 * 1000);
+  EXPECT_DOUBLE_EQ(R.Counters.GldEfficiency, 1.0);
+  EXPECT_DOUBLE_EQ(R.Counters.SharedLoadsPerRequest, 1.0);
+}
+
+TEST(PerfModelTest, SlowerDeviceIsSlower) {
+  PerfResult Big = simulate(DeviceConfig::gtx470(), {baseKernel()});
+  PerfResult Small = simulate(DeviceConfig::nvs5200(), {baseKernel()});
+  EXPECT_GT(Big.GStencilsPerSec, Small.GStencilsPerSec);
+}
+
+TEST(PerfModelTest, NonOverlappedCopyIsSlower) {
+  KernelModel K = baseKernel();
+  // Make memory traffic significant.
+  K.LoadRequestRows[0].Count = 2000;
+  PerfResult Overlap = simulate(DeviceConfig::gtx470(), {K});
+  K.OverlapCopyOut = false;
+  PerfResult Serial = simulate(DeviceConfig::gtx470(), {K});
+  EXPECT_LT(Overlap.Seconds, Serial.Seconds);
+}
+
+TEST(PerfModelTest, BankConflictsSlowSharedBoundKernels) {
+  KernelModel K = baseKernel();
+  K.SharedLoadsPerSlab = 200000; // Shared-memory bound.
+  PerfResult Clean = simulate(DeviceConfig::gtx470(), {K});
+  K.SharedTransactionsPerRequest = 2.0;
+  PerfResult Conflicted = simulate(DeviceConfig::gtx470(), {K});
+  EXPECT_LT(Conflicted.GStencilsPerSec, Clean.GStencilsPerSec);
+  EXPECT_DOUBLE_EQ(Conflicted.Counters.SharedLoadsPerRequest, 2.0);
+}
+
+TEST(PerfModelTest, MisalignmentRaisesDramTraffic) {
+  KernelModel K = baseKernel();
+  PerfResult Aligned = simulate(DeviceConfig::gtx470(), {K});
+  K.LoadRequestRows[0].AlignElems = 31;
+  PerfResult Misaligned = simulate(DeviceConfig::gtx470(), {K});
+  EXPECT_GT(Misaligned.Counters.DramReadTransactions,
+            Aligned.Counters.DramReadTransactions);
+  EXPECT_LT(Misaligned.Counters.GldEfficiency,
+            Aligned.Counters.GldEfficiency);
+}
+
+TEST(PerfModelTest, DistinctRowsDriveDram) {
+  KernelModel K = baseKernel();
+  // Request 10x the distinct traffic (cached re-reads).
+  RowBatch Req = K.LoadRequestRows[0];
+  Req.Count *= 10;
+  K.LoadRequestRows = {Req};
+  RowBatch Distinct = Req;
+  Distinct.Count /= 10;
+  K.LoadDistinctRows = {Distinct};
+  PerfResult R = simulate(DeviceConfig::gtx470(), {K});
+  // DRAM follows distinct lines; gld inst follows requests.
+  double SlabsTotal = 10.0 * 64 * 4;
+  EXPECT_DOUBLE_EQ(R.Counters.DramReadTransactions,
+                   SlabsTotal * Distinct.Count * 4);
+  EXPECT_DOUBLE_EQ(R.Counters.GldInst32bit, SlabsTotal * Req.Count * 32);
+}
+
+TEST(PerfModelTest, LaunchOverheadDominatesTinyKernels) {
+  KernelModel K = baseKernel();
+  K.Launches = 10000;
+  K.BlocksPerLaunch = 1;
+  K.SlabsPerBlock = 1;
+  K.UpdatesPerSlab = 10;
+  K.FlopsPerSlab = 60;
+  K.LoadRequestRows.clear();
+  K.StoreRows.clear();
+  K.SharedLoadsPerSlab = 30;
+  K.SharedStoresPerSlab = 10;
+  DeviceConfig Dev = DeviceConfig::gtx470();
+  PerfResult R = simulate(Dev, {K});
+  EXPECT_GE(R.Seconds, 10000 * Dev.LaunchOverheadUs * 1e-6);
+}
+
+TEST(PerfModelTest, FewBlocksUnderutilizeSMs) {
+  KernelModel K = baseKernel();
+  K.BlocksPerLaunch = 1;
+  K.Launches = 1;
+  K.SlabsPerBlock = 256;
+  PerfResult One = simulate(DeviceConfig::gtx470(), {K});
+  K.BlocksPerLaunch = 64;
+  K.SlabsPerBlock = 4;
+  PerfResult Many = simulate(DeviceConfig::gtx470(), {K});
+  // Same total work, but one block cannot fill 14 SMs.
+  EXPECT_GT(One.Seconds, Many.Seconds);
+}

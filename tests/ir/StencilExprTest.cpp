@@ -1,0 +1,70 @@
+//===- StencilExprTest.cpp - Expression tree tests --------------------------===//
+
+#include "ir/StencilExpr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace hextile;
+using namespace hextile::ir;
+
+TEST(StencilExprTest, FlopCounting) {
+  StencilExpr C = StencilExpr::constant(0.2f);
+  StencilExpr Sum = ((StencilExpr::read(0) + StencilExpr::read(1)) +
+                     StencilExpr::read(2)) +
+                    StencilExpr::read(3);
+  StencilExpr Jacobi = C * (Sum + StencilExpr::read(4));
+  EXPECT_EQ(Jacobi.countFlops(), 5u); // 4 adds + 1 mul (Fig. 2).
+  EXPECT_EQ(Jacobi.countReadRefs(), 5u);
+  EXPECT_EQ(Jacobi.maxReadIndex(), 4);
+}
+
+TEST(StencilExprTest, LeavesAreNotFlops) {
+  EXPECT_EQ(StencilExpr::read(0).countFlops(), 0u);
+  EXPECT_EQ(StencilExpr::constant(1.0f).countFlops(), 0u);
+}
+
+TEST(StencilExprTest, Evaluate) {
+  float Reads[3] = {1.0f, 2.0f, 4.0f};
+  StencilExpr E = (StencilExpr::read(0) + StencilExpr::read(1)) *
+                  StencilExpr::read(2);
+  EXPECT_FLOAT_EQ(E.evaluate(Reads), 12.0f);
+  StencilExpr D = StencilExpr::read(2) / StencilExpr::read(1);
+  EXPECT_FLOAT_EQ(D.evaluate(Reads), 2.0f);
+  StencilExpr S = StencilExpr::sqrt(StencilExpr::read(2));
+  EXPECT_FLOAT_EQ(S.evaluate(Reads), 2.0f);
+  StencilExpr N = StencilExpr::neg(StencilExpr::read(0));
+  EXPECT_FLOAT_EQ(N.evaluate(Reads), -1.0f);
+  StencilExpr A = StencilExpr::abs(N);
+  EXPECT_FLOAT_EQ(A.evaluate(Reads), 1.0f);
+  EXPECT_FLOAT_EQ(
+      StencilExpr::min(StencilExpr::read(0), StencilExpr::read(1))
+          .evaluate(Reads),
+      1.0f);
+  EXPECT_FLOAT_EQ(
+      StencilExpr::max(StencilExpr::read(0), StencilExpr::read(1))
+          .evaluate(Reads),
+      2.0f);
+}
+
+TEST(StencilExprTest, SinglePrecisionSemantics) {
+  // Evaluation must round like float, not double.
+  float Reads[2] = {1.0e8f, 1.0f};
+  StencilExpr E = StencilExpr::read(0) + StencilExpr::read(1);
+  EXPECT_FLOAT_EQ(E.evaluate(Reads), 1.0e8f);
+}
+
+TEST(StencilExprTest, StrUsesReadNames) {
+  std::string Names[2] = {"A[t][i]", "A[t][i+1]"};
+  StencilExpr E = StencilExpr::read(0) - StencilExpr::read(1);
+  EXPECT_EQ(E.str(Names), "(A[t][i] - A[t][i+1])");
+}
+
+TEST(StencilExprTest, IsArithmeticClassification) {
+  EXPECT_FALSE(isArithmetic(ExprKind::ReadRef));
+  EXPECT_FALSE(isArithmetic(ExprKind::ConstF32));
+  EXPECT_TRUE(isArithmetic(ExprKind::Add));
+  EXPECT_TRUE(isArithmetic(ExprKind::Sqrt));
+  EXPECT_TRUE(isArithmetic(ExprKind::Max));
+}

@@ -1,0 +1,87 @@
+//===- StencilGalleryTest.cpp - Table 3 characteristics tests ----------------===//
+
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::ir;
+
+namespace {
+
+struct Table3Row {
+  const char *Name;
+  unsigned Loads;
+  unsigned Flops;
+  unsigned Rank;
+  int64_t Size;
+  int64_t Steps;
+};
+
+class Table3Test : public ::testing::TestWithParam<Table3Row> {};
+
+} // namespace
+
+/// Table 3 of the paper, reproduced from the IR-derived statistics.
+TEST_P(Table3Test, CharacteristicsMatchPaper) {
+  const Table3Row &Row = GetParam();
+  StencilProgram P = makeByName(Row.Name);
+  ASSERT_FALSE(P.name().empty()) << Row.Name;
+  EXPECT_EQ(P.verify(), "");
+  EXPECT_EQ(P.totalReads(), Row.Loads);
+  EXPECT_EQ(P.totalFlops(), Row.Flops);
+  EXPECT_EQ(P.spaceRank(), Row.Rank);
+  for (unsigned D = 0; D < Row.Rank; ++D)
+    EXPECT_EQ(P.spaceSizes()[D], Row.Size);
+  EXPECT_EQ(P.timeSteps(), Row.Steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table3Test,
+    ::testing::Values(
+        Table3Row{"laplacian2d", 5, 6, 2, 3072, 512},
+        Table3Row{"heat2d", 9, 9, 2, 3072, 512},
+        Table3Row{"gradient2d", 5, 15, 2, 3072, 512},
+        Table3Row{"fdtd2d", 11, 11, 2, 3072, 512}, // 3+3+5 per statement.
+        Table3Row{"laplacian3d", 7, 8, 3, 384, 128},
+        Table3Row{"heat3d", 27, 27, 3, 384, 128},
+        Table3Row{"gradient3d", 7, 20, 3, 384, 128}),
+    [](const ::testing::TestParamInfo<Table3Row> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(StencilGalleryTest, Fdtd2DPerStatementRows) {
+  StencilProgram P = makeFdtd2D();
+  ASSERT_EQ(P.numStmts(), 3u);
+  EXPECT_EQ(P.stmts()[0].numReads(), 3u);
+  EXPECT_EQ(P.stmts()[0].flops(), 3u);
+  EXPECT_EQ(P.stmts()[1].numReads(), 3u);
+  EXPECT_EQ(P.stmts()[1].flops(), 3u);
+  EXPECT_EQ(P.stmts()[2].numReads(), 5u);
+  EXPECT_EQ(P.stmts()[2].flops(), 5u);
+}
+
+TEST(StencilGalleryTest, JacobiMatchesFig2Counts) {
+  // Fig. 2: 5 compute instructions for the Jacobi 2D core.
+  StencilProgram P = makeJacobi2D();
+  EXPECT_EQ(P.totalFlops(), 5u);
+  EXPECT_EQ(P.totalReads(), 5u);
+}
+
+TEST(StencilGalleryTest, UnknownNameReturnsEmpty) {
+  EXPECT_TRUE(makeByName("nonexistent").name().empty());
+}
+
+TEST(StencilGalleryTest, SkewedExampleOffsets) {
+  StencilProgram P = makeSkewedExample1D();
+  ASSERT_EQ(P.numStmts(), 1u);
+  ASSERT_EQ(P.stmts()[0].Reads.size(), 2u);
+  EXPECT_EQ(P.stmts()[0].Reads[0].TimeOffset, -2);
+  EXPECT_EQ(P.stmts()[0].Reads[0].Offsets[0], -2);
+  EXPECT_EQ(P.stmts()[0].Reads[1].TimeOffset, -1);
+  EXPECT_EQ(P.stmts()[0].Reads[1].Offsets[0], 2);
+}
+
+TEST(StencilGalleryTest, SuiteHasSevenBenchmarks) {
+  EXPECT_EQ(makeBenchmarkSuite().size(), 7u);
+}

@@ -1,0 +1,122 @@
+//===- StencilProgramTest.cpp - Program structure tests ----------------------===//
+
+#include "ir/StencilGallery.h"
+#include "ir/StencilProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::ir;
+
+TEST(StencilProgramTest, HalosFromOffsets) {
+  StencilProgram P = makeJacobi2D(64, 4);
+  EXPECT_EQ(P.loHalo(0), 1);
+  EXPECT_EQ(P.hiHalo(0), 1);
+  EXPECT_EQ(P.loHalo(1), 1);
+  EXPECT_EQ(P.hiHalo(1), 1);
+}
+
+TEST(StencilProgramTest, AsymmetricHalos) {
+  StencilProgram P = makeSkewedExample1D(64, 4);
+  EXPECT_EQ(P.loHalo(0), 2); // reads A[i-2].
+  EXPECT_EQ(P.hiHalo(0), 2); // reads A[i+2].
+}
+
+TEST(StencilProgramTest, PointsPerTimeStep) {
+  StencilProgram P = makeJacobi2D(64, 4);
+  EXPECT_EQ(P.pointsPerTimeStep(), 62 * 62);
+}
+
+TEST(StencilProgramTest, DataBytes) {
+  StencilProgram P = makeJacobi2D(64, 4);
+  EXPECT_EQ(P.dataBytes(), 64 * 64 * 4);
+  StencilProgram F = makeFdtd2D(64, 4);
+  EXPECT_EQ(F.dataBytes(), 3 * 64 * 64 * 4);
+}
+
+TEST(StencilProgramTest, VerifyAcceptsGallery) {
+  for (const StencilProgram &P : makeBenchmarkSuite())
+    EXPECT_EQ(P.verify(), "") << P.name();
+}
+
+TEST(StencilProgramTest, VerifyRejectsFutureRead) {
+  StencilProgram P("bad", 1);
+  unsigned A = P.addField("A");
+  StencilStmt S;
+  S.WriteField = A;
+  S.Reads.push_back({A, +1, {0}});
+  S.RHS = StencilExpr::read(0);
+  P.addStmt(std::move(S));
+  P.setSpaceSizes({16});
+  P.setTimeSteps(2);
+  EXPECT_NE(P.verify().find("future"), std::string::npos);
+}
+
+TEST(StencilProgramTest, VerifyRejectsSameStepReadOfLaterWriter) {
+  // S0 reads B at offset 0, but B is written by the later statement S1.
+  StencilProgram P("bad", 1);
+  unsigned A = P.addField("A");
+  unsigned B = P.addField("B");
+  {
+    StencilStmt S;
+    S.Name = "S0";
+    S.WriteField = A;
+    S.Reads.push_back({B, 0, {0}});
+    S.RHS = StencilExpr::read(0);
+    P.addStmt(std::move(S));
+  }
+  {
+    StencilStmt S;
+    S.Name = "S1";
+    S.WriteField = B;
+    S.Reads.push_back({A, -1, {0}});
+    S.RHS = StencilExpr::read(0);
+    P.addStmt(std::move(S));
+  }
+  P.setSpaceSizes({16});
+  P.setTimeSteps(2);
+  EXPECT_NE(P.verify().find("same-step"), std::string::npos);
+}
+
+TEST(StencilProgramTest, VerifyRejectsUndeclaredRead) {
+  StencilProgram P("bad", 1);
+  unsigned A = P.addField("A");
+  StencilStmt S;
+  S.WriteField = A;
+  S.Reads.push_back({A, -1, {0}});
+  S.RHS = StencilExpr::read(3); // Out of range.
+  P.addStmt(std::move(S));
+  P.setSpaceSizes({16});
+  P.setTimeSteps(2);
+  EXPECT_NE(P.verify().find("undeclared"), std::string::npos);
+}
+
+TEST(StencilProgramTest, VerifyRejectsMultipleWriters) {
+  StencilProgram P("bad", 1);
+  unsigned A = P.addField("A");
+  for (int I = 0; I < 2; ++I) {
+    StencilStmt S;
+    S.WriteField = A;
+    S.Reads.push_back({A, -1, {0}});
+    S.RHS = StencilExpr::read(0);
+    P.addStmt(std::move(S));
+  }
+  P.setSpaceSizes({16});
+  P.setTimeSteps(2);
+  EXPECT_NE(P.verify().find("multiple statements"), std::string::npos);
+}
+
+TEST(StencilProgramTest, WriterOf) {
+  StencilProgram P = makeFdtd2D(64, 4);
+  EXPECT_EQ(P.writerOf(0), 0); // ey.
+  EXPECT_EQ(P.writerOf(1), 1); // ex.
+  EXPECT_EQ(P.writerOf(2), 2); // hz.
+}
+
+TEST(StencilProgramTest, SourceRenderingMatchesFig1Shape) {
+  StencilProgram P = makeJacobi2D(8, 2);
+  std::string Src = P.str();
+  EXPECT_NE(Src.find("for (t = 0; t < 2; t++)"), std::string::npos);
+  EXPECT_NE(Src.find("for (s0 = 1; s0 < 8 - 1; s0++)"), std::string::npos);
+  EXPECT_NE(Src.find("A[t+1][s0][s1]"), std::string::npos);
+}

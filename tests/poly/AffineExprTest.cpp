@@ -1,0 +1,73 @@
+//===- AffineExprTest.cpp - Affine expression tests ------------------------===//
+
+#include "poly/AffineExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+TEST(AffineExprTest, DimAndConstant) {
+  AffineExpr X = AffineExpr::dim(3, 1);
+  EXPECT_EQ(X.coeff(0), Rational(0));
+  EXPECT_EQ(X.coeff(1), Rational(1));
+  EXPECT_EQ(X.constantTerm(), Rational(0));
+  AffineExpr C = AffineExpr::constant(3, Rational(7, 2));
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constantTerm(), Rational(7, 2));
+}
+
+TEST(AffineExprTest, Arithmetic) {
+  AffineExpr X = AffineExpr::dim(2, 0);
+  AffineExpr Y = AffineExpr::dim(2, 1);
+  AffineExpr E = X * Rational(2) + Y * Rational(-1, 2) +
+                 AffineExpr::constant(2, Rational(3));
+  int64_t P[2] = {5, 4};
+  EXPECT_EQ(E.evaluate(P), Rational(11)); // 10 - 2 + 3.
+  AffineExpr N = -E;
+  EXPECT_EQ(N.evaluate(P), Rational(-11));
+  AffineExpr D = E - E;
+  EXPECT_TRUE(D.isConstant());
+  EXPECT_EQ(D.evaluate(P), Rational(0));
+}
+
+TEST(AffineExprTest, EvaluateRational) {
+  AffineExpr X = AffineExpr::dim(1, 0);
+  AffineExpr E = X * Rational(1, 3) + AffineExpr::constant(1, Rational(1));
+  Rational P[1] = {Rational(1, 2)};
+  EXPECT_EQ(E.evaluateRational(P), Rational(7, 6));
+}
+
+TEST(AffineExprTest, ScaledToIntegers) {
+  AffineExpr X = AffineExpr::dim(2, 0);
+  AffineExpr Y = AffineExpr::dim(2, 1);
+  AffineExpr E = X * Rational(1, 2) + Y * Rational(2, 3) +
+                 AffineExpr::constant(2, Rational(1, 6));
+  AffineExpr S = E.scaledToIntegers();
+  EXPECT_EQ(S.coeff(0), Rational(3));
+  EXPECT_EQ(S.coeff(1), Rational(4));
+  EXPECT_EQ(S.constantTerm(), Rational(1));
+}
+
+TEST(AffineExprTest, NormalizedIntegers) {
+  AffineExpr X = AffineExpr::dim(1, 0);
+  AffineExpr E = X * Rational(4) + AffineExpr::constant(1, Rational(6));
+  AffineExpr N = E.normalizedIntegers();
+  EXPECT_EQ(N.coeff(0), Rational(2));
+  EXPECT_EQ(N.constantTerm(), Rational(3));
+}
+
+TEST(AffineExprTest, DependsOnlyOnDimsBelow) {
+  AffineExpr E = AffineExpr::dim(3, 1);
+  EXPECT_TRUE(E.dependsOnlyOnDimsBelow(2));
+  EXPECT_FALSE(E.dependsOnlyOnDimsBelow(1));
+}
+
+TEST(AffineExprTest, Str) {
+  AffineExpr X = AffineExpr::dim(2, 0);
+  AffineExpr Y = AffineExpr::dim(2, 1);
+  AffineExpr E = X * Rational(2) - Y + AffineExpr::constant(2, Rational(-3));
+  std::string Names[2] = {"t", "s"};
+  EXPECT_EQ(E.str(Names), "2*t - s - 3");
+  EXPECT_EQ(AffineExpr(2).str(Names), "0");
+}

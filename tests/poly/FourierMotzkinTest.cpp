@@ -1,0 +1,105 @@
+//===- FourierMotzkinTest.cpp - FM elimination tests ------------------------===//
+
+#include "poly/FourierMotzkin.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+TEST(FourierMotzkinTest, ProjectTriangle) {
+  // 0 <= x, 0 <= y, x + y <= 4; projecting out y gives 0 <= x <= 4.
+  IntegerSet S(std::vector<std::string>{"x", "y"});
+  AffineExpr X = AffineExpr::dim(2, 0), Y = AffineExpr::dim(2, 1);
+  S.addConstraint(Constraint::ge(X));
+  S.addConstraint(Constraint::ge(Y));
+  S.addConstraint(Constraint::le(X + Y, AffineExpr::constant(2, 4)));
+  IntegerSet P = eliminateDim(S, 1);
+  for (int64_t V = 0; V <= 4; ++V) {
+    int64_t Pt[2] = {V, 99}; // y unconstrained after elimination.
+    EXPECT_TRUE(P.contains(Pt)) << V;
+  }
+  int64_t Lo[2] = {-1, 0}, Hi[2] = {5, 0};
+  EXPECT_FALSE(P.contains(Lo));
+  EXPECT_FALSE(P.contains(Hi));
+}
+
+TEST(FourierMotzkinTest, EqualitySubstitution) {
+  // y == x + 1, 0 <= y <= 5; eliminating y must give -1 <= x <= 4.
+  IntegerSet S(std::vector<std::string>{"x", "y"});
+  AffineExpr X = AffineExpr::dim(2, 0), Y = AffineExpr::dim(2, 1);
+  S.addConstraint(Constraint::eq(Y - X - AffineExpr::constant(2, 1)));
+  S.addConstraint(Constraint::ge(Y));
+  S.addConstraint(Constraint::le(Y, AffineExpr::constant(2, 5)));
+  IntegerSet P = eliminateDim(S, 1);
+  for (int64_t V = -1; V <= 4; ++V) {
+    int64_t Pt[2] = {V, 0};
+    EXPECT_TRUE(P.contains(Pt)) << V;
+  }
+  int64_t Lo[2] = {-2, 0}, Hi[2] = {5, 0};
+  EXPECT_FALSE(P.contains(Lo));
+  EXPECT_FALSE(P.contains(Hi));
+}
+
+/// Property: the rational projection contains exactly the x values for which
+/// some integer y completes the point, for a random-ish family of 2D sets.
+TEST(FourierMotzkinTest, ProjectionSoundAndTightOnWideSets) {
+  // x in [0, 12], y between lines with slopes +-1/2 around x.
+  IntegerSet S(std::vector<std::string>{"x", "y"});
+  AffineExpr X = AffineExpr::dim(2, 0), Y = AffineExpr::dim(2, 1);
+  S.addBounds(0, 0, 12);
+  // y >= (x - 4) / 2  <=>  2y - x + 4 >= 0.
+  S.addConstraint(Constraint::ge(Y * Rational(2) - X +
+                                 AffineExpr::constant(2, 4)));
+  // y <= (x + 9) / 3  <=>  x + 9 - 3y >= 0.
+  S.addConstraint(Constraint::ge(X + AffineExpr::constant(2, 9) -
+                                 Y * Rational(3)));
+  IntegerSet P = eliminateDim(S, 1);
+
+  for (int64_t XV = -2; XV <= 14; ++XV) {
+    bool HasCompletion = false;
+    for (int64_t YV = -30; YV <= 30; ++YV) {
+      int64_t Pt[2] = {XV, YV};
+      if (S.contains(Pt))
+        HasCompletion = true;
+    }
+    int64_t Pt[2] = {XV, 0};
+    bool InProjection = P.contains(Pt);
+    // Sound: every completable x is in the projection. (The converse can
+    // fail only through rational holes; this family has none because the
+    // y interval is wider than 1 everywhere.)
+    EXPECT_EQ(InProjection, HasCompletion) << "x=" << XV;
+  }
+}
+
+TEST(FourierMotzkinTest, EliminateAllDimsLeavesConstants) {
+  IntegerSet S(std::vector<std::string>{"x"});
+  AffineExpr X = AffineExpr::dim(1, 0);
+  S.addConstraint(Constraint::ge(X - AffineExpr::constant(1, 3)));
+  S.addConstraint(Constraint::le(X, AffineExpr::constant(1, 2)));
+  IntegerSet R = eliminateDimsFrom(S, 0);
+  // 3 <= x <= 2 is infeasible: the residue must witness it.
+  EXPECT_TRUE(S.isRationalEmpty());
+  bool FoundViolated = false;
+  std::vector<int64_t> Zero(1, 0);
+  for (const Constraint &C : R.constraints())
+    if (!C.isSatisfied(Zero))
+      FoundViolated = true;
+  EXPECT_TRUE(FoundViolated);
+}
+
+TEST(FourierMotzkinTest, ProjectOntoDim) {
+  // Square [2,5] x [-3,7]: projection onto y keeps only its bounds.
+  IntegerSet S(std::vector<std::string>{"x", "y"});
+  S.addBounds(0, 2, 5);
+  S.addBounds(1, -3, 7);
+  IntegerSet P = projectOntoDim(S, 1);
+  for (int64_t YV = -3; YV <= 7; ++YV) {
+    int64_t Pt[2] = {1000, YV};
+    EXPECT_TRUE(P.contains(Pt));
+  }
+  int64_t Bad[2] = {0, 8};
+  EXPECT_FALSE(P.contains(Bad));
+}

@@ -1,0 +1,107 @@
+//===- IntegerSetTest.cpp - Integer set tests ------------------------------===//
+
+#include "poly/IntegerSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+namespace {
+
+/// Triangle 0 <= x, 0 <= y, x + y <= N.
+IntegerSet makeTriangle(int64_t N) {
+  IntegerSet S(std::vector<std::string>{"x", "y"});
+  AffineExpr X = AffineExpr::dim(2, 0), Y = AffineExpr::dim(2, 1);
+  S.addConstraint(Constraint::ge(X));
+  S.addConstraint(Constraint::ge(Y));
+  S.addConstraint(Constraint::le(X + Y, AffineExpr::constant(2, N)));
+  return S;
+}
+
+} // namespace
+
+TEST(IntegerSetTest, Contains) {
+  IntegerSet S = makeTriangle(3);
+  int64_t In[2] = {1, 2};
+  int64_t Out[2] = {2, 2};
+  int64_t Neg[2] = {-1, 0};
+  EXPECT_TRUE(S.contains(In));
+  EXPECT_FALSE(S.contains(Out));
+  EXPECT_FALSE(S.contains(Neg));
+}
+
+TEST(IntegerSetTest, CountTriangle) {
+  // Points with x,y >= 0, x+y <= N: (N+1)(N+2)/2.
+  for (int64_t N : {0, 1, 2, 5, 10})
+    EXPECT_EQ(makeTriangle(N).countPoints(), (N + 1) * (N + 2) / 2) << N;
+}
+
+TEST(IntegerSetTest, IntersectRestricts) {
+  IntegerSet S = makeTriangle(10);
+  IntegerSet Band(std::vector<std::string>{"x", "y"});
+  Band.addBounds(0, 2, 3);
+  IntegerSet I = S.intersect(Band);
+  // x in {2, 3}; y in [0, 10 - x]: 9 + 8 = 17 points.
+  EXPECT_EQ(I.countPoints(), 17);
+}
+
+TEST(IntegerSetTest, RationalEmpty) {
+  IntegerSet S(std::vector<std::string>{"x"});
+  AffineExpr X = AffineExpr::dim(1, 0);
+  S.addConstraint(Constraint::ge(X - AffineExpr::constant(1, 5)));
+  S.addConstraint(Constraint::le(X, AffineExpr::constant(1, 4)));
+  EXPECT_TRUE(S.isRationalEmpty());
+  EXPECT_TRUE(S.isIntegerEmpty());
+}
+
+TEST(IntegerSetTest, IntegerEmptyButRationalNonEmpty) {
+  // 1/2 <= x <= 2/3 contains rationals but no integer.
+  IntegerSet S(std::vector<std::string>{"x"});
+  AffineExpr X = AffineExpr::dim(1, 0);
+  S.addConstraint(
+      Constraint::ge(X - AffineExpr::constant(1, Rational(1, 2))));
+  S.addConstraint(
+      Constraint::le(X, AffineExpr::constant(1, Rational(2, 3))));
+  EXPECT_FALSE(S.isRationalEmpty());
+  EXPECT_TRUE(S.isIntegerEmpty());
+}
+
+TEST(IntegerSetTest, EqualityConstraint) {
+  // x == 2y over 0 <= x <= 10, 0 <= y <= 10.
+  IntegerSet S(std::vector<std::string>{"x", "y"});
+  S.addBounds(0, 0, 10);
+  S.addBounds(1, 0, 10);
+  AffineExpr X = AffineExpr::dim(2, 0), Y = AffineExpr::dim(2, 1);
+  S.addConstraint(Constraint::eq(X - Y * Rational(2)));
+  EXPECT_EQ(S.countPoints(), 6); // y = 0..5.
+}
+
+TEST(IntegerSetTest, EnumerateLexOrder) {
+  IntegerSet S = makeTriangle(2);
+  std::vector<std::pair<int64_t, int64_t>> Points;
+  S.enumerate([&](std::span<const int64_t> P) {
+    Points.push_back({P[0], P[1]});
+    return true;
+  });
+  ASSERT_EQ(Points.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(Points.begin(), Points.end()));
+  EXPECT_EQ(Points.front(), std::make_pair(int64_t(0), int64_t(0)));
+  EXPECT_EQ(Points.back(), std::make_pair(int64_t(2), int64_t(0)));
+}
+
+TEST(IntegerSetTest, EnumerateEarlyStop) {
+  IntegerSet S = makeTriangle(5);
+  int Count = 0;
+  bool Completed = S.enumerate([&](std::span<const int64_t>) {
+    return ++Count < 3;
+  });
+  EXPECT_FALSE(Completed);
+  EXPECT_EQ(Count, 3);
+}
+
+TEST(IntegerSetTest, Str) {
+  IntegerSet S(std::vector<std::string>{"x"});
+  S.addBounds(0, 0, 1);
+  EXPECT_EQ(S.str(), "{ [x] : x >= 0 and -x + 1 >= 0 }");
+}

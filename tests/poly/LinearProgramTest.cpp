@@ -1,0 +1,71 @@
+//===- LinearProgramTest.cpp - Rational LP tests ----------------------------===//
+
+#include "poly/LinearProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+TEST(LinearProgramTest, BoxOptima) {
+  IntegerSet S(std::vector<std::string>{"x", "y"});
+  S.addBounds(0, -2, 5);
+  S.addBounds(1, 1, 4);
+  AffineExpr X = AffineExpr::dim(2, 0), Y = AffineExpr::dim(2, 1);
+  EXPECT_EQ(maximize(S, X).Value, Rational(5));
+  EXPECT_EQ(minimize(S, X).Value, Rational(-2));
+  EXPECT_EQ(maximize(S, X + Y * Rational(2)).Value, Rational(13));
+  EXPECT_EQ(minimize(S, X - Y).Value, Rational(-6));
+}
+
+TEST(LinearProgramTest, FractionalOptimum) {
+  // max x s.t. 2x <= 7 -> 7/2 (rational relaxation).
+  IntegerSet S(std::vector<std::string>{"x"});
+  AffineExpr X = AffineExpr::dim(1, 0);
+  S.addConstraint(Constraint::le(X * Rational(2), AffineExpr::constant(1, 7)));
+  S.addConstraint(Constraint::ge(X));
+  LPResult R = maximize(S, X);
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Value, Rational(7, 2));
+}
+
+TEST(LinearProgramTest, Unbounded) {
+  IntegerSet S(std::vector<std::string>{"x"});
+  AffineExpr X = AffineExpr::dim(1, 0);
+  S.addConstraint(Constraint::ge(X));
+  LPResult R = maximize(S, X);
+  EXPECT_EQ(R.Status, LPResult::StatusKind::Unbounded);
+  // But the minimum exists.
+  EXPECT_EQ(minimize(S, X).Value, Rational(0));
+}
+
+TEST(LinearProgramTest, Infeasible) {
+  IntegerSet S(std::vector<std::string>{"x"});
+  AffineExpr X = AffineExpr::dim(1, 0);
+  S.addConstraint(Constraint::ge(X - AffineExpr::constant(1, 2)));
+  S.addConstraint(Constraint::le(X, AffineExpr::constant(1, 1)));
+  EXPECT_EQ(maximize(S, X).Status, LPResult::StatusKind::Infeasible);
+}
+
+TEST(LinearProgramTest, SlopeComputationAsInPaper) {
+  // The delta0 LP of Sec. 3.3.2 for the example distances (1,-2), (2,2):
+  // minimize d s.t. d*1 >= -2 and d*2 >= 2 -> d = 1.
+  IntegerSet S(std::vector<std::string>{"d"});
+  AffineExpr D = AffineExpr::dim(1, 0);
+  S.addConstraint(Constraint::ge(D + AffineExpr::constant(1, 2)));
+  S.addConstraint(Constraint::ge(D * Rational(2) -
+                                 AffineExpr::constant(1, 2)));
+  LPResult R = minimize(S, D);
+  ASSERT_TRUE(R.isOptimal());
+  EXPECT_EQ(R.Value, Rational(1));
+}
+
+TEST(LinearProgramTest, ObjectiveOverTriangleVertex) {
+  // max 3x + y over the triangle (0,0), (4,0), (0,4): attained at (4,0).
+  IntegerSet S(std::vector<std::string>{"x", "y"});
+  AffineExpr X = AffineExpr::dim(2, 0), Y = AffineExpr::dim(2, 1);
+  S.addConstraint(Constraint::ge(X));
+  S.addConstraint(Constraint::ge(Y));
+  S.addConstraint(Constraint::le(X + Y, AffineExpr::constant(2, 4)));
+  EXPECT_EQ(maximize(S, X * Rational(3) + Y).Value, Rational(12));
+}

@@ -1,0 +1,87 @@
+//===- LoopNestTest.cpp - Loop-bound extraction tests -----------------------===//
+
+#include "poly/LoopNest.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+TEST(LoopNestTest, BoxBounds) {
+  IntegerSet S(std::vector<std::string>{"i", "j"});
+  S.addBounds(0, 0, 3);
+  S.addBounds(1, 1, 2);
+  LoopNest Nest(S);
+  ASSERT_EQ(Nest.dims().size(), 2u);
+  std::vector<int64_t> Outer;
+  EXPECT_EQ(Nest.dims()[0].lowerAt(Outer), 0);
+  EXPECT_EQ(Nest.dims()[0].upperAt(Outer), 3);
+  EXPECT_EQ(Nest.count(), 8);
+}
+
+TEST(LoopNestTest, TriangularBoundsDependOnOuter) {
+  // 0 <= i <= 4, i <= j <= 4.
+  IntegerSet S(std::vector<std::string>{"i", "j"});
+  AffineExpr I = AffineExpr::dim(2, 0), J = AffineExpr::dim(2, 1);
+  S.addBounds(0, 0, 4);
+  S.addConstraint(Constraint::ge(J - I));
+  S.addConstraint(Constraint::le(J, AffineExpr::constant(2, 4)));
+  LoopNest Nest(S);
+  for (int64_t IV = 0; IV <= 4; ++IV) {
+    int64_t Outer[1] = {IV};
+    EXPECT_EQ(Nest.dims()[1].lowerAt(std::span<const int64_t>(Outer, 1)), IV);
+    EXPECT_EQ(Nest.dims()[1].upperAt(std::span<const int64_t>(Outer, 1)), 4);
+  }
+  EXPECT_EQ(Nest.count(), 15); // 5+4+3+2+1.
+}
+
+TEST(LoopNestTest, DivisorBoundsRound) {
+  // 0 <= 2i <= 9: i in [0, 4] (floor on the upper bound).
+  IntegerSet S(std::vector<std::string>{"i"});
+  AffineExpr I = AffineExpr::dim(1, 0);
+  S.addConstraint(Constraint::ge(I));
+  S.addConstraint(Constraint::le(I * Rational(2), AffineExpr::constant(1, 9)));
+  LoopNest Nest(S);
+  EXPECT_EQ(Nest.count(), 5);
+}
+
+TEST(LoopNestTest, InnermostRecheckFiltersHoles) {
+  // x == 2y: the projection of x is the full interval, but only even x
+  // survive the innermost membership re-check.
+  IntegerSet S(std::vector<std::string>{"y", "x"});
+  AffineExpr Y = AffineExpr::dim(2, 0), X = AffineExpr::dim(2, 1);
+  S.addBounds(1, 0, 10);
+  S.addConstraint(Constraint::eq(X - Y * Rational(2)));
+  S.addBounds(0, 0, 5);
+  LoopNest Nest(S);
+  EXPECT_EQ(Nest.count(), 6); // x in {0, 2, 4, 6, 8, 10}.
+}
+
+TEST(LoopNestTest, EnumerationMatchesBruteForce) {
+  // Hexagon-like 2D shape: compare against brute force over a box.
+  IntegerSet S(std::vector<std::string>{"a", "b"});
+  AffineExpr A = AffineExpr::dim(2, 0), B = AffineExpr::dim(2, 1);
+  S.addBounds(0, 0, 5);
+  S.addConstraint(Constraint::le(A - B, AffineExpr::constant(2, 3)));
+  S.addConstraint(Constraint::le(A + B, AffineExpr::constant(2, 10)));
+  S.addConstraint(Constraint::ge(A + B, AffineExpr::constant(2, 2)));
+  S.addConstraint(Constraint::ge(A - B, AffineExpr::constant(2, -5)));
+
+  int64_t Brute = 0;
+  for (int64_t AV = -10; AV <= 10; ++AV)
+    for (int64_t BV = -10; BV <= 10; ++BV) {
+      int64_t P[2] = {AV, BV};
+      if (S.contains(P))
+        ++Brute;
+    }
+  EXPECT_EQ(LoopNest(S).count(), Brute);
+}
+
+TEST(LoopNestTest, LoopBoundStr) {
+  LoopBound B{AffineExpr::dim(1, 0) * Rational(2) +
+                  AffineExpr::constant(1, 1),
+              3};
+  std::string Names[1] = {"n"};
+  EXPECT_EQ(B.str(Names, /*IsLower=*/true), "ceil((2*n + 1)/3)");
+  EXPECT_EQ(B.str(Names, /*IsLower=*/false), "floor((2*n + 1)/3)");
+}

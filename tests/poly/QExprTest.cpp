@@ -1,0 +1,70 @@
+//===- QExprTest.cpp - Quasi-affine expression tests -------------------------===//
+
+#include "poly/QExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::poly;
+
+TEST(QExprTest, EvaluateBasics) {
+  QExpr T = QExpr::var(0, "t");
+  QExpr E = (T + QExpr::constant(3)).floorDiv(4);
+  int64_t V1[1] = {5};
+  int64_t V2[1] = {-5};
+  EXPECT_EQ(E.evaluate(V1), 2);  // floor(8/4).
+  EXPECT_EQ(E.evaluate(V2), -1); // floor(-2/4).
+}
+
+TEST(QExprTest, ModIsEuclidean) {
+  QExpr T = QExpr::var(0, "t");
+  QExpr E = T.mod(6);
+  int64_t V1[1] = {7};
+  int64_t V2[1] = {-1};
+  EXPECT_EQ(E.evaluate(V1), 1);
+  EXPECT_EQ(E.evaluate(V2), 5);
+}
+
+TEST(QExprTest, PaperEq2) {
+  // T = floor((t + h + 1) / (2h + 2)) with h = 2.
+  int64_t H = 2;
+  QExpr T = (QExpr::var(0, "t") + QExpr::constant(H + 1))
+                .floorDiv(2 * H + 2);
+  // t = -3..2 -> T = 0; t = 3..8 -> T = 1.
+  for (int64_t TV = -3; TV <= 8; ++TV) {
+    int64_t V[1] = {TV};
+    EXPECT_EQ(T.evaluate(V), TV <= 2 ? 0 : 1) << TV;
+  }
+}
+
+TEST(QExprTest, MulAndSub) {
+  QExpr X = QExpr::var(0), Y = QExpr::var(1);
+  QExpr E = X * 3 - Y;
+  int64_t V[2] = {4, 5};
+  EXPECT_EQ(E.evaluate(V), 7);
+}
+
+TEST(QExprTest, Str) {
+  QExpr T = QExpr::var(0, "t");
+  QExpr E = (T + QExpr::constant(3)).floorDiv(6);
+  EXPECT_EQ(E.str(), "floor((t + 3) / 6)");
+  EXPECT_EQ(T.mod(4).str(), "(t mod 4)");
+  EXPECT_EQ((T * 2).str(), "2*t");
+}
+
+TEST(QExprTest, MaxVarIndex) {
+  QExpr E = QExpr::var(0) + QExpr::var(3) * 2;
+  EXPECT_EQ(E.maxVarIndex(), 3);
+  EXPECT_EQ(QExpr::constant(5).maxVarIndex(), -1);
+}
+
+TEST(QExprTest, NestedFloorDivComposition) {
+  // floor(floor(t/2)/3) == floor(t/6) for all t (property over a range).
+  QExpr T = QExpr::var(0);
+  QExpr Nested = T.floorDiv(2).floorDiv(3);
+  QExpr Direct = T.floorDiv(6);
+  for (int64_t V = -30; V <= 30; ++V) {
+    int64_t P[1] = {V};
+    EXPECT_EQ(Nested.evaluate(P), Direct.evaluate(P)) << V;
+  }
+}

@@ -1,0 +1,66 @@
+//===- MathExtTest.cpp - Integer helper tests ------------------------------===//
+
+#include "support/MathExt.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+
+TEST(MathExtTest, FloorDivMatchesMath) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(floorDiv(6, 3), 2);
+  EXPECT_EQ(floorDiv(-6, 3), -2);
+}
+
+TEST(MathExtTest, CeilDivMatchesMath) {
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(ceilDiv(7, -2), -3);
+  EXPECT_EQ(ceilDiv(-7, -2), 4);
+  EXPECT_EQ(ceilDiv(6, 3), 2);
+}
+
+TEST(MathExtTest, EuclidModAlwaysNonNegative) {
+  EXPECT_EQ(euclidMod(7, 3), 1);
+  EXPECT_EQ(euclidMod(-7, 3), 2);
+  EXPECT_EQ(euclidMod(-6, 3), 0);
+  EXPECT_EQ(euclidMod(7, -3), 1);
+}
+
+/// Property sweep: q*D + r == N with 0 <= r < |D| for every combination.
+TEST(MathExtTest, FloorDivModIdentityProperty) {
+  for (int64_t N = -50; N <= 50; ++N)
+    for (int64_t D : {1, 2, 3, 7, -1, -3}) {
+      int64_t Q = floorDiv(N, D);
+      int64_t R = euclidMod(N, D);
+      if (D > 0) {
+        EXPECT_EQ(Q * D + R, N) << N << " / " << D;
+      }
+      EXPECT_GE(R, 0);
+      EXPECT_LT(R, D > 0 ? D : -D);
+      EXPECT_GE(ceilDiv(N, D), Q);
+    }
+}
+
+TEST(MathExtTest, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(13, 7), 1);
+}
+
+TEST(MathExtTest, Lcm) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(3, 7), 21);
+  EXPECT_EQ(lcm64(0, 7), 0);
+  EXPECT_EQ(lcm64(-4, 6), 12);
+}
+
+TEST(MathExtTest, CheckedOpsPassThrough) {
+  EXPECT_EQ(mulChecked(1 << 20, 1 << 20), int64_t(1) << 40);
+  EXPECT_EQ(addChecked(INT64_MAX - 1, 1), INT64_MAX);
+}

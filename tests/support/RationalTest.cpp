@@ -1,0 +1,84 @@
+//===- RationalTest.cpp - Exact rational arithmetic tests ------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+
+TEST(RationalTest, NormalizesSignAndGcd) {
+  Rational R(4, -6);
+  EXPECT_EQ(R.num(), -2);
+  EXPECT_EQ(R.den(), 3);
+  EXPECT_TRUE(R.isNegative());
+  EXPECT_EQ(Rational(0, 5), Rational(0));
+  EXPECT_EQ(Rational(-10, -5), Rational(2));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational A(1, 2), B(1, 3);
+  EXPECT_EQ(A + B, Rational(5, 6));
+  EXPECT_EQ(A - B, Rational(1, 6));
+  EXPECT_EQ(A * B, Rational(1, 6));
+  EXPECT_EQ(A / B, Rational(3, 2));
+  EXPECT_EQ(-A, Rational(-1, 2));
+}
+
+TEST(RationalTest, CompoundAssignment) {
+  Rational A(1, 4);
+  A += Rational(1, 4);
+  EXPECT_EQ(A, Rational(1, 2));
+  A *= Rational(4);
+  EXPECT_EQ(A, Rational(2));
+  A -= Rational(1, 2);
+  EXPECT_EQ(A, Rational(3, 2));
+  A /= Rational(3);
+  EXPECT_EQ(A, Rational(1, 2));
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_GE(Rational(7), Rational(13, 2));
+  EXPECT_NE(Rational(1, 3), Rational(1, 2));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6, 2).floor(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil(), 3);
+}
+
+TEST(RationalTest, FractionalPart) {
+  // {x} = x - floor(x), as used by the width bound, eq. (1).
+  EXPECT_EQ(Rational(7, 2).fract(), Rational(1, 2));
+  EXPECT_EQ(Rational(-7, 2).fract(), Rational(1, 2));
+  EXPECT_EQ(Rational(5).fract(), Rational(0));
+  EXPECT_EQ(Rational(-5, 3).fract(), Rational(1, 3));
+}
+
+TEST(RationalTest, MinMax) {
+  EXPECT_EQ(Rational::min(Rational(1, 2), Rational(1, 3)), Rational(1, 3));
+  EXPECT_EQ(Rational::max(Rational(1, 2), Rational(1, 3)), Rational(1, 2));
+}
+
+TEST(RationalTest, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-3, 2).str(), "-3/2");
+}
+
+TEST(RationalTest, CrossReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow intermediates.
+  Rational Big(int64_t(1) << 40, 3);
+  Rational Inv(3, int64_t(1) << 40);
+  EXPECT_EQ(Big * Inv, Rational(1));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).toDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-5, 4).toDouble(), -1.25);
+}
