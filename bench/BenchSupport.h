@@ -20,17 +20,56 @@
 #include "gpu/PerfModel.h"
 #include "ir/StencilGallery.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hextile {
 namespace bench {
 
+/// True when the harness was invoked with --smoke: the `ctest -L bench`
+/// entries pass it so every harness runs with shrunken problem sizes and
+/// sweep spaces, executing all code paths in seconds instead of producing
+/// full paper tables.
+inline bool smokeMode(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::string_view(argv[I]) == "--smoke")
+      return true;
+  return false;
+}
+
+/// The benchmark programs a harness iterates: the full Table 1/2 suite, or
+/// its first two entries under --smoke.
+inline std::vector<ir::StencilProgram> smokeSuite(bool Smoke) {
+  std::vector<ir::StencilProgram> Suite = ir::makeBenchmarkSuite();
+  if (Smoke)
+    Suite.resize(std::min<size_t>(Suite.size(), 2));
+  return Suite;
+}
+
+/// The optimization-ladder levels a harness iterates: (a)-(f), or just the
+/// endpoints under --smoke.
+inline std::vector<char> smokeOptLevels(bool Smoke) {
+  if (Smoke)
+    return {'a', 'f'};
+  return {'a', 'b', 'c', 'd', 'e', 'f'};
+}
+
 /// Tile-size search space used for the hybrid rows, sized so the sweep
-/// finishes quickly while covering the paper's choices.
-inline core::TileSizeConstraints hybridSearchSpace(unsigned Rank) {
+/// finishes quickly while covering the paper's choices. \p Smoke collapses
+/// the sweep to a couple of candidates.
+inline core::TileSizeConstraints hybridSearchSpace(unsigned Rank,
+                                                   bool Smoke = false) {
   core::TileSizeConstraints C;
+  if (Smoke) {
+    C.MaxH = 2;
+    C.W0Widths = {3, 5};
+    C.MiddleWidths = {8};
+    C.InnermostWidths = {32};
+    return C;
+  }
   C.MaxH = Rank >= 3 ? 3 : 6;
   C.W0Widths = Rank >= 3 ? std::vector<int64_t>{3, 5, 7, 9}
                          : std::vector<int64_t>{3, 5, 7, 11, 15};
@@ -50,7 +89,8 @@ struct ToolRow {
 };
 
 inline ToolRow runBenchmark(const ir::StencilProgram &P,
-                            const gpu::DeviceConfig &Dev) {
+                            const gpu::DeviceConfig &Dev,
+                            bool Smoke = false) {
   ToolRow Row;
   Row.Benchmark = P.name();
 
@@ -65,7 +105,7 @@ inline ToolRow runBenchmark(const ir::StencilProgram &P,
   Row.Overtile = gpu::simulate(Dev, Ovt.Kernels).GStencilsPerSec;
 
   codegen::TileSizeRequest Req;
-  Req.Constraints = hybridSearchSpace(P.spaceRank());
+  Req.Constraints = hybridSearchSpace(P.spaceRank(), Smoke);
   Req.Constraints.SharedMemBytes = Dev.SharedMemPerBlock;
   codegen::CompiledHybrid Hybrid = codegen::compileHybrid(P, Req);
   Row.Hybrid =
@@ -98,10 +138,10 @@ inline void printSpeedupTable(const char *Title,
 }
 
 inline int runToolComparison(const gpu::DeviceConfig &Dev,
-                             const char *Title) {
+                             const char *Title, bool Smoke = false) {
   std::vector<ToolRow> Rows;
-  for (const ir::StencilProgram &P : ir::makeBenchmarkSuite())
-    Rows.push_back(runBenchmark(P, Dev));
+  for (const ir::StencilProgram &P : smokeSuite(Smoke))
+    Rows.push_back(runBenchmark(P, Dev, Smoke));
   printSpeedupTable(Title, Dev, Rows);
   std::printf("\nhybrid tile sizes chosen by the Sec. 3.7 model:\n");
   for (const ToolRow &R : Rows)

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "core/TileSizeModel.h"
 #include "ir/StencilGallery.h"
 
@@ -46,20 +47,28 @@ void sweep(const ir::StencilProgram &P, std::vector<int64_t> InnerW,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool Smoke = hextile::bench::smokeMode(argc, argv);
   std::printf("Tile-size selection model (Sec. 3.7): exact per-tile counts"
               "\n\n");
-  sweep(ir::makeJacobi2D(), {32}, {1, 2, 3, 4, 5}, {3, 7, 11, 15});
-  sweep(ir::makeHeat3D(), {10, 32}, {1, 2, 3}, {3, 5, 7, 9});
+  if (Smoke) {
+    sweep(ir::makeJacobi2D(), {32}, {1, 2}, {3, 7});
+    sweep(ir::makeHeat3D(), {10, 32}, {1}, {3, 5});
+  } else {
+    sweep(ir::makeJacobi2D(), {32}, {1, 2, 3, 4, 5}, {3, 7, 11, 15});
+    sweep(ir::makeHeat3D(), {10, 32}, {1, 2, 3}, {3, 5, 7, 9});
+  }
 
   // What the model picks for the paper's heat 3D study.
   ir::StencilProgram P = ir::makeHeat3D();
   deps::DependenceInfo Deps = deps::analyzeDependences(P);
   std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
   TileSizeConstraints Constraints;
-  Constraints.MaxH = 3;
-  Constraints.W0Widths = {3, 5, 7, 9};
-  Constraints.MiddleWidths = {8, 10, 12};
+  Constraints.MaxH = Smoke ? 2 : 3;
+  Constraints.W0Widths =
+      Smoke ? std::vector<int64_t>{3, 5} : std::vector<int64_t>{3, 5, 7, 9};
+  Constraints.MiddleWidths =
+      Smoke ? std::vector<int64_t>{8} : std::vector<int64_t>{8, 10, 12};
   Constraints.InnermostWidths = {32};
   std::optional<TileSizeChoice> Best =
       selectTileSizes(P, Deps, Cones, Constraints);

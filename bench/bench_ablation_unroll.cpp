@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "codegen/HybridCompiler.h"
 #include "ir/StencilGallery.h"
 
@@ -15,12 +16,13 @@
 using namespace hextile;
 using namespace hextile::codegen;
 
-int main() {
+int main(int argc, char **argv) {
+  bool Smoke = bench::smokeMode(argc, argv);
   std::printf("Shared loads per point: naive vs unrolled (sliding window)"
               " vs register-tiled\n");
   std::printf("%-14s %7s %9s %7s %7s %7s\n", "benchmark", "naive",
               "unrolled", "rt=2", "rt=4", "rt=8");
-  for (const ir::StencilProgram &P : ir::makeBenchmarkSuite()) {
+  for (const ir::StencilProgram &P : bench::smokeSuite(Smoke)) {
     double Naive = 0, RT1 = 0, RT2 = 0, RT4 = 0, RT8 = 0;
     for (unsigned S = 0; S < P.numStmts(); ++S) {
       Naive += P.stmts()[S].numReads();
@@ -36,7 +38,8 @@ int main() {
 
   std::printf("\nheat 3D (h=2, w0=7, w1=10, w2=32) on GTX 470, config (f):"
               "\n%-26s %10s\n", "variant", "GFLOPS");
-  ir::StencilProgram P = ir::makeHeat3D(384, 128);
+  ir::StencilProgram P =
+      Smoke ? ir::makeHeat3D(64, 16) : ir::makeHeat3D(384, 128);
   TileSizeRequest Sizes;
   Sizes.H = 2;
   Sizes.W0 = 7;

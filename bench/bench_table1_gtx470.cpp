@@ -8,8 +8,9 @@
 
 #include "BenchSupport.h"
 
-int main() {
+int main(int argc, char **argv) {
   return hextile::bench::runToolComparison(
       hextile::gpu::DeviceConfig::gtx470(),
-      "Table 1: Performance on NVIDIA GTX 470");
+      "Table 1: Performance on NVIDIA GTX 470",
+      hextile::bench::smokeMode(argc, argv));
 }

@@ -7,8 +7,9 @@
 
 #include "BenchSupport.h"
 
-int main() {
+int main(int argc, char **argv) {
   return hextile::bench::runToolComparison(
       hextile::gpu::DeviceConfig::nvs5200(),
-      "Table 2: Performance on NVS 5200M");
+      "Table 2: Performance on NVS 5200M",
+      hextile::bench::smokeMode(argc, argv));
 }

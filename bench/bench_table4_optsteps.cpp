@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "codegen/HybridCompiler.h"
 #include "ir/StencilGallery.h"
 
@@ -38,8 +39,10 @@ const char *rowLabel(char L) {
 
 } // namespace
 
-int main() {
-  ir::StencilProgram P = ir::makeHeat3D(384, 128);
+int main(int argc, char **argv) {
+  bool Smoke = bench::smokeMode(argc, argv);
+  ir::StencilProgram P =
+      Smoke ? ir::makeHeat3D(64, 16) : ir::makeHeat3D(384, 128);
   TileSizeRequest Sizes;
   Sizes.H = 2;
   Sizes.W0 = 7;
@@ -52,7 +55,7 @@ int main() {
   std::printf("%-36s %12s %12s\n", "", "NVS 5200", "GTX 470");
 
   std::vector<double> Prev(Devices.size(), 0.0);
-  for (char L : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+  for (char L : bench::smokeOptLevels(Smoke)) {
     CompiledHybrid C = compileHybrid(P, Sizes, OptimizationConfig::level(L));
     std::printf("%-36s", rowLabel(L));
     for (unsigned D = 0; D < Devices.size(); ++D) {

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "codegen/HybridCompiler.h"
 #include "ir/StencilGallery.h"
 
@@ -16,8 +17,10 @@
 using namespace hextile;
 using namespace hextile::codegen;
 
-int main() {
-  ir::StencilProgram P = ir::makeHeat3D(384, 128);
+int main(int argc, char **argv) {
+  bool Smoke = bench::smokeMode(argc, argv);
+  ir::StencilProgram P =
+      Smoke ? ir::makeHeat3D(64, 16) : ir::makeHeat3D(384, 128);
   TileSizeRequest Sizes;
   Sizes.H = 2;
   Sizes.W0 = 7;
@@ -29,7 +32,7 @@ int main() {
   std::printf("%-5s %14s %14s %14s %16s %10s\n", "", "gld inst 32b",
               "dram read tx", "l2 read tx", "shld per request",
               "gld eff");
-  for (char L : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+  for (char L : bench::smokeOptLevels(Smoke)) {
     CompiledHybrid C = compileHybrid(P, Sizes, OptimizationConfig::level(L));
     gpu::PerfCounters K = gpu::simulate(Dev, C.kernelModels(Dev)).Counters;
     char Shld[16] = "n/a";

@@ -1,0 +1,52 @@
+# Provides GTest::gtest and GTest::gtest_main for the test tree.
+#
+# Resolution order, so builds work with no network access:
+#   1. A vendored / system googletest source tree (third_party/googletest in
+#      this repo, or the distro's /usr/src/googletest), built from source.
+#   2. An installed GTest package (find_package).
+#   3. FetchContent from GitHub (online builds only).
+
+set(HEXTILE_GTEST_SOURCE_DIR "" CACHE PATH
+    "Explicit googletest source tree to build instead of downloading")
+
+set(_hextile_gtest_candidates
+    "${HEXTILE_GTEST_SOURCE_DIR}"
+    "${CMAKE_SOURCE_DIR}/third_party/googletest"
+    "/usr/src/googletest")
+
+set(_hextile_gtest_src "")
+foreach(_cand IN LISTS _hextile_gtest_candidates)
+  if(_cand AND EXISTS "${_cand}/CMakeLists.txt")
+    set(_hextile_gtest_src "${_cand}")
+    break()
+  endif()
+endforeach()
+
+if(_hextile_gtest_src)
+  message(STATUS "hextile: building googletest from ${_hextile_gtest_src}")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  add_subdirectory("${_hextile_gtest_src}" "${CMAKE_BINARY_DIR}/_deps/googletest-build"
+                   EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+else()
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    message(STATUS "hextile: using installed GTest ${GTest_VERSION}")
+  else()
+    message(STATUS "hextile: fetching googletest from GitHub")
+    include(FetchContent)
+    FetchContent_Declare(
+      googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endif()

@@ -79,7 +79,7 @@ int64_t blocksFor(const ir::StencilProgram &P,
 } // namespace
 
 BaselineResult baselines::compilePpcg(const ir::StencilProgram &P,
-                                      const gpu::DeviceConfig &Dev) {
+                                      const gpu::DeviceConfig & /*Dev*/) {
   BaselineResult R;
   R.Name = "ppcg";
   std::vector<int64_t> W = ppcgTile(P.spaceRank());
@@ -183,8 +183,9 @@ namespace {
 
 /// Builds the Overtile launch model for one (time height, widths) choice.
 std::vector<gpu::KernelModel>
-overtileKernels(const ir::StencilProgram &P, const gpu::DeviceConfig &Dev,
-                int64_t HT, const std::vector<int64_t> &W) {
+overtileKernels(const ir::StencilProgram &P,
+                const gpu::DeviceConfig & /*Dev*/, int64_t HT,
+                const std::vector<int64_t> &W) {
   unsigned Rank = P.spaceRank();
   // Slope of the overlap region: one halo cell per time step per side.
   int64_t Halo = 0;

@@ -64,11 +64,17 @@ AffineExpr AffineExpr::operator*(const Rational &S) const {
 }
 
 Rational AffineExpr::evaluate(std::span<const int64_t> Point) const {
-  assert(Point.size() == numDims() && "point arity mismatch");
+  // Evaluating over a prefix of the dimensions is allowed (LoopNest
+  // evaluates projected bound expressions against the outer dims only);
+  // every truncated coefficient must then be zero.
+  assert(Point.size() <= numDims() && "point arity mismatch");
   Rational Sum = Const;
-  for (unsigned I = 0, E = numDims(); I < E; ++I)
-    if (!Coeffs[I].isZero())
-      Sum += Coeffs[I] * Rational(Point[I]);
+  for (unsigned I = 0, E = numDims(); I < E; ++I) {
+    if (Coeffs[I].isZero())
+      continue;
+    assert(I < Point.size() && "live coefficient beyond the point prefix");
+    Sum += Coeffs[I] * Rational(Point[I]);
+  }
   return Sum;
 }
 

@@ -62,7 +62,9 @@ public:
   AffineExpr operator-() const;
   AffineExpr operator*(const Rational &S) const;
 
-  /// Evaluates at an integer point; \p Point must have numDims() entries.
+  /// Evaluates at an integer point. \p Point may be a *prefix* of the
+  /// dimensions (projected systems evaluate bounds against the outer dims
+  /// only); every dimension beyond the prefix must have a zero coefficient.
   Rational evaluate(std::span<const int64_t> Point) const;
 
   /// Evaluates with rational values for the dims.

@@ -1,0 +1,109 @@
+//===- StencilOracle.h - Differential-testing oracle -----------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A differential-testing oracle for tiled schedules: any StencilProgram is
+/// run through the naive row-major (time-major) reference executor and
+/// through a schedule-driven replay of the same instances, and the final
+/// fields must agree bit-exactly. The schedule keys are built directly from
+/// the schedule constructions under test:
+///
+///   Hex        HexSchedule::locate on (t, s0); inner dimensions and the
+///              hexagonal S0 run as parallel blocks/threads.
+///   Hybrid     HybridSchedule::map, the paper's full Sec. 3.6 composition.
+///   Classical  ClassicalTiling on *every* spatial dimension inside
+///              time bands of height 2h+2 (the Sec. 3.4 scheme alone).
+///   Diamond    DiamondTiling wavefronts on (t, s0) (Bandishti et al.),
+///              legal only for cone slopes <= 1.
+///
+/// Each differential run randomizes the initial values (including the
+/// never-updated boundary cells) from a caller-provided seed, serializes the
+/// parallel block dimension in several pseudo-random orders, and shuffles
+/// equal-key (thread-parallel) instances, so an illegal schedule cannot hide
+/// behind one lucky interleaving. Diagnostics embed the seed and tiling so
+/// failures reproduce from the test log alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_TESTS_HARNESS_STENCILORACLE_H
+#define HEXTILE_TESTS_HARNESS_STENCILORACLE_H
+
+#include "exec/Executor.h"
+#include "ir/StencilProgram.h"
+
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace harness {
+
+/// The schedule families the oracle can replay.
+enum class ScheduleKind { Hex, Hybrid, Classical, Diamond };
+
+const char *scheduleKindName(ScheduleKind K);
+
+/// All four kinds, in declaration order.
+std::vector<ScheduleKind> allScheduleKinds();
+
+/// Tile parameters for one differential run. Invalid hexagon widths are
+/// legalized (W0 raised to the eq. (1) minimum) rather than rejected so
+/// randomized sweeps can draw parameters freely.
+struct OracleTiling {
+  int64_t H = 1;    ///< Hexagon height; classical time bands use 2h+2.
+  int64_t W0 = 2;   ///< Hexagon peak width (pre-legalization).
+  /// Classical widths for s1..sn (hybrid/classical). Extended with the last
+  /// entry (or 4) when shorter than rank-1; ignored entries are harmless.
+  std::vector<int64_t> InnerWidths;
+  int64_t DiamondPeriod = 4; ///< Diamond lattice period P.
+
+  std::string str() const;
+};
+
+/// Options for one differential run.
+struct OracleOptions {
+  /// Master seed: drives the randomized initial values, the pseudo-random
+  /// serialization of parallel blocks and the thread shuffles. Logged in
+  /// every diagnostic.
+  uint64_t Seed = 0x9e3779b97f4a7c15ull;
+  /// Number of distinct block serializations / thread shuffles to replay.
+  int NumShuffles = 2;
+};
+
+/// A schedule key plus the index of its first thread-parallel component.
+struct OracleSchedule {
+  exec::ScheduleKeyFn Key;
+  int ParallelFrom = -1;
+  /// Non-empty when the kind cannot legally tile this program (e.g. diamond
+  /// with cone slopes > 1); Key is null in that case.
+  std::string Skipped;
+};
+
+/// Builds the schedule key of kind \p K for \p P with tiling \p T.
+/// \p BlockPermSeed != 0 replaces the parallel block index by a seeded hash,
+/// replaying the blocks in a pseudo-random serialization.
+OracleSchedule makeOracleSchedule(const ir::StencilProgram &P, ScheduleKind K,
+                                  const OracleTiling &T,
+                                  uint64_t BlockPermSeed = 0);
+
+/// Runs \p P through the naive row-major executor and through schedule kind
+/// \p K, over randomized initial values, replaying OracleOptions::NumShuffles
+/// block serializations. Returns an empty string on bit-exact agreement of
+/// the final fields, else a diagnostic naming the kind, tiling, seed and
+/// first mismatching cell. A kind that legally cannot tile \p P is reported
+/// as agreement (the skip reason is available via makeOracleSchedule).
+std::string runDifferential(const ir::StencilProgram &P, ScheduleKind K,
+                            const OracleTiling &T,
+                            const OracleOptions &Opts = {});
+
+/// runDifferential over every schedule kind; concatenates diagnostics.
+std::string runDifferentialAllKinds(const ir::StencilProgram &P,
+                                    const OracleTiling &T,
+                                    const OracleOptions &Opts = {});
+
+} // namespace harness
+} // namespace hextile
+
+#endif // HEXTILE_TESTS_HARNESS_STENCILORACLE_H

@@ -64,3 +64,58 @@ TEST(MathExtTest, CheckedOpsPassThrough) {
   EXPECT_EQ(mulChecked(1 << 20, 1 << 20), int64_t(1) << 40);
   EXPECT_EQ(addChecked(INT64_MAX - 1, 1), INT64_MAX);
 }
+
+//===----------------------------------------------------------------------===//
+// Edge cases: negative divisors, INT64 extremes, zero-divisor rejection.
+//===----------------------------------------------------------------------===//
+
+TEST(MathExtEdgeTest, NegativeDivisorsAcrossHelpers) {
+  // floor/ceil identities must hold for every sign combination:
+  // floorDiv(n, d) == -ceilDiv(-n, d) == -ceilDiv(n, -d).
+  for (int64_t N : {-9, -7, -1, 0, 1, 7, 9})
+    for (int64_t D : {-4, -3, -2, -1, 1, 2, 3, 4}) {
+      EXPECT_EQ(floorDiv(N, D), -ceilDiv(-N, D)) << N << "/" << D;
+      EXPECT_EQ(floorDiv(N, D), -ceilDiv(N, -D)) << N << "/" << D;
+      // Quotient-remainder law coupling floorDiv with euclidMod:
+      // for D > 0, N == floorDiv(N, D) * D + euclidMod(N, D).
+      if (D > 0)
+        EXPECT_EQ(floorDiv(N, D) * D + euclidMod(N, D), N)
+            << N << "/" << D;
+      int64_t M = euclidMod(N, D);
+      EXPECT_GE(M, 0) << N << " mod " << D;
+      EXPECT_LT(M, D < 0 ? -D : D) << N << " mod " << D;
+    }
+}
+
+TEST(MathExtEdgeTest, Int64Extremes) {
+  EXPECT_EQ(floorDiv(INT64_MIN, 1), INT64_MIN);
+  EXPECT_EQ(floorDiv(INT64_MAX, 1), INT64_MAX);
+  EXPECT_EQ(floorDiv(INT64_MIN, 2), INT64_MIN / 2);
+  EXPECT_EQ(floorDiv(INT64_MIN + 1, -1), INT64_MAX);
+  EXPECT_EQ(ceilDiv(INT64_MAX, 2), INT64_MAX / 2 + 1);
+  EXPECT_EQ(euclidMod(INT64_MIN, 2), 0);
+  EXPECT_EQ(euclidMod(INT64_MIN, 3), 1); // -2^63 = 3*q + 1.
+  EXPECT_EQ(euclidMod(INT64_MAX, INT64_MAX), 0);
+  EXPECT_EQ(gcd64(INT64_MAX, 0), INT64_MAX);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(addChecked(INT64_MAX, 0), INT64_MAX);
+  EXPECT_EQ(addChecked(INT64_MIN, 0), INT64_MIN);
+  EXPECT_EQ(mulChecked(INT64_MAX, 1), INT64_MAX);
+  EXPECT_EQ(mulChecked(INT64_MIN, 1), INT64_MIN);
+  EXPECT_EQ(mulChecked(INT64_MAX, -1), -INT64_MAX);
+}
+
+TEST(MathExtEdgeDeathTest, ZeroDivisorsRejected) {
+  EXPECT_DEATH_IF_SUPPORTED(floorDiv(7, 0), "floorDiv by zero");
+  EXPECT_DEATH_IF_SUPPORTED(ceilDiv(7, 0), "ceilDiv by zero");
+  EXPECT_DEATH_IF_SUPPORTED(euclidMod(7, 0), "euclidMod by zero");
+}
+
+TEST(MathExtEdgeDeathTest, CheckedArithmeticRejectsOverflow) {
+  EXPECT_DEATH_IF_SUPPORTED(addChecked(INT64_MAX, 1), "add overflow");
+  EXPECT_DEATH_IF_SUPPORTED(addChecked(INT64_MIN, -1), "add overflow");
+  EXPECT_DEATH_IF_SUPPORTED(mulChecked(INT64_MAX, 2), "multiply overflow");
+  EXPECT_DEATH_IF_SUPPORTED(mulChecked(INT64_MIN, -1), "multiply overflow");
+  EXPECT_DEATH_IF_SUPPORTED(lcm64(INT64_MAX, INT64_MAX - 1),
+                            "multiply overflow");
+}

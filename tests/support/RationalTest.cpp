@@ -82,3 +82,41 @@ TEST(RationalTest, ToDouble) {
   EXPECT_DOUBLE_EQ(Rational(1, 2).toDouble(), 0.5);
   EXPECT_DOUBLE_EQ(Rational(-5, 4).toDouble(), -1.25);
 }
+
+//===----------------------------------------------------------------------===//
+// Edge cases: negative denominators, INT64 extremes, zero-denominator
+// rejection.
+//===----------------------------------------------------------------------===//
+
+TEST(RationalEdgeTest, NegativeDenominatorNormalization) {
+  EXPECT_EQ(Rational(3, -6), Rational(-1, 2));
+  EXPECT_EQ(Rational(-3, -6), Rational(1, 2));
+  EXPECT_GT(Rational(3, -6).den(), 0);
+  EXPECT_EQ(Rational(0, -5), Rational(0));
+  EXPECT_EQ(Rational(7, -1).floor(), -7);
+  EXPECT_EQ(Rational(-7, -2).ceil(), 4);
+  EXPECT_LT(Rational(1, -2), Rational(0));
+}
+
+TEST(RationalEdgeTest, Int64Extremes) {
+  EXPECT_EQ(Rational(INT64_MAX, 1).num(), INT64_MAX);
+  EXPECT_EQ(Rational(INT64_MIN).floor(), INT64_MIN);
+  EXPECT_EQ(Rational(INT64_MAX).ceil(), INT64_MAX);
+  // Reduction keeps extreme values exact.
+  EXPECT_EQ(Rational(INT64_MAX, INT64_MAX), Rational(1));
+  EXPECT_EQ(Rational(INT64_MIN / 2, INT64_MIN / 2), Rational(1));
+  // Comparisons near the extremes go through 128-bit cross products.
+  EXPECT_LT(Rational(INT64_MAX - 1), Rational(INT64_MAX));
+  EXPECT_LT(Rational(INT64_MIN + 1, INT64_MAX), Rational(0));
+  EXPECT_LE(Rational(INT64_MAX), Rational(INT64_MAX));
+}
+
+TEST(RationalEdgeDeathTest, ZeroDenominatorRejected) {
+  EXPECT_DEATH_IF_SUPPORTED(Rational(1, 0), "zero denominator");
+  EXPECT_DEATH_IF_SUPPORTED(Rational(0, 0), "zero denominator");
+}
+
+TEST(RationalEdgeDeathTest, DivisionByZeroRejected) {
+  EXPECT_DEATH_IF_SUPPORTED(Rational(1, 2) / Rational(0),
+                            "division by zero");
+}
