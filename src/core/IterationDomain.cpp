@@ -30,17 +30,18 @@ bool IterationDomain::contains(std::span<const int64_t> Point) const {
 
 void IterationDomain::forEachPoint(
     const std::function<void(std::span<const int64_t>)> &Fn) const {
+  for (int64_t T = 0; T < TimeExtent; ++T)
+    forEachPointAtTime(T, Fn);
+}
+
+void IterationDomain::forEachPointAtTime(
+    int64_t That,
+    const std::function<void(std::span<const int64_t>)> &Fn) const {
   std::vector<int64_t> Point(rank() + 1, 0);
+  Point[0] = That;
   std::function<void(unsigned)> Rec = [&](unsigned Level) {
     if (Level == rank() + 1) {
       Fn(Point);
-      return;
-    }
-    if (Level == 0) {
-      for (int64_t T = 0; T < TimeExtent; ++T) {
-        Point[0] = T;
-        Rec(1);
-      }
       return;
     }
     for (int64_t S = SpaceLo[Level - 1]; S < SpaceHi[Level - 1]; ++S) {
@@ -48,11 +49,15 @@ void IterationDomain::forEachPoint(
       Rec(Level + 1);
     }
   };
-  Rec(0);
+  Rec(1);
 }
 
 int64_t IterationDomain::numPoints() const {
-  int64_t N = TimeExtent;
+  return TimeExtent * numSpatialPoints();
+}
+
+int64_t IterationDomain::numSpatialPoints() const {
+  int64_t N = 1;
   for (unsigned D = 0, E = rank(); D < E; ++D)
     N *= (SpaceHi[D] - SpaceLo[D]);
   return N;

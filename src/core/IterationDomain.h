@@ -50,8 +50,20 @@ struct IterationDomain {
   void forEachPoint(
       const std::function<void(std::span<const int64_t>)> &Fn) const;
 
+  /// Visits every point with canonical time \p That, in lexicographic
+  /// spatial order. The building block of banded/streaming wavefront
+  /// generation: a replay can enumerate one time slice at a time instead of
+  /// materializing the whole domain.
+  void forEachPointAtTime(
+      int64_t That,
+      const std::function<void(std::span<const int64_t>)> &Fn) const;
+
   /// Total number of statement instances.
   int64_t numPoints() const;
+
+  /// Statement instances per canonical time step (the size of one time
+  /// slice; numPoints() == TimeExtent * numSpatialPoints()).
+  int64_t numSpatialPoints() const;
 };
 
 } // namespace core

@@ -1,0 +1,50 @@
+//===- ExecutionBackend.cpp - Pluggable wavefront execution ---------------===//
+
+#include "exec/ExecutionBackend.h"
+
+#include "exec/Executor.h"
+
+using namespace hextile;
+using namespace hextile::exec;
+
+void SerialBackend::runWavefront(const ir::StencilProgram &P,
+                                 GridStorage &Storage, const Wavefront &W) {
+  for (size_t I = 0, E = W.size(); I < E; ++I)
+    executeInstance(P, Storage, W.point(I));
+}
+
+void ThreadPoolBackend::runWavefront(const ir::StencilProgram &P,
+                                     GridStorage &Storage,
+                                     const Wavefront &W) {
+  size_t N = W.size();
+  // A one-instance wavefront has nothing to overlap; skip the pool handoff
+  // (wavefront streams are dominated by small fronts at band edges).
+  if (N == 1) {
+    executeInstance(P, Storage, W.point(0));
+    return;
+  }
+  Pool.parallelFor(N, [&](size_t I) {
+    executeInstance(P, Storage, W.point(I));
+  });
+}
+
+const char *exec::backendKindName(BackendKind K) {
+  switch (K) {
+  case BackendKind::Serial:
+    return "serial";
+  case BackendKind::ThreadPool:
+    return "threadpool";
+  }
+  return "?";
+}
+
+std::unique_ptr<ExecutionBackend> exec::makeBackend(BackendKind K,
+                                                    unsigned NumThreads) {
+  switch (K) {
+  case BackendKind::Serial:
+    return std::make_unique<SerialBackend>();
+  case BackendKind::ThreadPool:
+    return std::make_unique<ThreadPoolBackend>(NumThreads);
+  }
+  return nullptr;
+}

@@ -1,0 +1,96 @@
+//===- ExecutionBackend.h - Pluggable wavefront execution ------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution-backend contract: a backend retires one Wavefront of
+/// mutually independent statement instances at a time. The replay driver
+/// guarantees wavefronts arrive in schedule order and never overlaps two
+/// calls, so runWavefront is itself the inter-wavefront barrier -- when it
+/// returns, every instance's writes must be visible to the caller (and
+/// therefore to the next wavefront, on whatever thread it runs).
+///
+///  * SerialBackend replays instances in the order given -- the seed
+///    executor's behavior, still the reference for differential runs.
+///  * ThreadPoolBackend spreads each wavefront across a work-stealing pool,
+///    exercising the schedule's parallelism claim with real threads: an
+///    illegal tiling that serialized replay might survive becomes a genuine
+///    data race (a bit-exact mismatch, or a ThreadSanitizer report).
+///
+/// This is the seam where a future multi-GPU-sim backend plugs in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_EXEC_EXECUTIONBACKEND_H
+#define HEXTILE_EXEC_EXECUTIONBACKEND_H
+
+#include "exec/GridStorage.h"
+#include "exec/ThreadPool.h"
+#include "exec/Wavefront.h"
+
+#include <memory>
+
+namespace hextile {
+namespace exec {
+
+/// Retires wavefronts of independent instances; see file comment for the
+/// ordering and memory-visibility contract.
+class ExecutionBackend {
+public:
+  virtual ~ExecutionBackend() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Worker threads this backend may use (1 for serial backends).
+  virtual unsigned concurrency() const = 0;
+
+  /// Executes every instance of \p W against \p Storage. Instances within
+  /// \p W may run in any order or concurrently; the call returns only after
+  /// all of them completed, with their writes visible to the caller.
+  virtual void runWavefront(const ir::StencilProgram &P, GridStorage &Storage,
+                            const Wavefront &W) = 0;
+};
+
+/// In-order, single-threaded replay (the seed executor's semantics).
+class SerialBackend final : public ExecutionBackend {
+public:
+  const char *name() const override { return "serial"; }
+  unsigned concurrency() const override { return 1; }
+  void runWavefront(const ir::StencilProgram &P, GridStorage &Storage,
+                    const Wavefront &W) override;
+};
+
+/// Dispatches each wavefront across a persistent work-stealing thread pool;
+/// the pool's parallelFor barrier provides the wavefront barrier.
+class ThreadPoolBackend final : public ExecutionBackend {
+public:
+  /// \p NumThreads = 0 picks hardware concurrency.
+  explicit ThreadPoolBackend(unsigned NumThreads = 0) : Pool(NumThreads) {}
+
+  const char *name() const override { return "threadpool"; }
+  unsigned concurrency() const override { return Pool.numThreads(); }
+  void runWavefront(const ir::StencilProgram &P, GridStorage &Storage,
+                    const Wavefront &W) override;
+
+  ThreadPool &pool() { return Pool; }
+
+private:
+  ThreadPool Pool;
+};
+
+/// Selects an ExecutionBackend in options/CLI surfaces.
+enum class BackendKind { Serial, ThreadPool };
+
+const char *backendKindName(BackendKind K);
+
+/// Instantiates \p K; \p NumThreads only affects ThreadPool (0 = hardware
+/// concurrency).
+std::unique_ptr<ExecutionBackend> makeBackend(BackendKind K,
+                                              unsigned NumThreads = 0);
+
+} // namespace exec
+} // namespace hextile
+
+#endif // HEXTILE_EXEC_EXECUTIONBACKEND_H

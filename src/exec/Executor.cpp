@@ -17,18 +17,36 @@ void exec::executeInstance(const ir::StencilProgram &P, GridStorage &Storage,
   int64_t Step = floorDiv(That, P.numStmts());
   const ir::StencilStmt &S = P.stmts()[StmtIdx];
 
-  std::vector<float> ReadValues(S.Reads.size());
-  std::vector<int64_t> Coords(Rank);
+  // Fixed-size stack buffers keep the hot path allocation-free for every
+  // stencil in the gallery; the heap fallback covers pathological shapes.
+  constexpr unsigned MaxInline = 16;
+  float ReadInline[MaxInline];
+  int64_t CoordInline[MaxInline];
+  std::vector<float> ReadHeap;
+  std::vector<int64_t> CoordHeap;
+  float *ReadValues = ReadInline;
+  int64_t *Coords = CoordInline;
+  if (S.Reads.size() > MaxInline) {
+    ReadHeap.resize(S.Reads.size());
+    ReadValues = ReadHeap.data();
+  }
+  if (Rank > MaxInline) {
+    CoordHeap.resize(Rank);
+    Coords = CoordHeap.data();
+  }
+
+  std::span<const int64_t> CoordSpan(Coords, Rank);
   for (unsigned R = 0; R < S.Reads.size(); ++R) {
     const ir::ReadAccess &A = S.Reads[R];
     for (unsigned D = 0; D < Rank; ++D)
       Coords[D] = Point[D + 1] + A.Offsets[D];
-    ReadValues[R] = Storage.at(A.Field, Step + A.TimeOffset, Coords);
+    ReadValues[R] = Storage.at(A.Field, Step + A.TimeOffset, CoordSpan);
   }
-  float Result = S.RHS.evaluate(ReadValues);
+  float Result = S.RHS.evaluate(std::span<const float>(ReadValues,
+                                                       S.Reads.size()));
   for (unsigned D = 0; D < Rank; ++D)
     Coords[D] = Point[D + 1];
-  Storage.at(S.WriteField, Step, Coords) = Result;
+  Storage.at(S.WriteField, Step, CoordSpan) = Result;
 }
 
 void exec::runReference(const ir::StencilProgram &P, GridStorage &Storage) {
@@ -38,73 +56,35 @@ void exec::runReference(const ir::StencilProgram &P, GridStorage &Storage) {
   });
 }
 
-namespace {
+void exec::runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
+                       const core::IterationDomain &Domain,
+                       const ScheduleKeyIntoFn &Key,
+                       const ScheduleRunOptions &Opts) {
+  std::unique_ptr<ExecutionBackend> Owned;
+  ExecutionBackend *Backend = Opts.BackendOverride;
+  if (!Backend) {
+    Owned = makeBackend(Opts.Backend, Opts.NumThreads);
+    Backend = Owned.get();
+  }
 
-/// One scheduled instance: key plus point, ordered by key.
-struct ScheduledInstance {
-  std::vector<int64_t> Key;
-  std::vector<int64_t> Point;
-  uint64_t Tie = 0; ///< Shuffle tiebreak for parallel instances.
-};
-
-uint64_t mix(uint64_t X) {
-  X ^= X >> 33;
-  X *= 0xff51afd7ed558ccdull;
-  X ^= X >> 33;
-  X *= 0xc4ceb9fe1a85ec53ull;
-  X ^= X >> 33;
-  return X;
+  WavefrontOptions WOpts;
+  WOpts.ShuffleSeed = Opts.ShuffleSeed;
+  WOpts.ParallelFrom = Opts.ParallelFrom;
+  streamWavefronts(
+      Domain, Key, WOpts,
+      [&](const Wavefront &W) { Backend->runWavefront(P, Storage, W); },
+      Opts.Stats);
 }
-
-} // namespace
 
 void exec::runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
                        const core::IterationDomain &Domain,
                        const ScheduleKeyFn &Key,
                        const ScheduleRunOptions &Opts) {
-  std::vector<ScheduledInstance> Instances;
-  Instances.reserve(static_cast<size_t>(Domain.numPoints()));
-  Domain.forEachPoint([&](std::span<const int64_t> Point) {
-    ScheduledInstance I;
-    I.Point.assign(Point.begin(), Point.end());
-    I.Key = Key(Point);
-    Instances.push_back(std::move(I));
-  });
-
-  // Parallel components: truncate the comparison at ParallelFrom and break
-  // ties with a seeded hash, emulating arbitrary interleaving.
-  size_t SeqLen = Opts.ParallelFrom < 0
-                      ? SIZE_MAX
-                      : static_cast<size_t>(Opts.ParallelFrom);
-  if (Opts.ShuffleSeed != 0)
-    for (ScheduledInstance &I : Instances) {
-      uint64_t H = Opts.ShuffleSeed;
-      for (int64_t V : I.Point)
-        H = mix(H ^ static_cast<uint64_t>(V));
-      I.Tie = H;
-    }
-
-  std::sort(Instances.begin(), Instances.end(),
-            [&](const ScheduledInstance &A, const ScheduledInstance &B) {
-              size_t N = std::min(
-                  {A.Key.size(), B.Key.size(), SeqLen});
-              for (size_t I = 0; I < N; ++I)
-                if (A.Key[I] != B.Key[I])
-                  return A.Key[I] < B.Key[I];
-              if (Opts.ShuffleSeed != 0)
-                return A.Tie < B.Tie;
-              // Stable fallback: full key then point order.
-              if (A.Key != B.Key)
-                return A.Key < B.Key;
-              return A.Point < B.Point;
-            });
-
-  for (const ScheduledInstance &I : Instances)
-    executeInstance(P, Storage, I.Point);
+  runSchedule(P, Storage, Domain, adaptKeyFn(Key), Opts);
 }
 
 std::string exec::checkScheduleEquivalence(const ir::StencilProgram &P,
-                                           const ScheduleKeyFn &Key,
+                                           const ScheduleKeyIntoFn &Key,
                                            const ScheduleRunOptions &Opts) {
   GridStorage Ref(P);
   runReference(P, Ref);
@@ -116,4 +96,10 @@ std::string exec::checkScheduleEquivalence(const ir::StencilProgram &P,
   // Compare the last TimeBuffers' worth of steps: every live value.
   int64_t LastStep = P.timeSteps() - 1;
   return GridStorage::compareAtStep(Ref, Tiled, LastStep);
+}
+
+std::string exec::checkScheduleEquivalence(const ir::StencilProgram &P,
+                                           const ScheduleKeyFn &Key,
+                                           const ScheduleRunOptions &Opts) {
+  return checkScheduleEquivalence(P, adaptKeyFn(Key), Opts);
 }

@@ -9,9 +9,11 @@
 /// the paper's evaluation:
 ///
 ///  * ReferenceExecutor runs the program in original (time-major) order;
-///  * ScheduleExecutor replays the statement instances in the order induced
-///    by an arbitrary schedule key, optionally shuffling equal keys to model
-///    the nondeterministic interleaving of parallel blocks/threads.
+///  * runSchedule replays the statement instances in the order induced by
+///    an arbitrary schedule key, streamed as wavefronts (Wavefront.h)
+///    through a pluggable ExecutionBackend -- serially, or spread across a
+///    work-stealing thread pool so the schedule's parallelism claim is
+///    exercised by real concurrency.
 ///
 /// Both operate in place on rotating buffers, so an illegal tiling (a
 /// violated flow OR buffer anti-dependence) shows up as a bit-level mismatch
@@ -24,9 +26,12 @@
 #define HEXTILE_EXEC_EXECUTOR_H
 
 #include "core/IterationDomain.h"
+#include "exec/ExecutionBackend.h"
 #include "exec/GridStorage.h"
+#include "exec/Wavefront.h"
 
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace hextile {
@@ -40,24 +45,37 @@ void executeInstance(const ir::StencilProgram &P, GridStorage &Storage,
 /// Runs \p P for its configured number of time steps in original order.
 void runReference(const ir::StencilProgram &P, GridStorage &Storage);
 
-/// Maps a canonical iteration point to its schedule key; instances execute
-/// in lexicographic key order. Instances mapping to equal keys are treated
-/// as parallel and may run in any order.
-using ScheduleKeyFn = std::function<std::vector<int64_t>(
-    std::span<const int64_t> Point)>;
-
 /// Options for schedule-driven execution.
 struct ScheduleRunOptions {
   /// Seed for shuffling instances with equal keys (0 = keep stable order).
-  /// Also used to shuffle *parallel dimensions* marked by ParallelPrefix.
+  /// Also used to shuffle *parallel dimensions* marked by ParallelFrom.
   uint64_t ShuffleSeed = 0;
   /// Number of leading key components that are sequential; key components
   /// from this index on are considered parallel (shuffled together with
-  /// their instances when ShuffleSeed != 0). Use -1 for "all sequential".
+  /// their instances when ShuffleSeed != 0, and dispatched concurrently by
+  /// parallel backends). Use -1 for "all sequential".
   int ParallelFrom = -1;
+  /// Which ExecutionBackend retires the wavefronts.
+  BackendKind Backend = BackendKind::Serial;
+  /// Thread count for BackendKind::ThreadPool (0 = hardware concurrency).
+  unsigned NumThreads = 0;
+  /// Non-owning override: when set, Backend/NumThreads are ignored and this
+  /// instance is used directly -- lets callers reuse one thread pool across
+  /// many replays instead of respawning threads per run.
+  ExecutionBackend *BackendOverride = nullptr;
+  /// When set, filled with the replay's streaming/wavefront counters.
+  ReplayStats *Stats = nullptr;
 };
 
-/// Replays every instance of \p Domain ordered by \p Key.
+/// Replays every instance of \p Domain ordered by \p Key (allocation-free
+/// appending form; see Wavefront.h).
+void runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
+                 const core::IterationDomain &Domain,
+                 const ScheduleKeyIntoFn &Key,
+                 const ScheduleRunOptions &Opts = {});
+
+/// Legacy returning-form overload (adapted via adaptKeyFn; one allocation
+/// per key evaluation).
 void runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
                  const core::IterationDomain &Domain,
                  const ScheduleKeyFn &Key,
@@ -65,6 +83,9 @@ void runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
 
 /// Convenience: reference-vs-schedule equivalence for \p P. Returns an
 /// empty string if the final fields agree bit-exactly.
+std::string checkScheduleEquivalence(const ir::StencilProgram &P,
+                                     const ScheduleKeyIntoFn &Key,
+                                     const ScheduleRunOptions &Opts = {});
 std::string checkScheduleEquivalence(const ir::StencilProgram &P,
                                      const ScheduleKeyFn &Key,
                                      const ScheduleRunOptions &Opts = {});

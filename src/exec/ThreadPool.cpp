@@ -1,0 +1,177 @@
+//===- ThreadPool.cpp - Work-stealing thread pool -------------------------===//
+
+#include "exec/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::exec;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  Queues.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Queues.push_back(std::make_unique<WorkQueue>());
+  // Participant 0 is the parallelFor caller; 1..NumThreads-1 are spawned.
+  Workers.reserve(NumThreads - 1);
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(TaskMutex);
+    Shutdown = true;
+  }
+  TaskCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+bool ThreadPool::grabChunk(unsigned Self, Chunk &Out) {
+  // Own deque: newest first (LIFO keeps the owner on its contiguous range).
+  {
+    WorkQueue &Q = *Queues[Self];
+    std::lock_guard<std::mutex> Lock(Q.M);
+    if (!Q.Chunks.empty()) {
+      Out = Q.Chunks.back();
+      Q.Chunks.pop_back();
+      return true;
+    }
+  }
+  // Steal: oldest first from the next non-empty victim, starting after Self
+  // so thieves spread instead of all hammering queue 0.
+  unsigned N = static_cast<unsigned>(Queues.size());
+  for (unsigned Step = 1; Step < N; ++Step) {
+    WorkQueue &Q = *Queues[(Self + Step) % N];
+    std::lock_guard<std::mutex> Lock(Q.M);
+    if (!Q.Chunks.empty()) {
+      Out = Q.Chunks.front();
+      Q.Chunks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::runChunk(const Chunk &C) {
+  size_t Done = C.End - C.Begin;
+  if (!Abort.load(std::memory_order_relaxed)) {
+    try {
+      for (size_t I = C.Begin; I < C.End; ++I)
+        (*Body)(I);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!Error)
+          Error = std::current_exception();
+      }
+      Abort.store(true, std::memory_order_relaxed);
+    }
+  }
+  // Release: pairs with the acquire load in parallelFor's barrier, making
+  // every write of this chunk visible to whoever observes completion.
+  Remaining.fetch_sub(Done, std::memory_order_release);
+}
+
+void ThreadPool::workUntilDrained(unsigned Self) {
+  Chunk C;
+  while (Remaining.load(std::memory_order_acquire) != 0) {
+    if (grabChunk(Self, C))
+      runChunk(C);
+    else
+      // All chunks claimed but some still executing: yield until the
+      // stragglers finish (they may yet throw, so we cannot leave early).
+      std::this_thread::yield();
+  }
+}
+
+void ThreadPool::workerMain(unsigned Self) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(TaskMutex);
+      TaskCv.wait(Lock, [&] {
+        return Shutdown || Generation != SeenGeneration;
+      });
+      if (Shutdown)
+        return;
+      SeenGeneration = Generation;
+    }
+    workUntilDrained(Self);
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  // Pool of one, or trivially small trip counts on a caller-only pool:
+  // execute inline, no fences needed.
+  if (Workers.empty()) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  std::lock_guard<std::mutex> Submit(SubmitMutex);
+  Abort.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    Error = nullptr;
+  }
+
+  // Publish the body BEFORE any chunk becomes visible: a straggler worker
+  // from the previous generation (still in its yield loop) may grab a fresh
+  // chunk the moment it lands in a queue, and must then see the new body.
+  // The previous barrier guarantees no chunk of the old task is in flight,
+  // and the queue mutex a grabber takes orders this write before its read.
+  {
+    std::lock_guard<std::mutex> Lock(TaskMutex);
+    Body = &Fn;
+  }
+
+  // The full count must be in place before the first chunk can be grabbed:
+  // a grabber's fetch_sub always applies to the latest value, so counting
+  // up after the fact could underflow past a straggler's early decrement.
+  Remaining.store(N, std::memory_order_release);
+
+  // Deal contiguous chunks round-robin: worker K's deque holds an
+  // interleaved share, and the back-to-front own-pop keeps each worker on
+  // adjacent iterations while thieves take from the far end.
+  unsigned P = static_cast<unsigned>(Queues.size());
+  size_t ChunkSize = std::max<size_t>(1, N / (static_cast<size_t>(P) * 8));
+  {
+    unsigned Q = 0;
+    for (size_t Begin = 0; Begin < N; Begin += ChunkSize, Q = (Q + 1) % P) {
+      Chunk C{Begin, std::min(N, Begin + ChunkSize)};
+      std::lock_guard<std::mutex> Lock(Queues[Q]->M);
+      assert((Begin >= static_cast<size_t>(P) * ChunkSize ||
+              Queues[Q]->Chunks.empty()) &&
+             "previous task not drained");
+      Queues[Q]->Chunks.push_back(C);
+    }
+  }
+
+  // Wake the sleeping workers; stragglers already see the work through
+  // Remaining. The mutex makes the setup above happen-before the wakeup.
+  {
+    std::lock_guard<std::mutex> Lock(TaskMutex);
+    ++Generation;
+  }
+  TaskCv.notify_all();
+
+  // The caller works too; workUntilDrained returns only at Remaining == 0
+  // (acquire), i.e. after every iteration's writes are visible here.
+  workUntilDrained(0);
+
+  std::exception_ptr E;
+  {
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    E = Error;
+    Error = nullptr;
+  }
+  if (E)
+    std::rethrow_exception(E);
+}

@@ -1,0 +1,116 @@
+//===- ThreadPool.h - Work-stealing thread pool ----------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool built for wavefront replay: the unit of
+/// work is a parallelFor over [0, N) whose iterations are mutually
+/// independent, and the call is a full barrier -- it returns only once every
+/// iteration has finished, with all worker writes visible to the caller
+/// (release stores on completion, acquire load at the barrier).
+///
+/// The iteration space is split into contiguous chunks dealt round-robin to
+/// per-worker deques; an idle worker first drains its own deque (LIFO), then
+/// steals from the front of a victim's deque (FIFO), so stolen work is the
+/// oldest -- the classic Cilk/TBB discipline that keeps contiguous ranges
+/// hot in their owner's cache. The calling thread participates as worker 0,
+/// so a pool of size 1 degenerates to inline execution with no handoff.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_EXEC_THREADPOOL_H
+#define HEXTILE_EXEC_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hextile {
+namespace exec {
+
+/// Work-stealing pool of persistent threads. One parallelFor runs at a time
+/// (concurrent submissions are serialized); nesting parallelFor inside a
+/// worker body is not supported.
+class ThreadPool {
+public:
+  /// \p NumThreads counts every participating thread including the caller of
+  /// parallelFor; 0 picks std::thread::hardware_concurrency(). The pool thus
+  /// spawns NumThreads - 1 workers.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total participating threads (spawned workers + the calling thread).
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs \p Fn(I) for every I in [0, N), distributed over the pool. Acts as
+  /// a barrier: returns only when all N iterations completed, and every
+  /// side effect of \p Fn happens-before the return (memory-ordering
+  /// guarantee of the wavefront contract). If any iteration throws, the
+  /// first exception is captured, the remaining iterations are abandoned
+  /// (each chunk checks an abort flag before running), and the exception is
+  /// rethrown here after the barrier.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  /// A contiguous range of iterations.
+  struct Chunk {
+    size_t Begin = 0;
+    size_t End = 0;
+  };
+
+  /// Per-worker chunk deque. A tiny mutex (not a lock-free deque) is enough
+  /// here: chunks are coarse, so the lock is taken rarely relative to work.
+  struct WorkQueue {
+    std::mutex M;
+    std::deque<Chunk> Chunks;
+  };
+
+  /// Grabs the next chunk for worker \p Self: own deque back first, then
+  /// steal from the front of the first non-empty victim. Returns false when
+  /// no chunk is available anywhere.
+  bool grabChunk(unsigned Self, Chunk &Out);
+
+  /// Runs \p C, catching the first exception into Error / Abort.
+  void runChunk(const Chunk &C);
+
+  /// Participates in the current task until no iterations remain.
+  void workUntilDrained(unsigned Self);
+
+  void workerMain(unsigned Self);
+
+  std::vector<std::thread> Workers;
+  std::vector<std::unique_ptr<WorkQueue>> Queues; ///< One per participant.
+
+  std::mutex TaskMutex; ///< Guards task publication and wakeups.
+  std::condition_variable TaskCv;
+  uint64_t Generation = 0; ///< Bumped per parallelFor; workers wait on it.
+  bool Shutdown = false;
+  const std::function<void(size_t)> *Body = nullptr;
+
+  std::mutex SubmitMutex; ///< Serializes concurrent parallelFor callers.
+
+  std::atomic<size_t> Remaining{0}; ///< Iterations not yet completed.
+  std::atomic<bool> Abort{false};   ///< Set after the first exception.
+  std::mutex ErrorMutex;
+  std::exception_ptr Error;
+};
+
+} // namespace exec
+} // namespace hextile
+
+#endif // HEXTILE_EXEC_THREADPOOL_H

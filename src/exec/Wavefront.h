@@ -1,0 +1,107 @@
+//===- Wavefront.h - Streaming wavefront generation ------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a schedule key over an IterationDomain into an ordered stream of
+/// *wavefronts*: maximal groups of statement instances whose sequential key
+/// prefixes are equal, emitted in lexicographic prefix order. Instances
+/// inside one wavefront are mutually independent by the schedule's parallel
+/// contract, so an ExecutionBackend may run them in any order or truly
+/// concurrently; wavefronts themselves are separated by a barrier.
+///
+/// Generation is *streaming*: instead of materializing every instance key
+/// and sorting (O(n log n) time and O(n) keys resident, the seed
+/// implementation), the domain is swept twice. Pass 1 records, per canonical
+/// time step, the window of leading key components (time bands) its points
+/// map to. Pass 2 visits the bands in ascending order and re-enumerates only
+/// the time steps whose window overlaps the band, materializing one band at
+/// a time -- so the peak instance buffer is one time band, not the whole
+/// grid. For the hex/hybrid/classical constructions a time step maps to at
+/// most two adjacent bands and the sweep costs ~2 key evaluations per
+/// instance; schedules whose leading component varies spatially (diamond
+/// wavefronts) degrade gracefully to extra scans but keep the memory bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_EXEC_WAVEFRONT_H
+#define HEXTILE_EXEC_WAVEFRONT_H
+
+#include "core/IterationDomain.h"
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace hextile {
+namespace exec {
+
+/// Maps a canonical iteration point to its schedule key; instances execute
+/// in lexicographic key order. Instances mapping to equal keys are treated
+/// as parallel and may run in any order.
+using ScheduleKeyFn =
+    std::function<std::vector<int64_t>(std::span<const int64_t> Point)>;
+
+/// Allocation-free form: appends the key of \p Point onto \p Out (cleared
+/// by the caller), so a replay can reuse one scratch buffer across millions
+/// of evaluations instead of returning a fresh vector per instance.
+using ScheduleKeyIntoFn = std::function<void(std::span<const int64_t> Point,
+                                             std::vector<int64_t> &Out)>;
+
+/// Adapts the returning form to the appending form (one allocation per
+/// evaluation -- only for legacy callers; new code writes Into directly).
+ScheduleKeyIntoFn adaptKeyFn(ScheduleKeyFn Key);
+
+/// One wavefront: a flat row-major array of instance points sharing their
+/// sequential key prefix. Valid only during the sink callback.
+struct Wavefront {
+  std::span<const int64_t> FlatPoints; ///< NumInstances x PointArity values.
+  unsigned PointArity = 0;
+
+  size_t size() const {
+    return PointArity == 0 ? 0 : FlatPoints.size() / PointArity;
+  }
+  std::span<const int64_t> point(size_t I) const {
+    return FlatPoints.subspan(I * PointArity, PointArity);
+  }
+};
+
+/// Ordering/parallelism parameters of one replay (mirrors the seed
+/// executor's semantics bit for bit).
+struct WavefrontOptions {
+  /// Seed for shuffling instances within a wavefront (0 = keep the stable
+  /// full-key-then-point order).
+  uint64_t ShuffleSeed = 0;
+  /// Number of leading key components that are sequential; components from
+  /// this index on are parallel. -1 means "all sequential" (wavefronts are
+  /// then the equal-full-key groups).
+  int ParallelFrom = -1;
+};
+
+/// Observability counters for one replay; fed by streamWavefronts.
+struct ReplayStats {
+  size_t Instances = 0;     ///< Statement instances replayed.
+  size_t Bands = 0;         ///< Non-empty leading-key bands streamed.
+  size_t Wavefronts = 0;    ///< Parallel batches handed to the backend.
+  size_t PeakBandInstances = 0; ///< Largest instance buffer ever resident.
+  size_t MaxWavefrontInstances = 0; ///< Largest single parallel batch.
+  size_t KeyEvals = 0;      ///< Schedule-key evaluations (both passes).
+};
+
+/// Streams every instance of \p Domain as ordered wavefronts into \p Sink.
+/// Wavefronts arrive in lexicographic sequential-prefix order; the caller
+/// must fully retire one wavefront (barrier) before the next is built, and
+/// the Wavefront's storage is reused between calls.
+void streamWavefronts(const core::IterationDomain &Domain,
+                      const ScheduleKeyIntoFn &Key,
+                      const WavefrontOptions &Opts,
+                      const std::function<void(const Wavefront &)> &Sink,
+                      ReplayStats *Stats = nullptr);
+
+} // namespace exec
+} // namespace hextile
+
+#endif // HEXTILE_EXEC_WAVEFRONT_H

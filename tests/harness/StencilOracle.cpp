@@ -101,10 +101,9 @@ OracleSchedule makeHexKey(const ir::StencilProgram &P,
   // serialization of the tiles; S0 (blocks) and the spatial coordinates at
   // equal a (threads) are parallel.
   S.ParallelFrom = 3;
-  S.Key = [Hex, Rank, BlockPermSeed](std::span<const int64_t> Pt) {
+  S.Key = [Hex, Rank, BlockPermSeed](std::span<const int64_t> Pt,
+                                     std::vector<int64_t> &Key) {
     core::HexTileCoord C = Hex->locate(Pt[0], Pt[1]);
-    std::vector<int64_t> Key;
-    Key.reserve(Rank + 4);
     Key.push_back(C.T);
     Key.push_back(C.Phase);
     Key.push_back(C.A);
@@ -112,7 +111,6 @@ OracleSchedule makeHexKey(const ir::StencilProgram &P,
     Key.push_back(C.B);
     for (unsigned D = 1; D < Rank; ++D)
       Key.push_back(Pt[D + 1]);
-    return Key;
   };
   return S;
 }
@@ -135,10 +133,9 @@ OracleSchedule makeHybridKey(const ir::StencilProgram &P,
   // permuted) and keeps the per-block sequential prefix, so equal keys are
   // exactly the thread-parallel instances.
   S.ParallelFrom = 3 + static_cast<int>(Rank - 1) + 1;
-  S.Key = [Sched, Rank, BlockPermSeed](std::span<const int64_t> Pt) {
+  S.Key = [Sched, Rank, BlockPermSeed](std::span<const int64_t> Pt,
+                                       std::vector<int64_t> &Key) {
     core::HybridVector V = Sched->map(Pt);
-    std::vector<int64_t> Key;
-    Key.reserve(2 * Rank + 3);
     Key.push_back(V.T);
     Key.push_back(V.Phase);
     Key.push_back(permuteBlock(BlockPermSeed, V.S[0]));
@@ -147,7 +144,6 @@ OracleSchedule makeHybridKey(const ir::StencilProgram &P,
     Key.push_back(V.LocalT);
     for (int64_t L : V.LocalS)
       Key.push_back(L);
-    return Key;
   };
   return S;
 }
@@ -168,18 +164,16 @@ OracleSchedule makeClassicalKey(const ir::StencilProgram &P,
   // non-decreasing along dependences, time bands are sequential, and equal
   // keys share (band, tiles, time) -- genuinely parallel points.
   S.ParallelFrom = 2 + static_cast<int>(Rank);
-  S.Key = [Tilings, Rank, Period](std::span<const int64_t> Pt) {
+  S.Key = [Tilings, Rank, Period](std::span<const int64_t> Pt,
+                                  std::vector<int64_t> &Key) {
     int64_t That = Pt[0];
     int64_t U = euclidMod(That, Period);
-    std::vector<int64_t> Key;
-    Key.reserve(2 * Rank + 2);
     Key.push_back(floorDiv(That, Period));
     for (unsigned D = 0; D < Rank; ++D)
       Key.push_back((*Tilings)[D].tileIndex(Pt[D + 1], U));
     Key.push_back(U);
     for (unsigned D = 0; D < Rank; ++D)
       Key.push_back((*Tilings)[D].localIndex(Pt[D + 1], U));
-    return Key;
   };
   return S;
 }
@@ -201,17 +195,15 @@ OracleSchedule makeDiamondKey(const ir::StencilProgram &P,
   // increase B, so tiles within one wavefront are independent blocks;
   // within a tile time is sequential and equal-time points are parallel.
   S.ParallelFrom = 3;
-  S.Key = [Diamond, Rank, BlockPermSeed](std::span<const int64_t> Pt) {
+  S.Key = [Diamond, Rank, BlockPermSeed](std::span<const int64_t> Pt,
+                                         std::vector<int64_t> &Key) {
     int64_t A = 0, B = 0;
     Diamond->locate(Pt[0], Pt[1], A, B);
-    std::vector<int64_t> Key;
-    Key.reserve(Rank + 3);
     Key.push_back(A - B);
     Key.push_back(permuteBlock(BlockPermSeed, A));
     Key.push_back(Pt[0]);
     for (unsigned D = 0; D < Rank; ++D)
       Key.push_back(Pt[D + 1]);
-    return Key;
   };
   return S;
 }
@@ -277,6 +269,10 @@ std::string harness::runDifferential(const ir::StencilProgram &P,
   std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
   core::IterationDomain Domain = core::IterationDomain::forProgram(P);
   int64_t LastStep = P.timeSteps() - 1;
+  // One backend for all shuffles: a ThreadPool backend keeps its workers
+  // alive across the replays instead of respawning threads per run.
+  std::unique_ptr<exec::ExecutionBackend> Backend =
+      exec::makeBackend(Opts.Backend, Opts.NumThreads);
   for (int Shuffle = 0; Shuffle < std::max(Opts.NumShuffles, 1); ++Shuffle) {
     // Shuffle 0 replays blocks in natural order with stable thread order;
     // later shuffles permute the blocks and shuffle equal-key threads.
@@ -287,15 +283,22 @@ std::string harness::runDifferential(const ir::StencilProgram &P,
       return ""; // Kind legally inapplicable; counted as agreement.
     exec::ScheduleRunOptions RunOpts;
     RunOpts.ShuffleSeed = RunSeed;
-    RunOpts.ParallelFrom = RunSeed == 0 ? -1 : S.ParallelFrom;
+    // Parallel backends always honor the schedule's parallel claim, so the
+    // pool dispatches wavefronts concurrently even on the stable shuffle-0
+    // replay; the serial backend keeps the seed behavior (shuffle 0 replays
+    // the fully sequential key order).
+    bool Serial = Opts.Backend == exec::BackendKind::Serial;
+    RunOpts.ParallelFrom = (Serial && RunSeed == 0) ? -1 : S.ParallelFrom;
+    RunOpts.BackendOverride = Backend.get();
     exec::GridStorage Got(P, Init);
     exec::runSchedule(P, Got, Domain, S.Key, RunOpts);
     std::string Diff = exec::GridStorage::compareAtStep(Ref, Got, LastStep);
     if (!Diff.empty()) {
       std::ostringstream OS;
       OS << "[" << scheduleKindName(K) << "] program=" << P.name()
-         << " tiling{" << T.str() << "} seed=0x" << std::hex << Opts.Seed
-         << std::dec << " shuffle=" << Shuffle
+         << " backend=" << Backend->name() << " tiling{" << T.str()
+         << "} seed=0x" << std::hex << Opts.Seed << std::dec
+         << " shuffle=" << Shuffle
          << " diverges from the row-major reference: " << Diff << "\n";
       return OS.str();
     }

@@ -23,8 +23,11 @@
 /// never-updated boundary cells) from a caller-provided seed, serializes the
 /// parallel block dimension in several pseudo-random orders, and shuffles
 /// equal-key (thread-parallel) instances, so an illegal schedule cannot hide
-/// behind one lucky interleaving. Diagnostics embed the seed and tiling so
-/// failures reproduce from the test log alone.
+/// behind one lucky interleaving. Runs replay through a pluggable
+/// ExecutionBackend (OracleOptions::Backend): serial, or a work-stealing
+/// thread pool that turns the parallelism claim into real concurrency.
+/// Diagnostics embed the seed and tiling so failures reproduce from the
+/// test log alone.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -70,11 +73,18 @@ struct OracleOptions {
   uint64_t Seed = 0x9e3779b97f4a7c15ull;
   /// Number of distinct block serializations / thread shuffles to replay.
   int NumShuffles = 2;
+  /// Execution backend replaying the tiled schedule. Serial reproduces the
+  /// seed behavior; ThreadPool runs each wavefront's parallel instances on
+  /// real threads, so an illegal tiling surfaces as a genuine data race
+  /// (nondeterministic mismatch, or a deterministic TSan report).
+  exec::BackendKind Backend = exec::BackendKind::Serial;
+  /// Thread count for BackendKind::ThreadPool (0 = hardware concurrency).
+  unsigned NumThreads = 0;
 };
 
 /// A schedule key plus the index of its first thread-parallel component.
 struct OracleSchedule {
-  exec::ScheduleKeyFn Key;
+  exec::ScheduleKeyIntoFn Key;
   int ParallelFrom = -1;
   /// Non-empty when the kind cannot legally tile this program (e.g. diamond
   /// with cone slopes > 1); Key is null in that case.

@@ -77,19 +77,29 @@ OracleTiling randomizedTiling(std::mt19937_64 &Rng, unsigned Rank) {
   return T;
 }
 
-class StencilOracleSweep : public ::testing::TestWithParam<const char *> {};
+class StencilOracleSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const char *, exec::BackendKind>> {};
 
 } // namespace
 
 /// The headline differential sweep: for each gallery stencil, at least
 /// three randomized tile-parameter points, each checked for bit-exact
-/// agreement between the naive executor and all four schedule families.
+/// agreement between the naive executor and all four schedule families --
+/// once replayed serially, and once with every wavefront's parallel
+/// instances spread across a 4-thread work-stealing pool (real concurrency,
+/// so an illegal tiling shows up as a data race, not just a bad
+/// serialization). The RNG draws are identical for both backends, so a
+/// pooled failure reproduces serially from the same logged seed.
 TEST_P(StencilOracleSweep, SchedulesMatchNaiveExecutor) {
-  const std::string Name = GetParam();
+  const std::string Name = std::get<0>(GetParam());
+  exec::BackendKind Backend = std::get<1>(GetParam());
   uint64_t Seed = sweepSeed(Name);
   std::mt19937_64 Rng(Seed);
   SCOPED_TRACE(::testing::Message()
-               << "stencil=" << Name << " sweep seed=0x" << std::hex << Seed
+               << "stencil=" << Name
+               << " backend=" << exec::backendKindName(Backend)
+               << " sweep seed=0x" << std::hex << Seed
                << " (set HEXTILE_ORACLE_SEED to this value to reproduce)");
   for (int Point = 0; Point < 3; ++Point) {
     ir::StencilProgram P = randomizedProgram(Name, Rng);
@@ -97,21 +107,28 @@ TEST_P(StencilOracleSweep, SchedulesMatchNaiveExecutor) {
     OracleOptions Opts;
     Opts.Seed = Rng();
     Opts.NumShuffles = 3;
+    Opts.Backend = Backend;
+    Opts.NumThreads = 4;
     EXPECT_EQ(runDifferentialAllKinds(P, T, Opts), "")
         << "tile point " << Point << ", tiling{" << T.str() << "}, seed=0x"
         << std::hex << Opts.Seed;
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Gallery, StencilOracleSweep,
-                         ::testing::Values("jacobi1d", "jacobi2d",
-                                           "laplacian2d", "heat2d",
-                                           "gradient2d", "fdtd2d",
-                                           "laplacian3d", "heat3d",
-                                           "gradient3d", "skewed1d"),
-                         [](const ::testing::TestParamInfo<const char *> &I) {
-                           return std::string(I.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Gallery, StencilOracleSweep,
+    ::testing::Combine(::testing::Values("jacobi1d", "jacobi2d",
+                                         "laplacian2d", "heat2d",
+                                         "gradient2d", "fdtd2d",
+                                         "laplacian3d", "heat3d",
+                                         "gradient3d", "skewed1d"),
+                       ::testing::Values(exec::BackendKind::Serial,
+                                         exec::BackendKind::ThreadPool)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<const char *, exec::BackendKind>> &I) {
+      return std::string(std::get<0>(I.param)) + "_" +
+             exec::backendKindName(std::get<1>(I.param));
+    });
 
 /// Degenerate extremes the randomized sweep rarely draws: minimal tiles,
 /// minimal grids, single time step, and a tall-skinny iteration space.
