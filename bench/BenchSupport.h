@@ -5,10 +5,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Shared code for the Table 1/2 harnesses: runs the four compilers (PPCG,
-/// Par4All, Overtile, hybrid) over the seven benchmark stencils on a given
-/// device model and prints the paper's rows (GStencils/second and speedup
-/// over PPCG).
+/// Shared code for the bench harnesses: the Table 1/2 tool comparison
+/// (PPCG, Par4All, Overtile, hybrid over the benchmark stencils on a
+/// device model), the common --smoke mode, and the --json machine-readable
+/// output every harness shares so results land in the repo's BENCH_*.json
+/// perf trajectory instead of only scrolling by as text.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +23,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +41,143 @@ inline bool smokeMode(int argc, char **argv) {
       return true;
   return false;
 }
+
+/// Path given with --json <path>, or nullptr: every harness accepts the
+/// flag and mirrors its results as machine-readable JSON there. A --json
+/// with the path forgotten aborts loudly instead of silently writing
+/// nothing.
+inline const char *jsonPathArg(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]) != "--json")
+      continue;
+    if (I + 1 >= argc) {
+      std::fprintf(stderr, "error: --json needs a file path argument\n");
+      std::exit(2);
+    }
+    return argv[I + 1];
+  }
+  return nullptr;
+}
+
+/// One result row of a JSON report: ordered key/value pairs, strings and
+/// numbers.
+class JsonRow {
+public:
+  JsonRow &str(std::string_view Key, std::string_view Value) {
+    add(Key, "\"" + escaped(Value) + "\"");
+    return *this;
+  }
+  JsonRow &num(std::string_view Key, double Value) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.10g", Value);
+    add(Key, Buf);
+    return *this;
+  }
+  JsonRow &num(std::string_view Key, int64_t Value) {
+    add(Key, std::to_string(Value));
+    return *this;
+  }
+  JsonRow &num(std::string_view Key, size_t Value) {
+    add(Key, std::to_string(Value));
+    return *this;
+  }
+
+  const std::string &rendered() const { return Body; }
+
+  /// RFC 8259 string escaping: quotes, backslashes and all control
+  /// characters.
+  static std::string escaped(std::string_view S) {
+    std::string Out;
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      case '\r':
+        Out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+    return Out;
+  }
+
+private:
+  void add(std::string_view Key, std::string_view Rendered) {
+    if (!Body.empty())
+      Body += ", ";
+    Body += "\"" + escaped(Key) + "\": ";
+    Body += Rendered;
+  }
+
+  std::string Body;
+};
+
+/// Machine-readable results of one harness run:
+///   {"harness": ..., "config": {...}, "results": [{...}, ...]}
+/// Collect rows with add(), then writeTo(jsonPathArg(...)).
+class JsonReport {
+public:
+  explicit JsonReport(std::string HarnessName)
+      : Harness(std::move(HarnessName)) {}
+
+  /// Run-wide configuration (sizes, thread counts, device model, ...).
+  JsonRow &config() { return Config; }
+  void add(const JsonRow &Row) { Rows.push_back(Row.rendered()); }
+  size_t size() const { return Rows.size(); }
+
+  /// Writes the report; a null \p Path is a no-op (flag not given).
+  /// Returns false (after a diagnostic) when the file cannot be written.
+  bool writeTo(const char *Path) const {
+    if (!Path)
+      return true;
+    std::FILE *F = std::fopen(Path, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write JSON report to %s\n", Path);
+      return false;
+    }
+    std::fprintf(F, "{\n  \"harness\": \"%s\",\n  \"config\": {%s},\n"
+                    "  \"results\": [\n",
+                 JsonRow::escaped(Harness).c_str(),
+                 Config.rendered().c_str());
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F, "    {%s}%s\n", Rows[I].c_str(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(F, "  ]\n}\n");
+    // A truncated artifact (disk full, I/O error) must fail the run, not
+    // get published as machine-readable results.
+    bool Ok = !std::ferror(F);
+    Ok = std::fclose(F) == 0 && Ok;
+    if (!Ok) {
+      std::fprintf(stderr, "error: JSON report to %s was truncated\n",
+                   Path);
+      return false;
+    }
+    std::printf("JSON results written to %s\n", Path);
+    return true;
+  }
+
+private:
+  std::string Harness;
+  JsonRow Config;
+  std::vector<std::string> Rows;
+};
 
 /// The benchmark programs a harness iterates: the full Table 1/2 suite, or
 /// its first two entries under --smoke.
@@ -138,7 +277,8 @@ inline void printSpeedupTable(const char *Title,
 }
 
 inline int runToolComparison(const gpu::DeviceConfig &Dev,
-                             const char *Title, bool Smoke = false) {
+                             const char *Title, bool Smoke = false,
+                             const char *JsonPath = nullptr) {
   std::vector<ToolRow> Rows;
   for (const ir::StencilProgram &P : smokeSuite(Smoke))
     Rows.push_back(runBenchmark(P, Dev, Smoke));
@@ -147,7 +287,28 @@ inline int runToolComparison(const gpu::DeviceConfig &Dev,
   for (const ToolRow &R : Rows)
     std::printf("  %-12s %s\n", R.Benchmark.c_str(),
                 R.HybridSizes.c_str());
-  return 0;
+
+  JsonReport Report(Title);
+  Report.config().str("device", Dev.Name).num("smoke", int64_t(Smoke));
+  for (const ToolRow &R : Rows) {
+    JsonRow Row;
+    Row.str("name", R.Benchmark)
+        .num("ppcg_gstencils_per_s", R.Ppcg)
+        .num("par4all_gstencils_per_s", R.Par4all)
+        .num("overtile_gstencils_per_s", R.Overtile)
+        .num("hybrid_gstencils_per_s", R.Hybrid)
+        .str("hybrid_sizes", R.HybridSizes);
+    Report.add(Row);
+  }
+  return Report.writeTo(JsonPath) ? 0 : 1;
+}
+
+/// Flag-parsing overload used by the Table 1/2 mains: picks up --smoke and
+/// --json from the command line.
+inline int runToolComparison(const gpu::DeviceConfig &Dev, const char *Title,
+                             int argc, char **argv) {
+  return runToolComparison(Dev, Title, smokeMode(argc, argv),
+                           jsonPathArg(argc, argv));
 }
 
 } // namespace bench

@@ -1,23 +1,30 @@
-//===- bench_exec_backends.cpp - Serial vs. pooled replay throughput ----------===//
+//===- bench_exec_backends.cpp - Replay backend throughput --------------------===//
 //
 // Microbenchmark for the execution-backend subsystem: replays every
 // schedule family (hex / hybrid / classical / diamond) through the
-// streaming wavefront generator under both the serial and the
-// work-stealing thread-pool backend, reporting instances/second and the
-// streaming counters (bands, peak resident instance buffer, wavefronts).
+// streaming wavefront generator under the serial, work-stealing
+// thread-pool and simulated multi-device backends, reporting
+// instances/second, the streaming counters (bands, peak resident instance
+// buffer, wavefronts) and -- for the DeviceSim backend -- the measured
+// halo-exchange traffic per schedule family.
 //
 // The peak-buffer column is the point of the streaming replay: the seed
 // executor materialized every instance key and sorted (O(n log n) time,
 // O(n) memory); the streaming generator keeps one leading-key band
 // resident, so Table-3-scale grids (--size 4096 --steps 512) replay in a
-// bounded buffer. --smoke shrinks everything for the ctest -L bench entry.
+// bounded buffer. The halo-bytes column is the point of the partitioned
+// replay: inter-device traffic is materialized and counted, not assumed.
+// --smoke shrinks everything for the ctest -L bench entry; --json mirrors
+// the table into the repo's machine-readable BENCH_*.json trajectory.
 //
 //   bench_exec_backends [--smoke] [--size N] [--steps N] [--threads N]
+//                       [--devices N] [--json <path>]
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
 #include "exec/Executor.h"
+#include "gpu/MemoryModel.h"
 #include "harness/StencilOracle.h"
 #include "ir/StencilGallery.h"
 
@@ -47,10 +54,18 @@ double seconds(std::chrono::steady_clock::time_point From,
 
 int main(int argc, char **argv) {
   bool Smoke = bench::smokeMode(argc, argv);
+  // Validated up front: a malformed --json must not cost a full run.
+  const char *JsonPath = bench::jsonPathArg(argc, argv);
   int64_t Size = flagValue(argc, argv, "--size", Smoke ? 40 : 256);
   int64_t Steps = flagValue(argc, argv, "--steps", Smoke ? 6 : 32);
-  unsigned Threads = static_cast<unsigned>(
-      flagValue(argc, argv, "--threads", 4));
+  int Threads = static_cast<int>(flagValue(argc, argv, "--threads", 4));
+  int64_t DevicesFlag = flagValue(argc, argv, "--devices", 2);
+  if (DevicesFlag < 1) {
+    std::fprintf(stderr, "error: --devices must be >= 1, got %lld\n",
+                 static_cast<long long>(DevicesFlag));
+    return 2;
+  }
+  unsigned Devices = static_cast<unsigned>(DevicesFlag);
 
   ir::StencilProgram P = ir::makeJacobi2D(Size, Steps);
   core::IterationDomain Domain = core::IterationDomain::forProgram(P);
@@ -60,13 +75,25 @@ int main(int argc, char **argv) {
   T.InnerWidths = {Smoke ? 6 : 32};
   T.DiamondPeriod = Smoke ? 4 : 16;
 
+  bench::JsonReport Report("bench_exec_backends");
+  Report.config()
+      .str("program", P.name())
+      .num("size", Size)
+      .num("steps", Steps)
+      .num("threads", int64_t(Threads))
+      .num("devices", int64_t(Devices))
+      .num("instances", Domain.numPoints())
+      .num("smoke", int64_t(Smoke));
+
   std::printf("Execution-backend replay throughput: %s %lldx%lld, %lld "
-              "steps, %lld instances, pool of %u threads\n\n",
+              "steps, %lld instances, pool of %d threads, %u simulated "
+              "devices\n\n",
               P.name().c_str(), static_cast<long long>(Size),
               static_cast<long long>(Size), static_cast<long long>(Steps),
-              static_cast<long long>(Domain.numPoints()), Threads);
-  std::printf("%-10s %-10s %10s %9s %8s %12s %12s\n", "schedule", "backend",
-              "Minst/s", "seconds", "bands", "peak-buffer", "wavefronts");
+              static_cast<long long>(Domain.numPoints()), Threads, Devices);
+  std::printf("%-10s %-10s %10s %9s %8s %12s %12s %12s\n", "schedule",
+              "backend", "Minst/s", "seconds", "bands", "peak-buffer",
+              "wavefronts", "halo-bytes");
 
   for (harness::ScheduleKind K : harness::allScheduleKinds()) {
     harness::OracleSchedule S = harness::makeOracleSchedule(P, K, T);
@@ -77,37 +104,65 @@ int main(int argc, char **argv) {
     }
     double SerialRate = 0;
     for (exec::BackendKind B :
-         {exec::BackendKind::Serial, exec::BackendKind::ThreadPool}) {
+         {exec::BackendKind::Serial, exec::BackendKind::ThreadPool,
+          exec::BackendKind::DeviceSim}) {
       exec::ScheduleRunOptions Opts;
       Opts.Backend = B;
       Opts.NumThreads = Threads;
+      Opts.NumDevices = Devices;
       Opts.ParallelFrom = S.ParallelFrom;
       exec::ReplayStats Stats;
       Opts.Stats = &Stats;
-      exec::GridStorage Storage(P);
+      std::unique_ptr<exec::FieldStorage> Storage =
+          exec::makeStorage(P, Opts);
       auto T0 = std::chrono::steady_clock::now();
-      exec::runSchedule(P, Storage, Domain, S.Key, Opts);
+      exec::runSchedule(P, *Storage, Domain, S.Key, Opts);
       auto T1 = std::chrono::steady_clock::now();
       double Secs = seconds(T0, T1);
       double Rate = Secs > 0 ? Stats.Instances / Secs / 1e6 : 0;
       if (B == exec::BackendKind::Serial)
         SerialRate = Rate;
-      std::printf("%-10s %-10s %10.2f %9.3f %8zu %12zu %12zu\n",
+      std::printf("%-10s %-10s %10.2f %9.3f %8zu %12zu %12zu %12zu\n",
                   harness::scheduleKindName(K), exec::backendKindName(B),
                   Rate, Secs, Stats.Bands, Stats.PeakBandInstances,
-                  Stats.Wavefronts);
+                  Stats.Wavefronts, Stats.HaloBytesExchanged);
       if (B == exec::BackendKind::ThreadPool && SerialRate > 0)
         std::printf("%21s pooled/serial = %.2fx; peak buffer = %.1f%% of "
                     "domain\n",
                     "", Rate / SerialRate,
                     100.0 * Stats.PeakBandInstances /
                         static_cast<double>(Domain.numPoints()));
+      if (B == exec::BackendKind::DeviceSim) {
+        std::printf("%21s", "");
+        for (size_t D = 0; D < Stats.PerDevice.size(); ++D)
+          std::printf(" dev%zu: %zu inst / %zu sent", D,
+                      Stats.PerDevice[D].Instances,
+                      Stats.PerDevice[D].HaloValuesSent);
+        std::printf("\n");
+      }
+
+      bench::JsonRow Row;
+      Row.str("name", harness::scheduleKindName(K))
+          .str("backend", exec::backendKindName(B))
+          .num("minst_per_s", Rate)
+          .num("seconds", Secs)
+          .num("instances", Stats.Instances)
+          .num("bands", Stats.Bands)
+          .num("peak_buffer", Stats.PeakBandInstances)
+          .num("wavefronts", Stats.Wavefronts);
+      if (B == exec::BackendKind::DeviceSim) {
+        Row.num("devices", Stats.Devices)
+            .num("halo_exchanges", Stats.HaloExchanges)
+            .num("halo_values", Stats.HaloValuesExchanged)
+            .num("halo_bytes", Stats.HaloBytesExchanged);
+      }
+      Report.add(Row);
     }
   }
 
   std::printf("\n(peak-buffer = max instances resident at once in the "
-              "streaming generator;\n the seed executor kept all %lld "
-              "resident. --size/--steps scale toward Table 3.)\n",
-              static_cast<long long>(Domain.numPoints()));
-  return 0;
+              "streaming generator;\n halo-bytes = boundary values copied "
+              "between simulated devices, 0 for\n single-address-space "
+              "backends. --size/--steps scale toward Table 3.)\n");
+  return Report.writeTo(JsonPath) ? 0 : 1;
 }

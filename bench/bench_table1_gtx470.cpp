@@ -11,6 +11,5 @@
 int main(int argc, char **argv) {
   return hextile::bench::runToolComparison(
       hextile::gpu::DeviceConfig::gtx470(),
-      "Table 1: Performance on NVIDIA GTX 470",
-      hextile::bench::smokeMode(argc, argv));
+      "Table 1: Performance on NVIDIA GTX 470", argc, argv);
 }

@@ -10,6 +10,5 @@
 int main(int argc, char **argv) {
   return hextile::bench::runToolComparison(
       hextile::gpu::DeviceConfig::nvs5200(),
-      "Table 2: Performance on NVS 5200M",
-      hextile::bench::smokeMode(argc, argv));
+      "Table 2: Performance on NVS 5200M", argc, argv);
 }

@@ -2,23 +2,35 @@
 //
 // Regenerates Table 3: loads and FLOPs per stencil, data size and time
 // steps for every benchmark, derived from the stencil IR (per-statement
-// rows for the multi-statement fdtd kernel, as in the paper).
+// rows for the multi-statement fdtd kernel, as in the paper). --json
+// mirrors the table into the machine-readable BENCH_*.json form.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
 #include "ir/StencilGallery.h"
 
 #include <cstdio>
 
 using namespace hextile;
 
-int main() {
+int main(int argc, char **argv) {
+  const char *JsonPath = bench::jsonPathArg(argc, argv);
+  bench::JsonReport Report("bench_table3_characteristics");
   std::printf("Table 3: Characteristics of Stencils\n");
   std::printf("%-14s %6s %14s %12s %7s\n", "", "Loads", "FLOPs/Stencil",
               "Data-size", "Steps");
   for (const ir::StencilProgram &P : ir::makeBenchmarkSuite()) {
     std::string Size = std::to_string(P.spaceSizes()[0]) + "^" +
                        std::to_string(P.spaceRank());
+    bench::JsonRow Row;
+    Row.str("name", P.name())
+        .num("loads", int64_t(P.totalReads()))
+        .num("flops", int64_t(P.totalFlops()))
+        .str("data_size", Size)
+        .num("steps", P.timeSteps())
+        .num("data_bytes", P.dataBytes());
+    Report.add(Row);
     if (P.numStmts() == 1) {
       std::printf("%-14s %6u %14u %12s %7lld\n", P.name().c_str(),
                   P.totalReads(), P.totalFlops(), Size.c_str(),
@@ -35,5 +47,5 @@ int main() {
       First = false;
     }
   }
-  return 0;
+  return Report.writeTo(JsonPath) ? 0 : 1;
 }

@@ -65,11 +65,7 @@ void emitKernel(Source &Out, const CompiledHybrid &C, int Phase) {
   if (C.config().UseSharedMemory) {
     int64_t BExt = Hex.maxB() - Hex.minB() + 1 + P.loHalo(0) + P.hiHalo(0);
     for (unsigned F = 0; F < P.fields().size(); ++F) {
-      int64_t Depth = 1;
-      for (const ir::StencilStmt &St : P.stmts())
-        for (const ir::ReadAccess &R : St.Reads)
-          if (R.Field == F)
-            Depth = std::max(Depth, static_cast<int64_t>(1 - R.TimeOffset));
+      int64_t Depth = P.bufferDepth(F);
       std::string Dims = "[" + std::to_string(Depth) + "][" +
                          std::to_string(BExt) + "]";
       for (unsigned I = 1; I < Rank; ++I) {

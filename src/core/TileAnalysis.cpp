@@ -223,17 +223,13 @@ SlabCosts core::analyzeSlab(const ir::StencilProgram &P,
   int64_t BExtent =
       Hex.maxB() - Hex.minB() + 1 + P.loHalo(0) + P.hiHalo(0);
   for (unsigned F = 0; F < P.fields().size(); ++F) {
-    int64_t Depth = 1;
     bool Touched = P.writerOf(F) >= 0;
     for (const ir::StencilStmt &S : P.stmts())
       for (const ir::ReadAccess &R : S.Reads)
-        if (R.Field == F) {
-          Depth = std::max(Depth, static_cast<int64_t>(1 - R.TimeOffset));
-          Touched = true;
-        }
+        Touched = Touched || R.Field == F;
     if (!Touched)
       continue;
-    int64_t Box = 4 * Depth * BExtent;
+    int64_t Box = 4 * static_cast<int64_t>(P.bufferDepth(F)) * BExtent;
     for (unsigned I = 1; I < Rank; ++I)
       Box *= Sched.inner()[I - 1].width() + P.loHalo(I) + P.hiHalo(I);
     C.SharedBytes += Box;
@@ -270,4 +266,19 @@ int64_t core::launches(const ir::StencilProgram &P,
   // Phase 1: T = floor(t / TP).
   int64_t P1 = floorDiv(D.TimeExtent - 1, TP) + 1;
   return P0 + P1;
+}
+
+core::HaloExtent core::partitionHaloExtent(const ir::StencilProgram &P,
+                                           unsigned Dim, int64_t Steps) {
+  assert(Steps >= 1 && "halo extent needs at least one step of reach");
+  // Reach accumulates linearly with the number of unexchanged steps: a
+  // chain of reads across k canonical steps spreads at most k * halo cells
+  // per side (the dependence cone's spread, conservatively per-step).
+  return {Steps * P.loHalo(Dim), Steps * P.hiHalo(Dim)};
+}
+
+int64_t core::minPartitionWidth(const ir::StencilProgram &P, unsigned Dim,
+                                int64_t Steps) {
+  HaloExtent H = partitionHaloExtent(P, Dim, Steps);
+  return std::max<int64_t>({H.Lo, H.Hi, 1});
 }

@@ -96,6 +96,29 @@ int64_t blocksPerLaunch(const ir::StencilProgram &P,
 /// Number of (T, phase) kernel launches covering all time steps.
 int64_t launches(const ir::StencilProgram &P, const HybridSchedule &Sched);
 
+/// Read reach of a partitioned (owner-computes) decomposition along one
+/// spatial dimension: how far below/above its owned cells a partition must
+/// replicate neighbor data so that \p Steps consecutive canonical time
+/// steps can execute between halo exchanges. For Steps == 1 (exchange at
+/// every wavefront barrier, the DeviceSim backend's cadence) this is
+/// exactly the stencil's loHalo/hiHalo; coarser cadences widen the ring by
+/// the dependence cone's spread per step, the same footprint growth that
+/// sizes the hexagonal tile's load phase (analyzeSlab's input set I).
+struct HaloExtent {
+  int64_t Lo = 0; ///< Cells replicated below the owned range.
+  int64_t Hi = 0; ///< Cells replicated above the owned range.
+
+  int64_t total() const { return Lo + Hi; }
+};
+HaloExtent partitionHaloExtent(const ir::StencilProgram &P, unsigned Dim,
+                               int64_t Steps = 1);
+
+/// Minimum owned width of one partition slab along \p Dim for which halo
+/// exchange stays nearest-neighbor (a partition's ring never reaches past
+/// its immediate neighbors): max(loHalo, hiHalo, 1) for the given cadence.
+int64_t minPartitionWidth(const ir::StencilProgram &P, unsigned Dim,
+                          int64_t Steps = 1);
+
 } // namespace core
 } // namespace hextile
 

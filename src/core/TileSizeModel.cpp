@@ -33,12 +33,7 @@ int64_t estimateSharedBytes(const ir::StencilProgram &P,
   int64_t BExtent = Hex.maxB() - Hex.minB() + 1 + P.loHalo(0) + P.hiHalo(0);
   int64_t Bytes = 0;
   for (unsigned F = 0; F < P.fields().size(); ++F) {
-    int64_t Depth = 1;
-    for (const ir::StencilStmt &S : P.stmts())
-      for (const ir::ReadAccess &R : S.Reads)
-        if (R.Field == F)
-          Depth = std::max(Depth, static_cast<int64_t>(1 - R.TimeOffset));
-    int64_t Box = 4 * Depth * BExtent;
+    int64_t Box = 4 * static_cast<int64_t>(P.bufferDepth(F)) * BExtent;
     for (unsigned I = 1; I < P.spaceRank(); ++I) {
       int64_t MaxSkew = Sched.inner()[I - 1].skew(
           Sched.params().timePeriod() - 1);

@@ -1,0 +1,79 @@
+//===- DeviceSimBackend.h - Simulated multi-device execution ---*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionBackend running each wavefront on a chain of simulated devices
+/// over a PartitionedGridStorage:
+///
+///   1. *Placement*: the wavefront's instances are bucketed into per-device
+///      work queues by the owner of their outermost spatial coordinate --
+///      owner-computes over the storage's SM-weighted slab decomposition,
+///      so a tile straddling a slab boundary is split across devices.
+///   2. *Compute*: each device retires its queue against its own slab +
+///      halo rings (a DeviceView), never touching another device's memory;
+///      an assertion fires if a schedule needs data the rings don't hold.
+///   3. *Exchange*: at the wavefront barrier the storage copies exactly the
+///      dirty boundary values into the neighbors' rings, and the backend
+///      accumulates the traffic (total and per device).
+///
+/// Devices are retired sequentially -- legal wavefronts make the order
+/// unobservable (their instances are mutually independent), and a schedule
+/// for which it *is* observable reads stale halo data and fails the
+/// bit-exact differential check, the multi-device analogue of the thread
+/// pool's data races. finishReplay publishes the compute/exchange counters
+/// into ReplayStats for benches and for cross-checking gpu::MemoryModel's
+/// analytic halo predictions against measured traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_EXEC_DEVICESIMBACKEND_H
+#define HEXTILE_EXEC_DEVICESIMBACKEND_H
+
+#include "exec/ExecutionBackend.h"
+#include "gpu/DeviceTopology.h"
+
+#include <vector>
+
+namespace hextile {
+namespace exec {
+
+/// Replays wavefronts over simulated devices with explicit halo exchange.
+/// Requires a PartitionedGridStorage (makeStorage builds a matching one);
+/// any other FieldStorage is rejected with std::invalid_argument.
+class DeviceSimBackend final : public ExecutionBackend {
+public:
+  explicit DeviceSimBackend(gpu::DeviceTopology Topo);
+  /// Uniform chain of \p NumDevices GTX 470-class devices.
+  explicit DeviceSimBackend(unsigned NumDevices);
+
+  const char *name() const override { return "devicesim"; }
+  unsigned concurrency() const override { return Topo.numDevices(); }
+  const gpu::DeviceTopology &topology() const { return Topo; }
+  const gpu::DeviceTopology *partitionTopology() const override {
+    return &Topo;
+  }
+
+  void beginReplay() override;
+  void finishReplay(ReplayStats *Stats) override;
+  void runWavefront(const ir::StencilProgram &P, FieldStorage &Storage,
+                    const Wavefront &W) override;
+
+private:
+  gpu::DeviceTopology Topo;
+
+  std::vector<std::vector<size_t>> Queues; ///< Reused between wavefronts.
+  // Accumulated over one replay (beginReplay .. finishReplay):
+  size_t Exchanges = 0;
+  size_t HaloValues = 0;
+  size_t HaloBytes = 0;
+  std::vector<size_t> DeviceInstances;
+  std::vector<size_t> DeviceValuesSent;
+};
+
+} // namespace exec
+} // namespace hextile
+
+#endif // HEXTILE_EXEC_DEVICESIMBACKEND_H

@@ -2,19 +2,25 @@
 
 #include "exec/ExecutionBackend.h"
 
+#include "exec/DeviceSimBackend.h"
 #include "exec/Executor.h"
+
+#include <algorithm>
 
 using namespace hextile;
 using namespace hextile::exec;
 
 void SerialBackend::runWavefront(const ir::StencilProgram &P,
-                                 GridStorage &Storage, const Wavefront &W) {
+                                 FieldStorage &Storage, const Wavefront &W) {
   for (size_t I = 0, E = W.size(); I < E; ++I)
     executeInstance(P, Storage, W.point(I));
 }
 
+ThreadPoolBackend::ThreadPoolBackend(int NumThreads)
+    : Pool(resolveNumThreads(NumThreads)) {}
+
 void ThreadPoolBackend::runWavefront(const ir::StencilProgram &P,
-                                     GridStorage &Storage,
+                                     FieldStorage &Storage,
                                      const Wavefront &W) {
   size_t N = W.size();
   // A one-instance wavefront has nothing to overlap; skip the pool handoff
@@ -34,17 +40,29 @@ const char *exec::backendKindName(BackendKind K) {
     return "serial";
   case BackendKind::ThreadPool:
     return "threadpool";
+  case BackendKind::DeviceSim:
+    return "devicesim";
   }
   return "?";
 }
 
-std::unique_ptr<ExecutionBackend> exec::makeBackend(BackendKind K,
-                                                    unsigned NumThreads) {
+gpu::DeviceTopology exec::defaultSimTopology(unsigned NumDevices) {
+  return gpu::DeviceTopology::uniform(gpu::DeviceConfig::gtx470(),
+                                      std::max(NumDevices, 1u));
+}
+
+std::unique_ptr<ExecutionBackend>
+exec::makeBackend(BackendKind K, int NumThreads, unsigned NumDevices,
+                  const gpu::DeviceTopology *Topology) {
   switch (K) {
   case BackendKind::Serial:
     return std::make_unique<SerialBackend>();
   case BackendKind::ThreadPool:
     return std::make_unique<ThreadPoolBackend>(NumThreads);
+  case BackendKind::DeviceSim:
+    if (Topology)
+      return std::make_unique<DeviceSimBackend>(*Topology);
+    return std::make_unique<DeviceSimBackend>(NumDevices);
   }
   return nullptr;
 }

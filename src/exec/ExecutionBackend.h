@@ -18,17 +18,25 @@
 ///    exercising the schedule's parallelism claim with real threads: an
 ///    illegal tiling that serialized replay might survive becomes a genuine
 ///    data race (a bit-exact mismatch, or a ThreadSanitizer report).
+///  * DeviceSimBackend (DeviceSimBackend.h) partitions each wavefront over
+///    a simulated device chain and exchanges halos explicitly at the
+///    barrier, measuring the inter-device traffic the paper's block-level
+///    parallelism claim implies.
 ///
-/// This is the seam where a future multi-GPU-sim backend plugs in.
+/// Backends execute against the abstract FieldStorage seam, so the same
+/// contract covers one flat address space and partitioned per-device slabs.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HEXTILE_EXEC_EXECUTIONBACKEND_H
 #define HEXTILE_EXEC_EXECUTIONBACKEND_H
 
-#include "exec/GridStorage.h"
+#include "exec/FieldStorage.h"
 #include "exec/ThreadPool.h"
 #include "exec/Wavefront.h"
+
+#include "gpu/DeviceTopology.h"
+#include "ir/StencilProgram.h"
 
 #include <memory>
 
@@ -43,22 +51,42 @@ public:
 
   virtual const char *name() const = 0;
 
-  /// Worker threads this backend may use (1 for serial backends).
+  /// Worker threads / simulated devices this backend spreads a wavefront
+  /// over (1 for serial backends).
   virtual unsigned concurrency() const = 0;
 
   /// Executes every instance of \p W against \p Storage. Instances within
   /// \p W may run in any order or concurrently; the call returns only after
   /// all of them completed, with their writes visible to the caller.
-  virtual void runWavefront(const ir::StencilProgram &P, GridStorage &Storage,
-                            const Wavefront &W) = 0;
+  virtual void runWavefront(const ir::StencilProgram &P,
+                            FieldStorage &Storage, const Wavefront &W) = 0;
+
+  /// Replay bracket, called by runSchedule around one full replay: reset
+  /// any per-replay accounting, and publish it into \p Stats (may be null).
+  /// Backends without replay-scoped state ignore both.
+  virtual void beginReplay() {}
+  virtual void finishReplay(ReplayStats *Stats) { (void)Stats; }
+
+  /// Non-null when this backend executes against storage partitioned over
+  /// a device topology; makeStorage builds a matching
+  /// PartitionedGridStorage. Single-address-space backends return null
+  /// (flat GridStorage).
+  virtual const gpu::DeviceTopology *partitionTopology() const {
+    return nullptr;
+  }
 };
+
+/// The default DeviceSim topology for a bare device count: a uniform
+/// chain of GTX 470s (shared by makeBackend and makeStorage so backend
+/// and storage can never disagree about the default).
+gpu::DeviceTopology defaultSimTopology(unsigned NumDevices);
 
 /// In-order, single-threaded replay (the seed executor's semantics).
 class SerialBackend final : public ExecutionBackend {
 public:
   const char *name() const override { return "serial"; }
   unsigned concurrency() const override { return 1; }
-  void runWavefront(const ir::StencilProgram &P, GridStorage &Storage,
+  void runWavefront(const ir::StencilProgram &P, FieldStorage &Storage,
                     const Wavefront &W) override;
 };
 
@@ -66,12 +94,13 @@ public:
 /// the pool's parallelFor barrier provides the wavefront barrier.
 class ThreadPoolBackend final : public ExecutionBackend {
 public:
-  /// \p NumThreads = 0 picks hardware concurrency.
-  explicit ThreadPoolBackend(unsigned NumThreads = 0) : Pool(NumThreads) {}
+  /// \p NumThreads = 0 picks hardware concurrency; negative counts are
+  /// rejected with std::invalid_argument (resolveNumThreads).
+  explicit ThreadPoolBackend(int NumThreads = 0);
 
   const char *name() const override { return "threadpool"; }
   unsigned concurrency() const override { return Pool.numThreads(); }
-  void runWavefront(const ir::StencilProgram &P, GridStorage &Storage,
+  void runWavefront(const ir::StencilProgram &P, FieldStorage &Storage,
                     const Wavefront &W) override;
 
   ThreadPool &pool() { return Pool; }
@@ -81,14 +110,16 @@ private:
 };
 
 /// Selects an ExecutionBackend in options/CLI surfaces.
-enum class BackendKind { Serial, ThreadPool };
+enum class BackendKind { Serial, ThreadPool, DeviceSim };
 
 const char *backendKindName(BackendKind K);
 
-/// Instantiates \p K; \p NumThreads only affects ThreadPool (0 = hardware
-/// concurrency).
-std::unique_ptr<ExecutionBackend> makeBackend(BackendKind K,
-                                              unsigned NumThreads = 0);
+/// Instantiates \p K. \p NumThreads only affects ThreadPool (0 = hardware
+/// concurrency); \p NumDevices / \p Topology only affect DeviceSim (an
+/// explicit topology wins, else a uniform chain of NumDevices GTX 470s).
+std::unique_ptr<ExecutionBackend>
+makeBackend(BackendKind K, int NumThreads = 0, unsigned NumDevices = 2,
+            const gpu::DeviceTopology *Topology = nullptr);
 
 } // namespace exec
 } // namespace hextile

@@ -2,13 +2,16 @@
 
 #include "exec/Executor.h"
 
+#include "exec/DeviceSimBackend.h"
+#include "exec/PartitionedGridStorage.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace hextile;
 using namespace hextile::exec;
 
-void exec::executeInstance(const ir::StencilProgram &P, GridStorage &Storage,
+void exec::executeInstance(const ir::StencilProgram &P, FieldStorage &Storage,
                            std::span<const int64_t> Point) {
   unsigned Rank = P.spaceRank();
   assert(Point.size() == Rank + 1 && "point arity mismatch");
@@ -40,43 +43,66 @@ void exec::executeInstance(const ir::StencilProgram &P, GridStorage &Storage,
     const ir::ReadAccess &A = S.Reads[R];
     for (unsigned D = 0; D < Rank; ++D)
       Coords[D] = Point[D + 1] + A.Offsets[D];
-    ReadValues[R] = Storage.at(A.Field, Step + A.TimeOffset, CoordSpan);
+    ReadValues[R] = Storage.read(A.Field, Step + A.TimeOffset, CoordSpan);
   }
   float Result = S.RHS.evaluate(std::span<const float>(ReadValues,
                                                        S.Reads.size()));
   for (unsigned D = 0; D < Rank; ++D)
     Coords[D] = Point[D + 1];
-  Storage.at(S.WriteField, Step, CoordSpan) = Result;
+  Storage.write(S.WriteField, Step, CoordSpan, Result);
 }
 
-void exec::runReference(const ir::StencilProgram &P, GridStorage &Storage) {
+void exec::runReference(const ir::StencilProgram &P, FieldStorage &Storage) {
   core::IterationDomain D = core::IterationDomain::forProgram(P);
   D.forEachPoint([&](std::span<const int64_t> Point) {
     executeInstance(P, Storage, Point);
   });
 }
 
-void exec::runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
+std::unique_ptr<FieldStorage> exec::makeStorage(const ir::StencilProgram &P,
+                                                const ScheduleRunOptions &Opts,
+                                                const Initializer &Init) {
+  // An installed override knows better than the Backend field: whatever
+  // topology it declares is what the replay will actually partition over.
+  if (Opts.BackendOverride) {
+    const gpu::DeviceTopology *Topo =
+        Opts.BackendOverride->partitionTopology();
+    if (!Topo)
+      return std::make_unique<GridStorage>(P, Init);
+    return std::make_unique<PartitionedGridStorage>(P, *Topo, Init);
+  }
+  if (Opts.Backend != BackendKind::DeviceSim)
+    return std::make_unique<GridStorage>(P, Init);
+  if (Opts.Topology)
+    return std::make_unique<PartitionedGridStorage>(P, *Opts.Topology, Init);
+  return std::make_unique<PartitionedGridStorage>(
+      P, defaultSimTopology(Opts.NumDevices), Init);
+}
+
+void exec::runSchedule(const ir::StencilProgram &P, FieldStorage &Storage,
                        const core::IterationDomain &Domain,
                        const ScheduleKeyIntoFn &Key,
                        const ScheduleRunOptions &Opts) {
   std::unique_ptr<ExecutionBackend> Owned;
   ExecutionBackend *Backend = Opts.BackendOverride;
   if (!Backend) {
-    Owned = makeBackend(Opts.Backend, Opts.NumThreads);
+    Owned = makeBackend(Opts.Backend, Opts.NumThreads, Opts.NumDevices,
+                        Opts.Topology);
     Backend = Owned.get();
   }
 
   WavefrontOptions WOpts;
   WOpts.ShuffleSeed = Opts.ShuffleSeed;
   WOpts.ParallelFrom = Opts.ParallelFrom;
+  Backend->beginReplay();
   streamWavefronts(
       Domain, Key, WOpts,
       [&](const Wavefront &W) { Backend->runWavefront(P, Storage, W); },
       Opts.Stats);
+  Backend->finishReplay(Opts.Stats);
 }
 
-void exec::runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
+void exec::runSchedule(const ir::StencilProgram &P, FieldStorage &Storage,
                        const core::IterationDomain &Domain,
                        const ScheduleKeyFn &Key,
                        const ScheduleRunOptions &Opts) {
@@ -89,13 +115,13 @@ std::string exec::checkScheduleEquivalence(const ir::StencilProgram &P,
   GridStorage Ref(P);
   runReference(P, Ref);
 
-  GridStorage Tiled(P);
+  std::unique_ptr<FieldStorage> Tiled = makeStorage(P, Opts);
   core::IterationDomain Domain = core::IterationDomain::forProgram(P);
-  runSchedule(P, Tiled, Domain, Key, Opts);
+  runSchedule(P, *Tiled, Domain, Key, Opts);
 
   // Compare the last TimeBuffers' worth of steps: every live value.
   int64_t LastStep = P.timeSteps() - 1;
-  return GridStorage::compareAtStep(Ref, Tiled, LastStep);
+  return compareStoragesAtStep(Ref, *Tiled, LastStep);
 }
 
 std::string exec::checkScheduleEquivalence(const ir::StencilProgram &P,

@@ -11,14 +11,15 @@
 ///  * ReferenceExecutor runs the program in original (time-major) order;
 ///  * runSchedule replays the statement instances in the order induced by
 ///    an arbitrary schedule key, streamed as wavefronts (Wavefront.h)
-///    through a pluggable ExecutionBackend -- serially, or spread across a
-///    work-stealing thread pool so the schedule's parallelism claim is
-///    exercised by real concurrency.
+///    through a pluggable ExecutionBackend -- serially, spread across a
+///    work-stealing thread pool, or partitioned over a simulated device
+///    chain with explicit halo exchange (DeviceSimBackend).
 ///
-/// Both operate in place on rotating buffers, so an illegal tiling (a
-/// violated flow OR buffer anti-dependence) shows up as a bit-level mismatch
-/// against the reference -- this is how the test suite validates compiled
-/// schedules end to end.
+/// Execution goes through the abstract FieldStorage seam and operates in
+/// place on rotating buffers, so an illegal tiling (a violated flow OR
+/// buffer anti-dependence) -- or a missing halo exchange -- shows up as a
+/// bit-level mismatch against the reference; this is how the test suite
+/// validates compiled schedules end to end.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,10 +28,12 @@
 
 #include "core/IterationDomain.h"
 #include "exec/ExecutionBackend.h"
+#include "exec/FieldStorage.h"
 #include "exec/GridStorage.h"
 #include "exec/Wavefront.h"
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,11 +42,11 @@ namespace exec {
 
 /// Executes the single statement instance at canonical point \p Point
 /// ([that, s...]) of \p P against \p Storage.
-void executeInstance(const ir::StencilProgram &P, GridStorage &Storage,
+void executeInstance(const ir::StencilProgram &P, FieldStorage &Storage,
                      std::span<const int64_t> Point);
 
 /// Runs \p P for its configured number of time steps in original order.
-void runReference(const ir::StencilProgram &P, GridStorage &Storage);
+void runReference(const ir::StencilProgram &P, FieldStorage &Storage);
 
 /// Options for schedule-driven execution.
 struct ScheduleRunOptions {
@@ -57,31 +60,49 @@ struct ScheduleRunOptions {
   int ParallelFrom = -1;
   /// Which ExecutionBackend retires the wavefronts.
   BackendKind Backend = BackendKind::Serial;
-  /// Thread count for BackendKind::ThreadPool (0 = hardware concurrency).
-  unsigned NumThreads = 0;
-  /// Non-owning override: when set, Backend/NumThreads are ignored and this
-  /// instance is used directly -- lets callers reuse one thread pool across
-  /// many replays instead of respawning threads per run.
+  /// Thread count for BackendKind::ThreadPool: 0 resolves to hardware
+  /// concurrency, negative values are rejected (resolveNumThreads).
+  int NumThreads = 0;
+  /// Simulated device count for BackendKind::DeviceSim (uniform GTX 470
+  /// chain); ignored when Topology is set.
+  unsigned NumDevices = 2;
+  /// Non-owning explicit device topology for BackendKind::DeviceSim.
+  const gpu::DeviceTopology *Topology = nullptr;
+  /// Non-owning override: when set, Backend/NumThreads/NumDevices are not
+  /// used to build a backend and this instance is used directly -- lets
+  /// callers reuse one thread pool (or device chain) across many replays
+  /// instead of respawning it per run.
   ExecutionBackend *BackendOverride = nullptr;
-  /// When set, filled with the replay's streaming/wavefront counters.
+  /// When set, filled with the replay's streaming/wavefront counters plus
+  /// the DeviceSim compute/exchange counters.
   ReplayStats *Stats = nullptr;
 };
 
+/// Builds the FieldStorage matching \p Opts' backend choice: a flat
+/// GridStorage for in-address-space backends, a PartitionedGridStorage
+/// over the requested topology for DeviceSim (honoring BackendOverride's
+/// topology when one is installed).
+std::unique_ptr<FieldStorage> makeStorage(const ir::StencilProgram &P,
+                                          const ScheduleRunOptions &Opts,
+                                          const Initializer &Init =
+                                              defaultInit);
+
 /// Replays every instance of \p Domain ordered by \p Key (allocation-free
 /// appending form; see Wavefront.h).
-void runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
+void runSchedule(const ir::StencilProgram &P, FieldStorage &Storage,
                  const core::IterationDomain &Domain,
                  const ScheduleKeyIntoFn &Key,
                  const ScheduleRunOptions &Opts = {});
 
 /// Legacy returning-form overload (adapted via adaptKeyFn; one allocation
 /// per key evaluation).
-void runSchedule(const ir::StencilProgram &P, GridStorage &Storage,
+void runSchedule(const ir::StencilProgram &P, FieldStorage &Storage,
                  const core::IterationDomain &Domain,
                  const ScheduleKeyFn &Key,
                  const ScheduleRunOptions &Opts = {});
 
-/// Convenience: reference-vs-schedule equivalence for \p P. Returns an
+/// Convenience: reference-vs-schedule equivalence for \p P, with the
+/// schedule replay running on storage built by makeStorage. Returns an
 /// empty string if the final fields agree bit-exactly.
 std::string checkScheduleEquivalence(const ir::StencilProgram &P,
                                      const ScheduleKeyIntoFn &Key,

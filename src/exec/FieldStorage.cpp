@@ -1,0 +1,63 @@
+//===- FieldStorage.cpp - Abstract field storage --------------------------===//
+
+#include "exec/FieldStorage.h"
+
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::exec;
+
+float exec::defaultInit(unsigned Field, std::span<const int64_t> Coords) {
+  // Simple splitmix-style hash for deterministic, irregular initial data.
+  uint64_t H = 0x9e3779b97f4a7c15ull + Field * 0xbf58476d1ce4e5b9ull;
+  for (int64_t C : Coords) {
+    H ^= static_cast<uint64_t>(C) + 0x9e3779b97f4a7c15ull + (H << 6) +
+         (H >> 2);
+    H *= 0x94d049bb133111ebull;
+  }
+  // Map to [0, 1) with 20 bits of mantissa variation.
+  return static_cast<float>((H >> 44) & 0xfffff) / 1048576.0f;
+}
+
+bool FieldStorage::inBounds(std::span<const int64_t> Coords) const {
+  const std::vector<int64_t> &S = sizes();
+  assert(Coords.size() == S.size() && "coordinate arity mismatch");
+  for (unsigned D = 0; D < S.size(); ++D)
+    if (Coords[D] < 0 || Coords[D] >= S[D])
+      return false;
+  return true;
+}
+
+std::string exec::compareStoragesAtStep(const FieldStorage &A,
+                                        const FieldStorage &B, int64_t T) {
+  assert(A.sizes() == B.sizes() && A.numFields() == B.numFields() &&
+         "comparing storages of different shape");
+  std::string Failure;
+  const std::vector<int64_t> &Sizes = A.sizes();
+  std::vector<int64_t> Coords(Sizes.size(), 0);
+  std::function<bool(unsigned)> Walk = [&](unsigned Dim) {
+    if (Dim == Sizes.size()) {
+      for (unsigned F = 0; F < A.numFields(); ++F) {
+        float VA = A.read(F, T, Coords);
+        float VB = B.read(F, T, Coords);
+        if (VA != VB) {
+          Failure = "field " + std::to_string(F) + " at (";
+          for (unsigned D = 0; D < Coords.size(); ++D)
+            Failure += (D ? ", " : "") + std::to_string(Coords[D]);
+          Failure += "): " + std::to_string(VA) + " vs " +
+                     std::to_string(VB);
+          return false;
+        }
+      }
+      return true;
+    }
+    for (int64_t I = 0; I < Sizes[Dim]; ++I) {
+      Coords[Dim] = I;
+      if (!Walk(Dim + 1))
+        return false;
+    }
+    return true;
+  };
+  Walk(0);
+  return Failure;
+}

@@ -1,0 +1,78 @@
+//===- FieldStorage.h - Abstract field storage -----------------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The storage seam of the execution subsystem: everything that replays
+/// statement instances (the reference executor, the backends, the oracle's
+/// bit-exact comparison) reads and writes fields through this interface, so
+/// *where* a value lives -- one flat rotating-buffer array (GridStorage) or
+/// per-device slabs with replicated halo rings (PartitionedGridStorage) --
+/// is invisible to execution.
+///
+/// All implementations share the rotating-buffer time semantics of Fig. 1
+/// generalized to arbitrary read depth: field F keeps 1 + max(-dt) copies,
+/// the value of F "at step t" lives in slot t mod depth, and every slot
+/// starts from the same initial values so never-updated boundary cells read
+/// consistently at any time offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_EXEC_FIELDSTORAGE_H
+#define HEXTILE_EXEC_FIELDSTORAGE_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace exec {
+
+/// Initial condition: value of a field at a spatial point.
+using Initializer =
+    std::function<float(unsigned Field, std::span<const int64_t> Coords)>;
+
+/// A deterministic, well-conditioned default initializer (hash-based values
+/// in [0, 1)) used by tests and benchmarks.
+float defaultInit(unsigned Field, std::span<const int64_t> Coords);
+
+/// Storage for all fields of one program; see file comment for the
+/// rotating-buffer contract every implementation honors.
+class FieldStorage {
+public:
+  virtual ~FieldStorage() = default;
+
+  /// Implementation name for diagnostics ("flat", "partitioned").
+  virtual const char *kind() const = 0;
+
+  virtual unsigned numFields() const = 0;
+  /// Rotating-copy count of \p Field (1 + deepest read).
+  virtual unsigned depth(unsigned Field) const = 0;
+  /// Spatial sizes, shared by all fields.
+  virtual const std::vector<int64_t> &sizes() const = 0;
+
+  /// Value of \p Field at time step \p T (any T; slot T mod depth).
+  virtual float read(unsigned Field, int64_t T,
+                     std::span<const int64_t> Coords) const = 0;
+  virtual void write(unsigned Field, int64_t T,
+                     std::span<const int64_t> Coords, float V) = 0;
+
+  /// True if \p Coords lies inside the grid.
+  bool inBounds(std::span<const int64_t> Coords) const;
+};
+
+/// Exact comparison of the step-\p T contents of every field between two
+/// storages of the same shape (any mix of implementations -- this is how
+/// partitioned replays are checked against the flat reference). Returns an
+/// empty string when equal, else a diagnostic naming the first mismatch.
+std::string compareStoragesAtStep(const FieldStorage &A,
+                                  const FieldStorage &B, int64_t T);
+
+} // namespace exec
+} // namespace hextile
+
+#endif // HEXTILE_EXEC_FIELDSTORAGE_H

@@ -1,35 +1,22 @@
-//===- GridStorage.cpp - Rotating-buffer field storage ---------------------===//
+//===- GridStorage.cpp - Flat rotating-buffer field storage ----------------===//
 
 #include "exec/GridStorage.h"
 
 #include "support/MathExt.h"
 
 #include <cassert>
+#include <functional>
 
 using namespace hextile;
 using namespace hextile::exec;
-
-float exec::defaultInit(unsigned Field, std::span<const int64_t> Coords) {
-  // Simple splitmix-style hash for deterministic, irregular initial data.
-  uint64_t H = 0x9e3779b97f4a7c15ull + Field * 0xbf58476d1ce4e5b9ull;
-  for (int64_t C : Coords) {
-    H ^= static_cast<uint64_t>(C) + 0x9e3779b97f4a7c15ull + (H << 6) +
-         (H >> 2);
-    H *= 0x94d049bb133111ebull;
-  }
-  // Map to [0, 1) with 20 bits of mantissa variation.
-  return static_cast<float>((H >> 44) & 0xfffff) / 1048576.0f;
-}
 
 GridStorage::GridStorage(const ir::StencilProgram &P,
                          const Initializer &Init)
     : Sizes(P.spaceSizes()) {
   unsigned NumFields = P.fields().size();
-  Depth.assign(NumFields, 1);
-  for (const ir::StencilStmt &S : P.stmts())
-    for (const ir::ReadAccess &R : S.Reads)
-      Depth[R.Field] = std::max(
-          Depth[R.Field], static_cast<unsigned>(1 - R.TimeOffset));
+  Depth.resize(NumFields);
+  for (unsigned F = 0; F < NumFields; ++F)
+    Depth[F] = P.bufferDepth(F);
 
   PointsPerCopy = 1;
   for (int64_t S : Sizes)
@@ -83,44 +70,4 @@ float &GridStorage::at(unsigned Field, int64_t T,
 float GridStorage::at(unsigned Field, int64_t T,
                       std::span<const int64_t> Coords) const {
   return Data[linearIndex(Field, T, Coords)];
-}
-
-bool GridStorage::inBounds(std::span<const int64_t> Coords) const {
-  for (unsigned D = 0; D < Sizes.size(); ++D)
-    if (Coords[D] < 0 || Coords[D] >= Sizes[D])
-      return false;
-  return true;
-}
-
-std::string GridStorage::compareAtStep(const GridStorage &A,
-                                       const GridStorage &B, int64_t T) {
-  assert(A.Sizes == B.Sizes && A.Depth.size() == B.Depth.size() &&
-         "comparing storages of different shape");
-  std::string Failure;
-  std::vector<int64_t> Coords(A.Sizes.size(), 0);
-  std::function<bool(unsigned)> Walk = [&](unsigned Dim) {
-    if (Dim == A.Sizes.size()) {
-      for (unsigned F = 0; F < A.Depth.size(); ++F) {
-        float VA = A.at(F, T, Coords);
-        float VB = B.at(F, T, Coords);
-        if (VA != VB) {
-          Failure = "field " + std::to_string(F) + " at (";
-          for (unsigned D = 0; D < Coords.size(); ++D)
-            Failure += (D ? ", " : "") + std::to_string(Coords[D]);
-          Failure += "): " + std::to_string(VA) + " vs " +
-                     std::to_string(VB);
-          return false;
-        }
-      }
-      return true;
-    }
-    for (int64_t I = 0; I < A.Sizes[Dim]; ++I) {
-      Coords[Dim] = I;
-      if (!Walk(Dim + 1))
-        return false;
-    }
-    return true;
-  };
-  Walk(0);
-  return Failure;
 }

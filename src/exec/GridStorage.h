@@ -1,60 +1,61 @@
-//===- GridStorage.h - Rotating-buffer field storage -----------*- C++ -*-===//
+//===- GridStorage.h - Flat rotating-buffer field storage ------*- C++ -*-===//
 //
 // Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Storage for the grid fields of a stencil program using rotating time
-/// buffers, generalizing the double buffering of Fig. 1 (A[(t+1)%2] = ...)
-/// to arbitrary read depth. Field F keeps 1 + max(-dt) copies; the value of
-/// F "at step t" lives in slot t mod depth. All slots start from the same
-/// initial values so that never-updated boundary cells read consistently at
-/// any time offset.
+/// The flat FieldStorage implementation: one contiguous rotating-buffer
+/// array per field over the whole grid (a single simulated address space),
+/// generalizing the double buffering of Fig. 1 (A[(t+1)%2] = ...) to
+/// arbitrary read depth. This is the reference storage every partitioned
+/// replay is compared against bit for bit.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HEXTILE_EXEC_GRIDSTORAGE_H
 #define HEXTILE_EXEC_GRIDSTORAGE_H
 
+#include "exec/FieldStorage.h"
 #include "ir/StencilProgram.h"
 
-#include <functional>
 #include <vector>
 
 namespace hextile {
 namespace exec {
 
-/// Initial condition: value of a field at a spatial point.
-using Initializer =
-    std::function<float(unsigned Field, std::span<const int64_t> Coords)>;
-
-/// A deterministic, well-conditioned default initializer (hash-based values
-/// in [0, 1)) used by tests and benchmarks.
-float defaultInit(unsigned Field, std::span<const int64_t> Coords);
-
-/// Rotating-buffer storage for all fields of one program.
-class GridStorage {
+/// Flat rotating-buffer storage for all fields of one program.
+class GridStorage final : public FieldStorage {
 public:
   /// Allocates storage for \p P and fills every slot from \p Init.
   explicit GridStorage(const ir::StencilProgram &P,
                        const Initializer &Init = defaultInit);
 
-  unsigned numFields() const { return Depth.size(); }
-  unsigned depth(unsigned Field) const { return Depth[Field]; }
+  const char *kind() const override { return "flat"; }
+  unsigned numFields() const override { return Depth.size(); }
+  unsigned depth(unsigned Field) const override { return Depth[Field]; }
+  const std::vector<int64_t> &sizes() const override { return Sizes; }
 
   /// Value of \p Field at time step \p T (any T; slot T mod depth).
+  /// Non-virtual direct accessors for callers that hold the concrete type.
   float &at(unsigned Field, int64_t T, std::span<const int64_t> Coords);
   float at(unsigned Field, int64_t T, std::span<const int64_t> Coords) const;
 
-  /// True if \p Coords lies inside the field's grid.
-  bool inBounds(std::span<const int64_t> Coords) const;
+  float read(unsigned Field, int64_t T,
+             std::span<const int64_t> Coords) const override {
+    return at(Field, T, Coords);
+  }
+  void write(unsigned Field, int64_t T, std::span<const int64_t> Coords,
+             float V) override {
+    at(Field, T, Coords) = V;
+  }
 
-  /// Exact comparison of the step-\p T contents of every field between two
-  /// storages of the same shape. Returns an empty string when equal, else a
-  /// diagnostic naming the first mismatch.
-  static std::string compareAtStep(const GridStorage &A,
-                                   const GridStorage &B, int64_t T);
+  /// Legacy name for compareStoragesAtStep (FieldStorage.h), kept for the
+  /// concrete-type callers.
+  static std::string compareAtStep(const FieldStorage &A,
+                                   const FieldStorage &B, int64_t T) {
+    return compareStoragesAtStep(A, B, T);
+  }
 
 private:
   int64_t linearIndex(unsigned Field, int64_t T,

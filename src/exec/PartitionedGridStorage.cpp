@@ -1,0 +1,187 @@
+//===- PartitionedGridStorage.cpp - Per-device slab storage ---------------===//
+
+#include "exec/PartitionedGridStorage.h"
+
+#include "core/TileAnalysis.h"
+#include "support/MathExt.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace hextile;
+using namespace hextile::exec;
+
+PartitionedGridStorage::PartitionedGridStorage(const ir::StencilProgram &P,
+                                               const gpu::DeviceTopology &Topo,
+                                               const Initializer &Init)
+    : Sizes(P.spaceSizes()) {
+  assert(!Sizes.empty() && "partitioning needs at least one spatial dim");
+  unsigned NumFields = P.fields().size();
+  Depth.resize(NumFields);
+  for (unsigned F = 0; F < NumFields; ++F)
+    Depth[F] = P.bufferDepth(F);
+  FieldOffset.resize(NumFields);
+  int64_t Copies = 0;
+  for (unsigned F = 0; F < NumFields; ++F) {
+    FieldOffset[F] = Copies;
+    Copies += Depth[F];
+  }
+
+  InnerPoints = 1;
+  for (unsigned D = 1; D < Sizes.size(); ++D)
+    InnerPoints *= Sizes[D];
+
+  core::HaloExtent Halo = core::partitionHaloExtent(P, /*Dim=*/0);
+  HaloLo = Halo.Lo;
+  HaloHi = Halo.Hi;
+  Requested = Topo.numDevices();
+
+  int64_t Size0 = Sizes[0];
+  std::vector<gpu::SlabRange> Plan =
+      Topo.planSlabs(Size0, core::minPartitionWidth(P, /*Dim=*/0));
+  Slabs.resize(Plan.size());
+  Owner.assign(static_cast<size_t>(Size0), 0);
+  for (unsigned Dev = 0; Dev < Slabs.size(); ++Dev) {
+    DeviceSlab &S = Slabs[Dev];
+    S.Owned = Plan[Dev];
+    S.SlabLo = std::max<int64_t>(0, S.Owned.Lo - HaloLo);
+    S.SlabHi = std::min<int64_t>(Size0, S.Owned.Hi + HaloHi);
+    S.Data.resize(Copies * (S.SlabHi - S.SlabLo) * InnerPoints);
+    for (int64_t S0 = S.Owned.Lo; S0 < S.Owned.Hi; ++S0)
+      Owner[static_cast<size_t>(S0)] = Dev;
+  }
+
+  // Fill every device's slab -- owned cells and halo rings alike -- with
+  // the same initial values in every rotating copy, so replicas agree and
+  // never-updated cells read consistently at any time offset.
+  std::vector<int64_t> Coords(Sizes.size(), 0);
+  for (DeviceSlab &S : Slabs) {
+    std::function<void(unsigned)> Fill = [&](unsigned Dim) {
+      if (Dim == Sizes.size()) {
+        int64_t G = globalIndex(Coords);
+        for (unsigned F = 0; F < NumFields; ++F) {
+          float V = Init(F, Coords);
+          for (unsigned Slot = 0; Slot < Depth[F]; ++Slot)
+            cell(S, F, Slot, G) = V;
+        }
+        return;
+      }
+      int64_t Lo = Dim == 0 ? S.SlabLo : 0;
+      int64_t Hi = Dim == 0 ? S.SlabHi : Sizes[Dim];
+      for (int64_t I = Lo; I < Hi; ++I) {
+        Coords[Dim] = I;
+        Fill(Dim + 1);
+      }
+    };
+    Fill(0);
+  }
+}
+
+int64_t PartitionedGridStorage::globalIndex(
+    std::span<const int64_t> Coords) const {
+  assert(Coords.size() == Sizes.size() && "coordinate arity mismatch");
+  int64_t Linear = 0;
+  for (unsigned D = 0; D < Sizes.size(); ++D) {
+    assert(Coords[D] >= 0 && Coords[D] < Sizes[D] && "out of bounds");
+    Linear = Linear * Sizes[D] + Coords[D];
+  }
+  return Linear;
+}
+
+unsigned PartitionedGridStorage::slotOf(unsigned Field, int64_t T) const {
+  return static_cast<unsigned>(euclidMod(T, Depth[Field]));
+}
+
+float &PartitionedGridStorage::cell(DeviceSlab &S, unsigned Field,
+                                    unsigned Slot, int64_t Global) {
+  int64_t SlabPoints = (S.SlabHi - S.SlabLo) * InnerPoints;
+  int64_t Local = Global - S.SlabLo * InnerPoints;
+  assert(Local >= 0 && Local < SlabPoints &&
+         "access outside this device's slab + halo rings");
+  return S.Data[(FieldOffset[Field] + Slot) * SlabPoints + Local];
+}
+
+float PartitionedGridStorage::cell(const DeviceSlab &S, unsigned Field,
+                                   unsigned Slot, int64_t Global) const {
+  return const_cast<PartitionedGridStorage *>(this)->cell(
+      const_cast<DeviceSlab &>(S), Field, Slot, Global);
+}
+
+unsigned PartitionedGridStorage::ownerOf(int64_t S0) const {
+  assert(S0 >= 0 && S0 < Sizes[0] && "coordinate outside the grid");
+  return Owner[static_cast<size_t>(S0)];
+}
+
+float PartitionedGridStorage::read(unsigned Field, int64_t T,
+                                   std::span<const int64_t> Coords) const {
+  const DeviceSlab &S = Slabs[ownerOf(Coords[0])];
+  return cell(S, Field, slotOf(Field, T), globalIndex(Coords));
+}
+
+void PartitionedGridStorage::write(unsigned Field, int64_t T,
+                                   std::span<const int64_t> Coords,
+                                   float V) {
+  // Coherent write-through: update the owner and every neighbor replica at
+  // once (used by the serial/thread-pool backends and by tests; the
+  // DeviceSim path defers replica updates through writeOn + exchange).
+  unsigned Slot = slotOf(Field, T);
+  int64_t G = globalIndex(Coords);
+  unsigned Dev = ownerOf(Coords[0]);
+  unsigned First = Dev == 0 ? 0 : Dev - 1;
+  unsigned Last = std::min<unsigned>(Dev + 1, numDevices() - 1);
+  for (unsigned D = First; D <= Last; ++D) {
+    DeviceSlab &S = Slabs[D];
+    if (Coords[0] >= S.SlabLo && Coords[0] < S.SlabHi)
+      cell(S, Field, Slot, G) = V;
+  }
+}
+
+float PartitionedGridStorage::readOn(unsigned Dev, unsigned Field, int64_t T,
+                                     std::span<const int64_t> Coords) const {
+  const DeviceSlab &S = Slabs[Dev];
+  assert(Coords[0] >= S.SlabLo && Coords[0] < S.SlabHi &&
+         "device read outside its slab + halo rings: the schedule needs "
+         "more communication than the one-step halo exchange provides");
+  return cell(S, Field, slotOf(Field, T), globalIndex(Coords));
+}
+
+void PartitionedGridStorage::writeOn(unsigned Dev, unsigned Field, int64_t T,
+                                     std::span<const int64_t> Coords,
+                                     float V) {
+  DeviceSlab &S = Slabs[Dev];
+  assert(Coords[0] >= S.Owned.Lo && Coords[0] < S.Owned.Hi &&
+         "devices write only cells they own (owner-computes placement)");
+  unsigned Slot = slotOf(Field, T);
+  int64_t G = globalIndex(Coords);
+  cell(S, Field, Slot, G) = V;
+  // Writes a neighbor replicates become traffic at the next exchange.
+  if (Dev > 0 && Coords[0] < S.Owned.Lo + HaloHi)
+    S.DirtyDown.push_back({Field, Slot, G});
+  if (Dev + 1 < numDevices() && Coords[0] >= S.Owned.Hi - HaloLo)
+    S.DirtyUp.push_back({Field, Slot, G});
+}
+
+PartitionedGridStorage::ExchangeCounters
+PartitionedGridStorage::exchangeHalos(std::span<size_t> PerDeviceValuesSent) {
+  assert((PerDeviceValuesSent.empty() ||
+          PerDeviceValuesSent.size() == numDevices()) &&
+         "per-device counter span must cover every device");
+  ExchangeCounters C;
+  for (unsigned Dev = 0; Dev < numDevices(); ++Dev) {
+    DeviceSlab &S = Slabs[Dev];
+    size_t Sent = S.DirtyDown.size() + S.DirtyUp.size();
+    for (const DirtyCell &D : S.DirtyDown)
+      cell(Slabs[Dev - 1], D.Field, D.Slot, D.Global) =
+          cell(S, D.Field, D.Slot, D.Global);
+    for (const DirtyCell &D : S.DirtyUp)
+      cell(Slabs[Dev + 1], D.Field, D.Slot, D.Global) =
+          cell(S, D.Field, D.Slot, D.Global);
+    S.DirtyDown.clear();
+    S.DirtyUp.clear();
+    C.Values += Sent;
+    if (!PerDeviceValuesSent.empty())
+      PerDeviceValuesSent[Dev] += Sent;
+  }
+  C.Bytes = C.Values * sizeof(float);
+  return C;
+}

@@ -4,13 +4,25 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 using namespace hextile;
 using namespace hextile::exec;
 
+unsigned exec::resolveNumThreads(int Requested) {
+  if (Requested < 0)
+    throw std::invalid_argument(
+        "NumThreads must be >= 0 (0 = hardware concurrency), got " +
+        std::to_string(Requested));
+  if (Requested == 0)
+    return std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(Requested);
+}
+
 ThreadPool::ThreadPool(unsigned NumThreads) {
   if (NumThreads == 0)
-    NumThreads = std::max(1u, std::thread::hardware_concurrency());
+    NumThreads = resolveNumThreads(0);
   Queues.reserve(NumThreads);
   for (unsigned I = 0; I < NumThreads; ++I)
     Queues.push_back(std::make_unique<WorkQueue>());

@@ -38,6 +38,13 @@
 namespace hextile {
 namespace exec {
 
+/// Validates and resolves a requested thread count: 0 means
+/// std::thread::hardware_concurrency() (at least 1), positive counts pass
+/// through, and negative counts throw std::invalid_argument naming the
+/// offending value. The single source of this policy -- ThreadPool's
+/// constructor and every options surface resolve through it.
+unsigned resolveNumThreads(int Requested);
+
 /// Work-stealing pool of persistent threads. One parallelFor runs at a time
 /// (concurrent submissions are serialized); nesting parallelFor inside a
 /// worker body is not supported.

@@ -81,7 +81,15 @@ struct WavefrontOptions {
   int ParallelFrom = -1;
 };
 
-/// Observability counters for one replay; fed by streamWavefronts.
+/// Per-simulated-device counters of one DeviceSim replay.
+struct DeviceReplayStats {
+  size_t Instances = 0;      ///< Statement instances this device executed.
+  size_t HaloValuesSent = 0; ///< Boundary values it pushed to neighbors.
+};
+
+/// Observability counters for one replay. The streaming fields are fed by
+/// streamWavefronts; the halo/per-device fields stay zero unless the
+/// replay ran on a DeviceSimBackend (ExecutionBackend::finishReplay).
 struct ReplayStats {
   size_t Instances = 0;     ///< Statement instances replayed.
   size_t Bands = 0;         ///< Non-empty leading-key bands streamed.
@@ -89,6 +97,12 @@ struct ReplayStats {
   size_t PeakBandInstances = 0; ///< Largest instance buffer ever resident.
   size_t MaxWavefrontInstances = 0; ///< Largest single parallel batch.
   size_t KeyEvals = 0;      ///< Schedule-key evaluations (both passes).
+
+  size_t Devices = 0;       ///< Simulated devices (0 = one address space).
+  size_t HaloExchanges = 0; ///< Exchange rounds (one per wavefront).
+  size_t HaloValuesExchanged = 0; ///< Boundary values copied device-to-device.
+  size_t HaloBytesExchanged = 0;  ///< The same traffic in bytes.
+  std::vector<DeviceReplayStats> PerDevice; ///< Indexed by device.
 };
 
 /// Streams every instance of \p Domain as ordered wavefronts into \p Sink.

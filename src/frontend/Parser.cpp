@@ -376,6 +376,15 @@ private:
         fail(Name.location() + ": read of a future time step");
         return ir::StencilExpr::constant(0);
       }
+      // Repeated references to one cell share a single ReadAccess, so the
+      // per-statement load count matches Table 3's "Loads" (and the
+      // printer round-trip) instead of counting syntactic occurrences.
+      for (size_t R = 0; R < CurStmt.Reads.size(); ++R) {
+        const ir::ReadAccess &A = CurStmt.Reads[R];
+        if (A.Field == Ref->Field && A.TimeOffset == Dt &&
+            A.Offsets == Ref->Offsets)
+          return ir::StencilExpr::read(R);
+      }
       CurStmt.Reads.push_back(
           {Ref->Field, static_cast<int>(Dt), Ref->Offsets});
       return ir::StencilExpr::read(CurStmt.Reads.size() - 1);

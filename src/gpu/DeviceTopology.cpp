@@ -1,0 +1,78 @@
+//===- DeviceTopology.cpp - Simulated multi-device topologies -------------===//
+
+#include "gpu/DeviceTopology.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hextile;
+using namespace hextile::gpu;
+
+DeviceTopology DeviceTopology::uniform(const DeviceConfig &Dev, unsigned N) {
+  DeviceTopology T;
+  T.Devices.assign(std::max(N, 1u), Dev);
+  return T;
+}
+
+std::vector<SlabRange> DeviceTopology::planSlabs(int64_t Extent,
+                                                 int64_t MinWidth) const {
+  assert(Extent >= 1 && "cannot partition an empty extent");
+  assert(MinWidth >= 1 && "slabs need at least one owned cell");
+  // An empty topology degenerates to one device owning everything (the
+  // same legalization DeviceSimBackend applies on its side of the seam).
+  if (Devices.empty())
+    return {SlabRange{0, Extent}};
+  // Fall back to the largest device prefix the extent can feed.
+  size_t Used = std::max<size_t>(
+      1, std::min<size_t>(Devices.size(),
+                          static_cast<size_t>(Extent / MinWidth)));
+
+  int64_t TotalWeight = 0;
+  for (size_t D = 0; D < Used; ++D)
+    TotalWeight += std::max(Devices[D].NumSMs, 1);
+
+  // Cumulative-rounding split proportional to SM counts, then a forward and
+  // a backward sweep to restore the MinWidth floor that rounding (or very
+  // skewed weights) may have violated. Feasible because Used * MinWidth <=
+  // Extent by construction.
+  std::vector<SlabRange> Slabs(Used);
+  int64_t Acc = 0;
+  for (size_t D = 0; D < Used; ++D) {
+    Slabs[D].Lo = Extent * Acc / TotalWeight;
+    Acc += std::max(Devices[D].NumSMs, 1);
+    Slabs[D].Hi = Extent * Acc / TotalWeight;
+  }
+  Slabs.back().Hi = Extent;
+  for (size_t D = 1; D < Used; ++D)
+    Slabs[D].Lo = Slabs[D - 1].Hi =
+        std::max(Slabs[D].Lo, Slabs[D - 1].Lo + MinWidth);
+  for (size_t D = Used; D-- > 1;)
+    Slabs[D].Lo = Slabs[D - 1].Hi =
+        std::min(Slabs[D].Lo, Slabs[D].Hi - MinWidth);
+  // A lone device owns everything and never exchanges, so the floor only
+  // binds when there are neighbors.
+  if (Used > 1)
+    for (const SlabRange &S : Slabs) {
+      assert(S.width() >= MinWidth && "slab planning violated the floor");
+      (void)S;
+    }
+  return Slabs;
+}
+
+std::string DeviceTopology::str() const {
+  if (Devices.empty())
+    return "<empty topology>";
+  // Run-length encode identical neighbors: "4 x GTX 470 + 1 x NVS 5200M".
+  std::string Out;
+  size_t I = 0;
+  while (I < Devices.size()) {
+    size_t J = I;
+    while (J < Devices.size() && Devices[J].Name == Devices[I].Name)
+      ++J;
+    if (!Out.empty())
+      Out += " + ";
+    Out += std::to_string(J - I) + " x " + Devices[I].Name;
+    I = J;
+  }
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- DeviceTopology.h - Simulated multi-device topologies ----*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A topology of N simulated devices over which a grid can be partitioned.
+/// Each member device is a full DeviceConfig, so heterogeneous topologies
+/// (e.g. a GTX 470 next to an NVS 5200M) are expressible; the slab planner
+/// weights each device's share of the partitioned dimension by its SM
+/// count, mirroring how block-level parallelism would be spread over the
+/// chips. The topology is purely descriptive -- the execution-side
+/// partitioned storage and DeviceSim backend (src/exec) consume it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_GPU_DEVICETOPOLOGY_H
+#define HEXTILE_GPU_DEVICETOPOLOGY_H
+
+#include "gpu/DeviceConfig.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace gpu {
+
+/// One device's contiguous share of the partitioned dimension: the
+/// half-open coordinate range [Lo, Hi) it owns.
+struct SlabRange {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+
+  int64_t width() const { return Hi - Lo; }
+};
+
+/// An ordered chain of simulated devices. Device d exchanges halos only
+/// with its neighbors d-1 and d+1 (a linear topology, the worst case for
+/// boundary traffic and the layout real multi-GPU stencil codes use).
+struct DeviceTopology {
+  std::vector<DeviceConfig> Devices;
+
+  unsigned numDevices() const {
+    return static_cast<unsigned>(Devices.size());
+  }
+
+  /// N identical copies of \p Dev in a chain. N == 0 is legalized to 1.
+  static DeviceTopology uniform(const DeviceConfig &Dev, unsigned N);
+
+  /// Splits [0, Extent) into one contiguous slab per device, weighted by
+  /// NumSMs, each at least \p MinWidth wide. When the extent cannot feed
+  /// every device (Extent < numDevices() * MinWidth) the plan falls back
+  /// to the largest prefix of the chain that fits -- possibly a single
+  /// device owning everything -- rather than failing, so small grids
+  /// degrade to fewer simulated devices cleanly. Returns one range per
+  /// *used* device; MinWidth and Extent must be >= 1.
+  std::vector<SlabRange> planSlabs(int64_t Extent, int64_t MinWidth) const;
+
+  /// "2 x <name>" style description for diagnostics.
+  std::string str() const;
+};
+
+} // namespace gpu
+} // namespace hextile
+
+#endif // HEXTILE_GPU_DEVICETOPOLOGY_H

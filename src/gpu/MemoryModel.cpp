@@ -88,3 +88,33 @@ double gpu::stridedBankTransactions(const DeviceConfig &Dev,
     Addrs[I] = static_cast<int64_t>(I) * StrideWords;
   return bankTransactionsPerRequest(Dev, Addrs);
 }
+
+int64_t gpu::predictHaloExchangeValues(const ir::StencilProgram &P,
+                                       std::span<const int64_t> Boundaries) {
+  // Writes happen only inside the update domain: [lo_d, size_d - hi_d) per
+  // dimension, every statement, every time step.
+  int64_t Lo0 = P.loHalo(0);
+  int64_t Hi0 = P.spaceSizes()[0] - P.hiHalo(0);
+  int64_t InnerExtent = 1;
+  for (unsigned D = 1; D < P.spaceRank(); ++D)
+    InnerExtent *=
+        P.spaceSizes()[D] - P.loHalo(D) - P.hiHalo(D);
+
+  auto Clip = [&](int64_t From, int64_t To) {
+    return std::max<int64_t>(0, std::min(To, Hi0) - std::max(From, Lo0));
+  };
+  int64_t StripCells = 0;
+  for (int64_t B : Boundaries) {
+    // Cells the lower neighbor replicates above the cut, and the upper
+    // neighbor below it; each written once per canonical step.
+    StripCells += Clip(B, B + P.hiHalo(0)) + Clip(B - P.loHalo(0), B);
+  }
+  int64_t TimeExtent = static_cast<int64_t>(P.numStmts()) * P.timeSteps();
+  return StripCells * InnerExtent * TimeExtent;
+}
+
+int64_t gpu::predictHaloExchangeBytes(const ir::StencilProgram &P,
+                                      std::span<const int64_t> Boundaries) {
+  return predictHaloExchangeValues(P, Boundaries) *
+         static_cast<int64_t>(sizeof(float));
+}

@@ -25,6 +25,7 @@
 #define HEXTILE_GPU_MEMORYMODEL_H
 
 #include "gpu/DeviceConfig.h"
+#include "ir/StencilProgram.h"
 
 #include <cstdint>
 #include <span>
@@ -75,6 +76,24 @@ double bankTransactionsPerRequest(const DeviceConfig &Dev,
 /// Transactions per request for a strided pattern: thread i accesses word
 /// Base + i * StrideWords (the common shared-memory row access).
 double stridedBankTransactions(const DeviceConfig &Dev, int64_t StrideWords);
+
+/// Analytic halo-exchange traffic of an owner-computes slab decomposition
+/// of \p P along spatial dimension 0 with the interior slab boundaries at
+/// \p Boundaries (the Lo coordinate of every slab but the first), when
+/// every boundary write is exchanged exactly once (the one-step cadence of
+/// exec::DeviceSimBackend). Per canonical time step each boundary moves
+/// the writes landing in the strips its neighbors replicate -- hiHalo(0)
+/// cells above the cut and loHalo(0) below, clipped to the update domain
+/// -- times the update extent of every inner dimension. Legal schedules
+/// write each instance once, so the count is schedule-independent: the
+/// measured ReplayStats::HaloValuesExchanged of any bit-exact replay must
+/// equal it exactly.
+int64_t predictHaloExchangeValues(const ir::StencilProgram &P,
+                                  std::span<const int64_t> Boundaries);
+
+/// predictHaloExchangeValues in bytes (single-precision fields).
+int64_t predictHaloExchangeBytes(const ir::StencilProgram &P,
+                                 std::span<const int64_t> Boundaries);
 
 } // namespace gpu
 } // namespace hextile

@@ -9,9 +9,17 @@ using namespace hextile;
 using namespace hextile::ir;
 
 std::string ReadAccess::str(const std::vector<FieldDecl> &Fields) const {
+  // Source-dialect time index: the write targets t+1, so an IR offset of
+  // dt (relative to the written step) renders as t + dt + 1 -- dt = -1
+  // (previous step) is "A[t]", dt = 0 (same-step read of an earlier
+  // statement's output) is "A[t+1]". Keeping this convention aligned with
+  // frontend::Parser is what the round-trip tests check.
   std::string Out = Fields[Field].Name + "[t";
-  if (TimeOffset != 0)
-    Out += std::to_string(TimeOffset);
+  int SourceOffset = TimeOffset + 1;
+  if (SourceOffset > 0)
+    Out += "+" + std::to_string(SourceOffset);
+  else if (SourceOffset < 0)
+    Out += std::to_string(SourceOffset);
   Out += "]";
   for (unsigned D = 0; D < Offsets.size(); ++D) {
     Out += "[s" + std::to_string(D);
@@ -54,6 +62,15 @@ int64_t StencilProgram::hiHalo(unsigned Dim) const {
     for (const ReadAccess &R : S.Reads)
       H = std::max(H, R.Offsets[Dim]);
   return H;
+}
+
+unsigned StencilProgram::bufferDepth(unsigned Field) const {
+  unsigned Depth = 1;
+  for (const StencilStmt &S : Stmts)
+    for (const ReadAccess &R : S.Reads)
+      if (R.Field == Field)
+        Depth = std::max(Depth, static_cast<unsigned>(1 - R.TimeOffset));
+  return Depth;
 }
 
 unsigned StencilProgram::totalReads() const {
@@ -138,7 +155,15 @@ std::string StencilProgram::verify() const {
 std::string StencilProgram::str() const {
   std::string Out;
   Out += "// " + ProgName + "\n";
-  Out += "for (t = 0; t < " + std::to_string(TimeSteps) + "; t++)\n";
+  // Grid declarations first, then a braced time loop: exactly the dialect
+  // frontend::Parser accepts, so str() output re-parses (round-trip).
+  for (const FieldDecl &F : Fields) {
+    Out += "grid " + F.Name;
+    for (int64_t S : SizeS)
+      Out += "[" + std::to_string(S) + "]";
+    Out += ";\n";
+  }
+  Out += "for (t = 0; t < " + std::to_string(TimeSteps) + "; t++) {\n";
   for (const StencilStmt &S : Stmts) {
     std::string Indent = "  ";
     for (unsigned D = 0; D < Rank; ++D) {
@@ -158,5 +183,6 @@ std::string StencilProgram::str() const {
     Out += Indent + LHS + " = " + S.RHS.str(ReadNames) + "; // " + S.Name +
            "\n";
   }
+  Out += "}\n";
   return Out;
 }

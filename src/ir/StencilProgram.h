@@ -85,6 +85,12 @@ public:
   int64_t loHalo(unsigned Dim) const;
   int64_t hiHalo(unsigned Dim) const;
 
+  /// Rotating-buffer copies field \p Field needs: 1 + its deepest read
+  /// (1 when never read). The single source of the depth rule every
+  /// storage implementation, the shared-memory sizing and the CUDA
+  /// emitter share.
+  unsigned bufferDepth(unsigned Field) const;
+
   /// Reads per stencil point, summed over statements (Table 3 "Loads").
   unsigned totalReads() const;
   /// FLOPs per stencil point, summed over statements (Table 3 "FLOPs").

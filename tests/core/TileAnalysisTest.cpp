@@ -161,3 +161,30 @@ TEST(TileSizeModelTest, FdtdHeightsAlignToStatements) {
   ASSERT_TRUE(Best.has_value());
   EXPECT_EQ((Best->Params.H + 1) % 3, 0);
 }
+
+TEST(TileAnalysisTest, PartitionHaloExtentFollowsReadReach) {
+  // jacobi2d reads one cell each way; skewed1d reads 2 below and 2 above.
+  ir::StencilProgram J = ir::makeJacobi2D(32, 4);
+  HaloExtent HJ = partitionHaloExtent(J, 0);
+  EXPECT_EQ(HJ.Lo, 1);
+  EXPECT_EQ(HJ.Hi, 1);
+  EXPECT_EQ(minPartitionWidth(J, 0), 1);
+
+  ir::StencilProgram S = ir::makeSkewedExample1D(64, 4);
+  HaloExtent HS = partitionHaloExtent(S, 0);
+  EXPECT_EQ(HS.Lo, 2);
+  EXPECT_EQ(HS.Hi, 2);
+  EXPECT_EQ(HS.total(), 4);
+  EXPECT_EQ(minPartitionWidth(S, 0), 2);
+}
+
+TEST(TileAnalysisTest, PartitionHaloExtentGrowsWithExchangeCadence) {
+  // Exchanging every k steps widens the ring by the cone spread per step:
+  // the footprint growth that also sizes a hexagonal tile's load phase.
+  ir::StencilProgram P = ir::makeHeat2D(32, 4);
+  HaloExtent OneStep = partitionHaloExtent(P, 0, 1);
+  HaloExtent Banded = partitionHaloExtent(P, 0, 5);
+  EXPECT_EQ(Banded.Lo, 5 * OneStep.Lo);
+  EXPECT_EQ(Banded.Hi, 5 * OneStep.Hi);
+  EXPECT_EQ(minPartitionWidth(P, 0, 5), 5);
+}

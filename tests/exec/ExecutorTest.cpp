@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <thread>
+
 using namespace hextile;
 using namespace hextile::exec;
 
@@ -137,6 +140,37 @@ TEST(ExecutorTest, PerTimeSliceEnumerationMatchesFullEnumeration) {
   EXPECT_EQ(Full, Sliced);
   EXPECT_EQ(static_cast<int64_t>(Full.size()), D.numPoints());
   EXPECT_EQ(D.numPoints(), D.TimeExtent * D.numSpatialPoints());
+}
+
+TEST(ExecutorTest, ZeroNumThreadsResolvesToHardwareConcurrency) {
+  unsigned Hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(resolveNumThreads(0), Hw);
+  EXPECT_EQ(resolveNumThreads(3), 3u);
+  ThreadPoolBackend Backend(0);
+  EXPECT_EQ(Backend.concurrency(), Hw);
+}
+
+TEST(ExecutorTest, NegativeNumThreadsIsRejectedWithClearError) {
+  try {
+    resolveNumThreads(-4);
+    FAIL() << "negative thread count must be rejected";
+  } catch (const std::invalid_argument &E) {
+    EXPECT_NE(std::string(E.what()).find("-4"), std::string::npos)
+        << E.what();
+    EXPECT_NE(std::string(E.what()).find("NumThreads"), std::string::npos)
+        << E.what();
+  }
+  // The same validation guards the options surface: a replay configured
+  // with a negative count fails fast instead of spawning a bogus pool.
+  ir::StencilProgram P = ir::makeJacobi2D(8, 2);
+  ScheduleRunOptions Opts;
+  Opts.Backend = BackendKind::ThreadPool;
+  Opts.NumThreads = -1;
+  ScheduleKeyFn Key = [](std::span<const int64_t> Pt) {
+    return std::vector<int64_t>(Pt.begin(), Pt.end());
+  };
+  EXPECT_THROW(checkScheduleEquivalence(P, Key, Opts),
+               std::invalid_argument);
 }
 
 TEST(ExecutorTest, MultiStatementReferenceOrder) {

@@ -270,9 +270,10 @@ std::string harness::runDifferential(const ir::StencilProgram &P,
   core::IterationDomain Domain = core::IterationDomain::forProgram(P);
   int64_t LastStep = P.timeSteps() - 1;
   // One backend for all shuffles: a ThreadPool backend keeps its workers
-  // alive across the replays instead of respawning threads per run.
+  // alive across the replays instead of respawning threads per run, and a
+  // DeviceSim backend keeps one device chain.
   std::unique_ptr<exec::ExecutionBackend> Backend =
-      exec::makeBackend(Opts.Backend, Opts.NumThreads);
+      exec::makeBackend(Opts.Backend, Opts.NumThreads, Opts.NumDevices);
   for (int Shuffle = 0; Shuffle < std::max(Opts.NumShuffles, 1); ++Shuffle) {
     // Shuffle 0 replays blocks in natural order with stable thread order;
     // later shuffles permute the blocks and shuffle equal-key threads.
@@ -289,14 +290,21 @@ std::string harness::runDifferential(const ir::StencilProgram &P,
     // the fully sequential key order).
     bool Serial = Opts.Backend == exec::BackendKind::Serial;
     RunOpts.ParallelFrom = (Serial && RunSeed == 0) ? -1 : S.ParallelFrom;
+    RunOpts.Backend = Opts.Backend;
+    RunOpts.NumDevices = Opts.NumDevices;
     RunOpts.BackendOverride = Backend.get();
-    exec::GridStorage Got(P, Init);
-    exec::runSchedule(P, Got, Domain, S.Key, RunOpts);
-    std::string Diff = exec::GridStorage::compareAtStep(Ref, Got, LastStep);
+    // makeStorage partitions the grid to match a DeviceSim override.
+    std::unique_ptr<exec::FieldStorage> Got =
+        exec::makeStorage(P, RunOpts, Init);
+    exec::runSchedule(P, *Got, Domain, S.Key, RunOpts);
+    std::string Diff = exec::compareStoragesAtStep(Ref, *Got, LastStep);
     if (!Diff.empty()) {
       std::ostringstream OS;
       OS << "[" << scheduleKindName(K) << "] program=" << P.name()
-         << " backend=" << Backend->name() << " tiling{" << T.str()
+         << " backend=" << Backend->name();
+      if (Opts.Backend == exec::BackendKind::DeviceSim)
+        OS << " devices=" << Opts.NumDevices;
+      OS << " tiling{" << T.str()
          << "} seed=0x" << std::hex << Opts.Seed << std::dec
          << " shuffle=" << Shuffle
          << " diverges from the row-major reference: " << Diff << "\n";

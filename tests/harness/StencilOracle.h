@@ -76,10 +76,16 @@ struct OracleOptions {
   /// Execution backend replaying the tiled schedule. Serial reproduces the
   /// seed behavior; ThreadPool runs each wavefront's parallel instances on
   /// real threads, so an illegal tiling surfaces as a genuine data race
-  /// (nondeterministic mismatch, or a deterministic TSan report).
+  /// (nondeterministic mismatch, or a deterministic TSan report); DeviceSim
+  /// partitions the grid over NumDevices simulated devices with explicit
+  /// halo exchange, so a schedule whose communication claim is wrong reads
+  /// stale halo data and diverges.
   exec::BackendKind Backend = exec::BackendKind::Serial;
-  /// Thread count for BackendKind::ThreadPool (0 = hardware concurrency).
-  unsigned NumThreads = 0;
+  /// Thread count for BackendKind::ThreadPool (0 = hardware concurrency,
+  /// negative rejected).
+  int NumThreads = 0;
+  /// Simulated device count for BackendKind::DeviceSim.
+  unsigned NumDevices = 2;
 };
 
 /// A schedule key plus the index of its first thread-parallel component.

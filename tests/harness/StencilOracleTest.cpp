@@ -77,9 +77,23 @@ OracleTiling randomizedTiling(std::mt19937_64 &Rng, unsigned Rank) {
   return T;
 }
 
+/// One backend configuration of the sweep: the kind plus the simulated
+/// device count (meaningful for DeviceSim only).
+struct BackendSpec {
+  exec::BackendKind Kind;
+  unsigned NumDevices;
+
+  std::string str() const {
+    std::string S = exec::backendKindName(Kind);
+    if (Kind == exec::BackendKind::DeviceSim)
+      S += std::to_string(NumDevices);
+    return S;
+  }
+};
+
 class StencilOracleSweep
     : public ::testing::TestWithParam<
-          std::tuple<const char *, exec::BackendKind>> {};
+          std::tuple<const char *, BackendSpec>> {};
 
 } // namespace
 
@@ -93,12 +107,11 @@ class StencilOracleSweep
 /// pooled failure reproduces serially from the same logged seed.
 TEST_P(StencilOracleSweep, SchedulesMatchNaiveExecutor) {
   const std::string Name = std::get<0>(GetParam());
-  exec::BackendKind Backend = std::get<1>(GetParam());
+  BackendSpec Backend = std::get<1>(GetParam());
   uint64_t Seed = sweepSeed(Name);
   std::mt19937_64 Rng(Seed);
   SCOPED_TRACE(::testing::Message()
-               << "stencil=" << Name
-               << " backend=" << exec::backendKindName(Backend)
+               << "stencil=" << Name << " backend=" << Backend.str()
                << " sweep seed=0x" << std::hex << Seed
                << " (set HEXTILE_ORACLE_SEED to this value to reproduce)");
   for (int Point = 0; Point < 3; ++Point) {
@@ -107,8 +120,9 @@ TEST_P(StencilOracleSweep, SchedulesMatchNaiveExecutor) {
     OracleOptions Opts;
     Opts.Seed = Rng();
     Opts.NumShuffles = 3;
-    Opts.Backend = Backend;
+    Opts.Backend = Backend.Kind;
     Opts.NumThreads = 4;
+    Opts.NumDevices = Backend.NumDevices;
     EXPECT_EQ(runDifferentialAllKinds(P, T, Opts), "")
         << "tile point " << Point << ", tiling{" << T.str() << "}, seed=0x"
         << std::hex << Opts.Seed;
@@ -117,17 +131,19 @@ TEST_P(StencilOracleSweep, SchedulesMatchNaiveExecutor) {
 
 INSTANTIATE_TEST_SUITE_P(
     Gallery, StencilOracleSweep,
-    ::testing::Combine(::testing::Values("jacobi1d", "jacobi2d",
-                                         "laplacian2d", "heat2d",
-                                         "gradient2d", "fdtd2d",
-                                         "laplacian3d", "heat3d",
-                                         "gradient3d", "skewed1d"),
-                       ::testing::Values(exec::BackendKind::Serial,
-                                         exec::BackendKind::ThreadPool)),
+    ::testing::Combine(
+        ::testing::Values("jacobi1d", "jacobi2d", "laplacian2d", "heat2d",
+                          "gradient2d", "fdtd2d", "laplacian3d", "heat3d",
+                          "gradient3d", "skewed1d"),
+        ::testing::Values(BackendSpec{exec::BackendKind::Serial, 0},
+                          BackendSpec{exec::BackendKind::ThreadPool, 0},
+                          BackendSpec{exec::BackendKind::DeviceSim, 1},
+                          BackendSpec{exec::BackendKind::DeviceSim, 2},
+                          BackendSpec{exec::BackendKind::DeviceSim, 4})),
     [](const ::testing::TestParamInfo<
-        std::tuple<const char *, exec::BackendKind>> &I) {
+        std::tuple<const char *, BackendSpec>> &I) {
       return std::string(std::get<0>(I.param)) + "_" +
-             exec::backendKindName(std::get<1>(I.param));
+             std::get<1>(I.param).str();
     });
 
 /// Degenerate extremes the randomized sweep rarely draws: minimal tiles,
