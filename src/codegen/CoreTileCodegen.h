@@ -12,6 +12,10 @@
 /// loads and 1 shared store for 5 compute instructions, with 2 of the 5
 /// values in flight reused in registers across iterations.
 ///
+/// This listing feeds the performance model and the Fig. 2 bench; the
+/// *executable* renderings live in the EmissionCore targets
+/// (CudaEmitter/HostEmitter, see docs/codegen.md).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HEXTILE_CODEGEN_CORETILECODEGEN_H

@@ -2,161 +2,70 @@
 
 #include "codegen/CudaEmitter.h"
 
-#include <cassert>
-
 using namespace hextile;
 using namespace hextile::codegen;
 
 namespace {
 
-/// Incremental source builder with indentation.
-class Source {
-public:
-  void line(const std::string &S) {
-    Text.append(Indent, ' ');
-    Text += S;
-    Text += '\n';
-  }
-  void blank() { Text += '\n'; }
-  void open(const std::string &S) {
-    line(S + " {");
-    Indent += 2;
-  }
-  void close(const std::string &Suffix = "") {
-    Indent -= 2;
-    line("}" + Suffix);
-  }
-  std::string take() { return std::move(Text); }
+EmitTargetHooks cudaHooks() {
+  EmitTargetHooks H;
+  // Threads of the block cover each local time row's points with a
+  // blockDim-stride loop, so any launch width is correct; the barrier
+  // after every row keeps cross-row dependences inside the tile ordered.
+  H.openThreadLoop = [](Source &Out, const std::string &Tid,
+                        const std::string &Count) {
+    Out.open("for (ht_int " + Tid + " = (ht_int)threadIdx.x; " + Tid +
+             " < " + Count + "; " + Tid + " += (ht_int)blockDim.x)");
+  };
+  H.closeThreadLoop = [](Source &Out) { Out.close(); };
+  H.barrier = [](Source &Out) { Out.line("__syncthreads();"); };
+  H.access = [](const EmissionPlan &Plan, unsigned F,
+                const std::string &Idx) {
+    return Plan.fieldArg(F) + "[" + Idx + "]";
+  };
+  return H;
+}
 
-private:
-  std::string Text;
-  unsigned Indent = 0;
-};
+/// The self-contained prelude: the shared runtime helpers (rendered
+/// host+device callable) and the constant-table storage qualifier.
+void emitCudaPrelude(Source &Out) {
+  Out.line("typedef long long ht_int;");
+  Out.line("#define HT_TABLE static __constant__ ht_int");
+  Out.line("#define HT_FN static __host__ __device__ __forceinline__");
+  Out.raw(portableHelperFunctions("HT_FN"));
+}
 
-/// Emits one phase kernel.
-void emitKernel(Source &Out, const CompiledHybrid &C, int Phase) {
-  const ir::StencilProgram &P = C.program();
-  const core::HybridSchedule &S = C.schedule();
-  const core::HexTileParams &Par = S.params();
-  const core::HexagonGeometry &Hex = S.hex().hexagon();
-  unsigned Rank = P.spaceRank();
-
-  std::string Args;
-  for (unsigned F = 0; F < P.fields().size(); ++F) {
-    if (F)
-      Args += ", ";
-    Args += "float *g_" + P.fields()[F].Name;
-  }
-  Out.open("__global__ void " + P.name() + "_phase" +
-           std::to_string(Phase) + "(" + Args + ", int TT)");
-
-  Out.line("// Hexagonal tile: " + Par.str());
-  Out.line("const int S0 = blockIdx.x;");
-  // Tile origin from the inverse of eqs. (2)-(5).
-  int64_t OrigT, OrigS;
-  S.hex().tileOrigin(0, Phase, 0, OrigT, OrigS);
-  Out.line("const int t0 = TT * " + std::to_string(Par.timePeriod()) +
-           " + (" + std::to_string(OrigT) + ");");
-  Out.line("const int s0_0 = S0 * " + std::to_string(Par.spacePeriod()) +
-           " - TT * (" + std::to_string(Par.drift()) + ") + (" +
-           std::to_string(OrigS + 0) + ");");
-
-  // Shared-memory windows.
-  if (C.config().UseSharedMemory) {
-    int64_t BExt = Hex.maxB() - Hex.minB() + 1 + P.loHalo(0) + P.hiHalo(0);
-    for (unsigned F = 0; F < P.fields().size(); ++F) {
-      int64_t Depth = P.bufferDepth(F);
-      std::string Dims = "[" + std::to_string(Depth) + "][" +
-                         std::to_string(BExt) + "]";
-      for (unsigned I = 1; I < Rank; ++I) {
-        int64_t MaxSkew =
-            S.inner()[I - 1].skew(Par.timePeriod() - 1);
-        Dims += "[" +
-                std::to_string(S.inner()[I - 1].width() + MaxSkew +
-                               P.loHalo(I) + P.hiHalo(I)) +
-                "]";
-      }
-      Out.line("__shared__ float s_" + P.fields()[F].Name + Dims + ";");
-    }
-  }
-
-  // Sequential classical-tile loops.
-  for (unsigned I = 1; I < Rank; ++I) {
-    std::string SV = "S" + std::to_string(I);
-    Out.open("for (int " + SV + " = 0; " + SV + " < " +
-             std::to_string(ceilDiv(P.spaceSizes()[I],
-                                    S.inner()[I - 1].width())) +
-             "; ++" + SV + ")");
-  }
-
-  if (C.config().UseSharedMemory) {
-    if (C.config().Reuse == ReuseKind::Dynamic)
-      Out.line("// inter-tile reuse: move the previous tile's overlap "
-               "within shared memory (Sec. 4.2.2)");
-    else if (C.config().Reuse == ReuseKind::Static)
-      Out.line("// inter-tile reuse: static global->shared mapping "
-               "(Sec. 4.2.2)");
-    Out.line(std::string("// load phase: ") +
-             (C.config().AlignLoads ? "tile translated for 128B-aligned rows"
-                                    : "rows at natural (unaligned) offsets"));
-    Out.line("__syncthreads();");
-  }
-
-  // Time loop over the local coordinate a = t'.
-  Out.open("for (int a = 0; a < " + std::to_string(Par.timePeriod()) +
-           "; ++a)");
-  Out.line("const int t = t0 + a;");
-  Out.line("if (t < 0 || t >= " +
-           std::to_string(P.numStmts() * P.timeSteps()) + ") continue;");
-
-  // Full-tile fast path: per-row bounds of the hexagon, unrolled.
-  Out.line("// full tiles: specialized, divergence-free code (Sec. 4.3.1)");
-  Out.open("if (__tile_is_full)");
-  for (int64_t A = 0; A < Par.timePeriod(); ++A) {
-    int64_t Lo, Hi;
-    Hex.rowRange(A, Lo, Hi);
-    if (Lo > Hi)
-      continue;
-    unsigned StmtIdx = static_cast<unsigned>(euclidMod(A, P.numStmts()));
-    const ir::StencilStmt &St = P.stmts()[StmtIdx];
-    std::vector<std::string> ReadNames;
-    for (const ir::ReadAccess &R : St.Reads)
-      ReadNames.push_back(
-          (C.config().UseSharedMemory ? "s_" : "g_") +
-          P.fields()[R.Field].Name + "[...]");
-    Out.line("case_a_" + std::to_string(A) + ": // b in [" +
-             std::to_string(Lo) + ", " + std::to_string(Hi) + "], stmt " +
-             St.Name);
-  }
+void emitCudaKernel(Source &Out, const EmissionPlan &Plan,
+                    const std::string &Suffix, int Phase,
+                    const EmitTargetHooks &Hooks) {
+  std::string TailParams =
+      Plan.TwoPhase ? "ht_int TT, ht_int S0lo" : "ht_int TB";
+  Out.open("__global__ void " + kernelName(Plan, Suffix) + "(" +
+           Plan.fieldParams() + ", " + TailParams + ")");
+  if (Plan.TwoPhase)
+    Out.line("const ht_int S0 = S0lo + (ht_int)blockIdx.x;");
+  else
+    Out.line("// Classical bands carry inter-tile dependences: launched "
+             "as a single block.");
+  emitKernelBody(Out, Plan, Phase, Hooks);
   Out.close();
-  Out.open("else");
-  Out.line("// partial tiles: generic guarded code");
-  Out.line("// (bounds clamped against the iteration domain)");
-  Out.close();
-  if (C.config().UseSharedMemory && C.config().InterleaveCopyOut)
-    Out.line("// interleaved copy-out: stores issue with the computation "
-             "(Sec. 4.2.1)");
-  Out.line("__syncthreads();");
-  Out.close(); // a loop.
-
-  if (C.config().UseSharedMemory && !C.config().InterleaveCopyOut)
-    Out.line("// separate copy-out phase (configuration (b))");
-
-  for (unsigned I = 1; I < Rank; ++I)
-    Out.close(); // classical loops.
-  Out.close();   // kernel.
 }
 
 } // namespace
 
-std::string codegen::emitCuda(const CompiledHybrid &C) {
-  const ir::StencilProgram &P = C.program();
-  const core::HybridSchedule &S = C.schedule();
+std::string codegen::emitCuda(const CompiledHybrid &C, EmitSchedule S) {
+  EmissionPlan Plan = EmissionPlan::build(C, S);
+  const ir::StencilProgram &P = *Plan.Program;
+  EmitTargetHooks Hooks = cudaHooks();
+
   Source Out;
-  Out.line("// " + P.name() + ": hybrid hexagonal/classical tiling");
-  Out.line("// schedule:");
-  {
-    std::string Text = S.str();
+  Out.line("// " + P.name() + ": " + std::string(emitScheduleName(S)) +
+           " tiling (CUDA rendering)");
+  Out.line("// tile: " + C.schedule().params().str());
+  Out.line("// memory strategy (Sec. 4.2 ladder): " + Plan.Config.str());
+  if (S == EmitSchedule::Hybrid) {
+    Out.line("// schedule:");
+    std::string Text = C.schedule().str();
     std::string Line;
     for (char Ch : Text) {
       if (Ch == '\n') {
@@ -168,33 +77,35 @@ std::string codegen::emitCuda(const CompiledHybrid &C) {
     }
   }
   Out.blank();
-  emitKernel(Out, C, 0);
+  emitCudaPrelude(Out);
   Out.blank();
-  emitKernel(Out, C, 1);
+  emitPlanTables(Out, Plan);
   Out.blank();
 
-  // Host driver: the T loop with two kernel launches per tile (Sec. 4.1).
-  std::string Args;
-  for (unsigned F = 0; F < P.fields().size(); ++F) {
-    if (F)
-      Args += ", ";
-    Args += "float *g_" + P.fields()[F].Name;
+  if (Plan.TwoPhase) {
+    emitCudaKernel(Out, Plan, "phase0", 0, Hooks);
+    Out.blank();
+    emitCudaKernel(Out, Plan, "phase1", 1, Hooks);
+  } else {
+    emitCudaKernel(Out, Plan, "band", 0, Hooks);
   }
-  Out.open("void " + P.name() + "_host(" + Args + ")");
-  int64_t Blocks = core::blocksPerLaunch(P, S);
-  int64_t Threads = C.threadsPerBlock();
-  int64_t TimeTiles =
-      core::launches(P, S) / 2 + core::launches(P, S) % 2;
-  Out.open("for (int TT = 0; TT < " + std::to_string(TimeTiles) +
-           "; ++TT)");
-  std::string CallArgs;
-  for (unsigned F = 0; F < P.fields().size(); ++F)
-    CallArgs += "g_" + P.fields()[F].Name + ", ";
-  Out.line(P.name() + "_phase0<<<" + std::to_string(Blocks) + ", " +
-           std::to_string(Threads) + ">>>(" + CallArgs + "TT);");
-  Out.line(P.name() + "_phase1<<<" + std::to_string(Blocks) + ", " +
-           std::to_string(Threads) + ">>>(" + CallArgs + "TT);");
-  Out.close();
+  Out.blank();
+
+  // Host driver: the T loop with one launch per phase and tile
+  // (Sec. 4.1); thread count (1, w1, ..., wn) as in Sec. 6.2.
+  int64_t Threads = std::max<int64_t>(C.threadsPerBlock(), 1);
+  Out.open("void " + P.name() + "_host(" + Plan.fieldParams() + ")");
+  emitHostDriver(Out, Plan,
+                 [&](Source &O, const std::string &Suffix,
+                     const std::string &NumBlocks,
+                     const std::vector<std::string> &Extra) {
+                   std::string Args = Plan.fieldArgs();
+                   for (const std::string &E : Extra)
+                     Args += ", " + E;
+                   O.line(kernelName(Plan, Suffix) + "<<<(unsigned)(" +
+                          NumBlocks + "), " + std::to_string(Threads) +
+                          ">>>(" + Args + ");");
+                 });
   Out.close();
   return Out.take();
 }

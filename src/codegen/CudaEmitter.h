@@ -5,32 +5,38 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Renders a compiled hybrid program as CUDA source following the Sec. 4.1
-/// mapping: a host loop over time tiles T launching one kernel per phase; a
-/// one-dimensional grid over S0; sequential S1..Sn and t' loops inside the
-/// kernel; threads over the intra-tile spatial coordinates; shared-memory
-/// staging with the configured copy-out/alignment/reuse strategy; and
-/// separate specialized code paths for full and partial tiles (Sec. 4.3.1).
+/// The CUDA emission target: renders a compiled program as one
+/// self-contained CUDA translation unit following the Sec. 4.1 mapping --
+/// a host loop over time tiles T launching one kernel per phase, a
+/// one-dimensional grid over the wavefront-parallel S0 tiles, sequential
+/// classical S1..Sn and local-time loops inside the kernel, and a
+/// blockDim-stride thread loop over each local time row's points with
+/// __syncthreads() between rows.
 ///
-/// The emitted text is a faithful rendering of the computed schedule (all
-/// loop bounds, guards and index expressions come from the schedule's
-/// quasi-affine forms and the hexagon's row ranges); it is meant for
-/// inspection and for compilation by nvcc on a CUDA machine.
+/// The loop structure, bounds, guards and update arithmetic all come from
+/// the target-neutral emission core (EmissionCore.h) shared with the host
+/// target, so the text is executable CUDA: the same semantics the host
+/// rendering proves bit-exact against the naive executor, ready for nvcc
+/// on a CUDA machine. The Sec. 4.2 shared-memory staging strategy is
+/// carried as a header annotation (it is a performance transformation the
+/// launch/cost models account for, semantically the identity).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HEXTILE_CODEGEN_CUDAEMITTER_H
 #define HEXTILE_CODEGEN_CUDAEMITTER_H
 
-#include "codegen/HybridCompiler.h"
+#include "codegen/EmissionCore.h"
 
 #include <string>
 
 namespace hextile {
 namespace codegen {
 
-/// Emits the complete CUDA translation unit (host + two kernels).
-std::string emitCuda(const CompiledHybrid &Compiled);
+/// Emits the complete CUDA translation unit (host driver + kernels) for
+/// \p Compiled rendered as schedule flavor \p S.
+std::string emitCuda(const CompiledHybrid &Compiled,
+                     EmitSchedule S = EmitSchedule::Hybrid);
 
 } // namespace codegen
 } // namespace hextile

@@ -1,0 +1,547 @@
+//===- EmissionCore.cpp - Target-neutral kernel emission ------------------===//
+
+#include "codegen/EmissionCore.h"
+
+#include "core/IterationDomain.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace hextile;
+using namespace hextile::codegen;
+
+const char *codegen::emitScheduleName(EmitSchedule S) {
+  switch (S) {
+  case EmitSchedule::Hex:
+    return "hex";
+  case EmitSchedule::Hybrid:
+    return "hybrid";
+  case EmitSchedule::Classical:
+    return "classical";
+  }
+  return "?";
+}
+
+std::string codegen::formatFloatExact(float V) {
+  if (!std::isfinite(V)) {
+    uint32_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "ht_f32bits(0x%08xu)", Bits);
+    return Buf;
+  }
+  char Buf[64];
+  // Hex-float literals round-trip every finite float exactly; the literal
+  // is a double constant whose value is float-representable, so the 'f'
+  // suffix narrows without rounding.
+  std::snprintf(Buf, sizeof(Buf), "%af", static_cast<double>(V));
+  return Buf;
+}
+
+std::string codegen::renderExprExact(const ir::StencilExpr &E,
+                                     std::span<const std::string> ReadNames) {
+  using ir::ExprKind;
+  auto Sub = [&](const ir::StencilExpr *S) {
+    return renderExprExact(*S, ReadNames);
+  };
+  switch (E.kind()) {
+  case ExprKind::ReadRef:
+    assert(E.readIndex() < ReadNames.size() && "read index out of range");
+    return ReadNames[E.readIndex()];
+  case ExprKind::ConstF32:
+    return formatFloatExact(E.constantValue());
+  case ExprKind::Add:
+    return "(" + Sub(E.lhs()) + " + " + Sub(E.rhs()) + ")";
+  case ExprKind::Sub:
+    return "(" + Sub(E.lhs()) + " - " + Sub(E.rhs()) + ")";
+  case ExprKind::Mul:
+    return "(" + Sub(E.lhs()) + " * " + Sub(E.rhs()) + ")";
+  case ExprKind::Div:
+    return "(" + Sub(E.lhs()) + " / " + Sub(E.rhs()) + ")";
+  case ExprKind::Neg:
+    return "(-" + Sub(E.lhs()) + ")";
+  case ExprKind::Sqrt:
+    return "sqrtf(" + Sub(E.lhs()) + ")";
+  case ExprKind::Abs:
+    return "fabsf(" + Sub(E.lhs()) + ")";
+  case ExprKind::Min:
+    return "ht_minf(" + Sub(E.lhs()) + ", " + Sub(E.rhs()) + ")";
+  case ExprKind::Max:
+    return "ht_maxf(" + Sub(E.lhs()) + ", " + Sub(E.rhs()) + ")";
+  }
+  assert(false && "unknown expression kind");
+  return "?";
+}
+
+std::string codegen::portableHelperFunctions(const std::string &Qualifier) {
+  std::string Q = Qualifier + " ";
+  std::string S;
+  S += "/// Floor division (rounds toward negative infinity, unlike C's /).\n";
+  S += Q + "ht_int ht_fdiv(ht_int N, ht_int D) {\n";
+  S += "  ht_int Q = N / D;\n";
+  S += "  if ((N % D) != 0 && ((N % D < 0) != (D < 0)))\n";
+  S += "    --Q;\n";
+  S += "  return Q;\n";
+  S += "}\n";
+  S += "/// Euclidean remainder: always in [0, |D|).\n";
+  S += Q + "ht_int ht_emod(ht_int N, ht_int D) {\n";
+  S += "  ht_int R = N % D;\n";
+  S += "  if (R < 0)\n";
+  S += "    R += (D < 0 ? -D : D);\n";
+  S += "  return R;\n";
+  S += "}\n";
+  S += "/// Exactly std::min / std::max over floats (the executor's "
+       "semantics).\n";
+  S += Q + "float ht_minf(float A, float B) { return (B < A) ? B : A; }\n";
+  S += Q + "float ht_maxf(float A, float B) { return (A < B) ? B : A; }\n";
+  S += "/// Float from raw bits (non-finite constants are emitted through "
+       "this).\n";
+  S += Q + "float ht_f32bits(unsigned int Bits) {\n";
+  S += "  union { unsigned int U; float F; } Pun;\n";
+  S += "  Pun.U = Bits;\n";
+  S += "  return Pun.F;\n";
+  S += "}\n";
+  return S;
+}
+
+std::string EmissionPlan::fieldArg(unsigned F) const {
+  return "g_" + Program->fields()[F].Name;
+}
+
+std::string EmissionPlan::fieldParams() const {
+  std::string S;
+  for (unsigned F = 0; F < Program->fields().size(); ++F) {
+    if (F)
+      S += ", ";
+    S += "float *" + fieldArg(F);
+  }
+  return S;
+}
+
+std::string EmissionPlan::fieldArgs() const {
+  std::string S;
+  for (unsigned F = 0; F < Program->fields().size(); ++F) {
+    if (F)
+      S += ", ";
+    S += fieldArg(F);
+  }
+  return S;
+}
+
+int64_t EmissionPlan::fieldTotalElems(unsigned F) const {
+  return static_cast<int64_t>(Depth[F]) * PointsPerCopy;
+}
+
+EmissionPlan EmissionPlan::build(const CompiledHybrid &C, EmitSchedule S) {
+  const ir::StencilProgram &P = C.program();
+  const core::HybridSchedule &Sched = C.schedule();
+  const core::HexTileParams &Par = Sched.params();
+  core::IterationDomain D = core::IterationDomain::forProgram(P);
+
+  EmissionPlan Plan;
+  Plan.Program = &P;
+  Plan.Schedule = S;
+  Plan.Config = C.config();
+  Plan.Rank = P.spaceRank();
+  Plan.NumStmts = D.NumStmts;
+  Plan.TimeExtent = D.TimeExtent;
+  Plan.Sizes = P.spaceSizes();
+  Plan.Lo = D.SpaceLo;
+  Plan.Hi = D.SpaceHi;
+  Plan.PointsPerCopy = 1;
+  for (int64_t Sz : Plan.Sizes)
+    Plan.PointsPerCopy *= Sz;
+  Plan.Depth.resize(P.fields().size());
+  for (unsigned F = 0; F < P.fields().size(); ++F)
+    Plan.Depth[F] = P.bufferDepth(F);
+  Plan.Period = Par.timePeriod();
+
+  // The skew table of one classically tiled dimension over a full period.
+  auto SkewTable = [&](const core::ClassicalTiling &T) {
+    std::vector<int64_t> Skew(Plan.Period);
+    for (int64_t U = 0; U < Plan.Period; ++U)
+      Skew[U] = T.skew(U);
+    return Skew;
+  };
+  // Tile-index range covering [Lo, Hi) for all u: s + skew(u) spans
+  // [Lo + 0, Hi - 1 + skew(2h+1)] since skew is monotone with skew(0) = 0.
+  auto TileRange = [&](InnerTilePlan &I, unsigned Dim) {
+    I.TileLo = floorDiv(Plan.Lo[Dim], I.Width);
+    I.TileHi = floorDiv(Plan.Hi[Dim] - 1 + I.SkewByU[Plan.Period - 1],
+                        I.Width);
+    if (I.TileHi < I.TileLo)
+      I.TileHi = I.TileLo; // Empty update domain: keep a well-formed loop.
+  };
+
+  if (S == EmitSchedule::Classical) {
+    Plan.TwoPhase = false;
+    Plan.BandHi = Plan.TimeExtent > 0
+                      ? floorDiv(Plan.TimeExtent - 1, Plan.Period)
+                      : -1;
+    // Every spatial dimension is classically tiled: dim 0 with the hex
+    // parameters' width and lower cone slope, inner dims as in the hybrid
+    // schedule (the Sec. 3.4 scheme the oracle's Classical kind replays).
+    core::ClassicalTiling T0(Par.W0, Par.Delta1, Plan.Period);
+    InnerTilePlan I0;
+    I0.Width = T0.width();
+    I0.SkewNum = T0.delta1().num();
+    I0.SkewDen = T0.delta1().den();
+    I0.SkewByU = SkewTable(T0);
+    TileRange(I0, 0);
+    Plan.Inner.push_back(std::move(I0));
+    for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim) {
+      const core::ClassicalTiling &T = Sched.inner()[Dim - 1];
+      InnerTilePlan I;
+      I.Width = T.width();
+      I.SkewNum = T.delta1().num();
+      I.SkewDen = T.delta1().den();
+      I.SkewByU = SkewTable(T);
+      TileRange(I, Dim);
+      Plan.Inner.push_back(std::move(I));
+    }
+    return Plan;
+  }
+
+  Plan.TwoPhase = true;
+  Plan.SpacePeriod = Par.spacePeriod();
+  Plan.Drift = Par.drift();
+  for (int Phase = 0; Phase < 2; ++Phase) {
+    Sched.hex().tileOrigin(0, Phase, 0, Plan.OrigT[Phase],
+                           Plan.OrigS[Phase]);
+    // Time tiles whose window [TT*P + OrigT, TT*P + OrigT + P) meets the
+    // canonical time range [0, TimeExtent).
+    Plan.TTLo[Phase] = ceilDiv(1 - Plan.Period - Plan.OrigT[Phase],
+                               Plan.Period);
+    Plan.TTHi[Phase] = Plan.TimeExtent > 0
+                           ? floorDiv(Plan.TimeExtent - 1 -
+                                          Plan.OrigT[Phase],
+                                      Plan.Period)
+                           : Plan.TTLo[Phase] - 1;
+  }
+  const core::HexagonGeometry &Hex = Sched.hex().hexagon();
+  Plan.MinB = Hex.minB();
+  Plan.MaxB = Hex.maxB();
+  Plan.RowLo.resize(Plan.Period);
+  Plan.RowHi.resize(Plan.Period);
+  for (int64_t A = 0; A < Plan.Period; ++A)
+    Hex.rowRange(A, Plan.RowLo[A], Plan.RowHi[A]);
+
+  for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim) {
+    InnerTilePlan I;
+    if (S == EmitSchedule::Hybrid) {
+      const core::ClassicalTiling &T = Sched.inner()[Dim - 1];
+      I.Width = T.width();
+      I.SkewNum = T.delta1().num();
+      I.SkewDen = T.delta1().den();
+      I.SkewByU = SkewTable(T);
+      TileRange(I, Dim);
+    } else {
+      // Hex flavor: the inner dimensions stay untiled -- one degenerate
+      // unskewed tile covering the whole extent, so the in-kernel loops
+      // sweep [0, size) with the usual domain guards.
+      I.Width = std::max<int64_t>(Plan.Hi[Dim], 1);
+      I.SkewNum = 0;
+      I.SkewDen = 1;
+      I.SkewByU.assign(Plan.Period, 0);
+      I.TileLo = I.TileHi = 0;
+    }
+    Plan.Inner.push_back(std::move(I));
+  }
+  return Plan;
+}
+
+std::string codegen::kernelName(const EmissionPlan &Plan,
+                                const std::string &Suffix) {
+  return Plan.Program->name() + "_" + Suffix;
+}
+
+namespace {
+
+std::string i64(int64_t V) { return std::to_string(V); }
+
+/// "s<Dim>" -- the canonical coordinate variable naming of the emitted code.
+std::string coordVar(unsigned Dim) { return "s" + std::to_string(Dim); }
+
+/// Skew table name for spatial dimension \p Dim.
+std::string skewTable(unsigned Dim) {
+  return "ht_skew" + std::to_string(Dim);
+}
+
+/// Row-major linear offset of (s0 + off0, s1 + off1, ...) as a Horner
+/// chain over the (compile-time) grid extents.
+std::string linearOffsetExpr(const EmissionPlan &Plan,
+                             std::span<const int64_t> Offsets) {
+  auto Coord = [&](unsigned Dim) {
+    int64_t Off = Dim < Offsets.size() ? Offsets[Dim] : 0;
+    if (Off == 0)
+      return coordVar(Dim);
+    return "(" + coordVar(Dim) + " + (" + i64(Off) + "))";
+  };
+  std::string L = Coord(0);
+  for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim)
+    L = "(" + L + ") * " + i64(Plan.Sizes[Dim]) + " + " + Coord(Dim);
+  return L;
+}
+
+/// Flat element index of field \p F at time step expression \p StepExpr:
+/// rotating slot times copy size plus the linear offset.
+std::string elementIndexExpr(const EmissionPlan &Plan, unsigned F,
+                             const std::string &StepExpr,
+                             std::span<const int64_t> Offsets) {
+  std::string Linear = linearOffsetExpr(Plan, Offsets);
+  if (Plan.Depth[F] == 1)
+    return Linear;
+  std::string Slot =
+      "ht_emod(" + StepExpr + ", " + i64(Plan.Depth[F]) + ")";
+  return Slot + " * " + i64(Plan.PointsPerCopy) + " + " + Linear;
+}
+
+/// Emits the guarded update of one statement instance at (t, s0, ..): the
+/// reads, the exact RHS and the write, all against the rotating buffers.
+void emitStmtUpdate(Source &Out, const EmissionPlan &Plan, unsigned StmtIdx,
+                    const EmitTargetHooks &Hooks) {
+  const ir::StencilProgram &P = *Plan.Program;
+  const ir::StencilStmt &St = P.stmts()[StmtIdx];
+  std::vector<std::string> ReadNames;
+  for (unsigned R = 0; R < St.Reads.size(); ++R) {
+    const ir::ReadAccess &A = St.Reads[R];
+    std::string Step = A.TimeOffset == 0
+                           ? "ht_step"
+                           : "ht_step + (" + i64(A.TimeOffset) + ")";
+    std::string Name = "ht_v" + std::to_string(R);
+    Out.line("const float " + Name + " = " +
+             Hooks.access(Plan, A.Field,
+                          elementIndexExpr(Plan, A.Field, Step,
+                                           A.Offsets)) +
+             ";");
+    ReadNames.push_back(Name);
+  }
+  std::vector<int64_t> NoOffsets(Plan.Rank, 0);
+  Out.line(Hooks.access(Plan, St.WriteField,
+                        elementIndexExpr(Plan, St.WriteField, "ht_step",
+                                         NoOffsets)) +
+           " = " + renderExprExact(St.RHS, ReadNames) + ";");
+}
+
+/// Emits the in-domain guard over every spatial dimension and, inside it,
+/// the statement dispatch on the canonical time t.
+void emitGuardedDispatch(Source &Out, const EmissionPlan &Plan,
+                         const EmitTargetHooks &Hooks) {
+  std::string Guard;
+  for (unsigned Dim = 0; Dim < Plan.Rank; ++Dim) {
+    if (Dim)
+      Guard += " && ";
+    Guard += coordVar(Dim) + " >= " + i64(Plan.Lo[Dim]) + " && " +
+             coordVar(Dim) + " < " + i64(Plan.Hi[Dim]);
+  }
+  Out.open("if (" + Guard + ")");
+  if (Plan.NumStmts == 1) {
+    Out.line("const ht_int ht_step = t;");
+    Out.line("// " + Plan.Program->stmts()[0].Name);
+    emitStmtUpdate(Out, Plan, 0, Hooks);
+  } else {
+    Out.line("const ht_int ht_step = t / " + i64(Plan.NumStmts) + ";");
+    Out.open("switch ((int)(t % " + i64(Plan.NumStmts) + "))");
+    for (unsigned I = 0; I < Plan.NumStmts; ++I) {
+      Out.open("case " + std::to_string(I) + ": { // " +
+               Plan.Program->stmts()[I].Name);
+      emitStmtUpdate(Out, Plan, I, Hooks);
+      Out.close(" break;");
+    }
+    Out.close();
+  }
+  Out.close();
+}
+
+/// Decomposes the linear thread id into the local coordinates of the
+/// classically tiled dimensions [FirstDim, Rank), innermost fastest, and
+/// binds each dimension's global coordinate. The leftover quotient is
+/// returned for the caller to consume (the hexagonal b row for Hex/Hybrid,
+/// the dim-0 local coordinate for Classical).
+std::string emitLocalDecompose(Source &Out, const EmissionPlan &Plan,
+                               unsigned FirstDim, const std::string &TidVar,
+                               const std::string &UVar) {
+  unsigned Base = Plan.innerBaseDim();
+  if (FirstDim >= Plan.Rank)
+    return TidVar;
+  Out.line("ht_int ht_r = " + TidVar + ";");
+  for (unsigned Dim = Plan.Rank; Dim-- > FirstDim;) {
+    const InnerTilePlan &I = Plan.Inner[Dim - Base];
+    Out.line("const ht_int ht_l" + std::to_string(Dim) + " = ht_r % " +
+             i64(I.Width) + "; ht_r /= " + i64(I.Width) + ";");
+    std::string Coord = "S" + std::to_string(Dim) + " * " + i64(I.Width) +
+                        " + ht_l" + std::to_string(Dim);
+    if (I.SkewNum != 0)
+      Coord += " - " + skewTable(Dim) + "[" + UVar + "]";
+    Out.line("const ht_int " + coordVar(Dim) + " = " + Coord + ";");
+  }
+  return "ht_r";
+}
+
+/// Emits the sequential tile loops over the classically tiled dimensions
+/// [FirstDim, Rank) (a `const` binding when only one tile intersects the
+/// domain). Returns how many scopes were opened.
+unsigned emitTileLoops(Source &Out, const EmissionPlan &Plan,
+                       unsigned FirstDim) {
+  unsigned Base = Plan.innerBaseDim();
+  unsigned Opened = 0;
+  for (unsigned Dim = FirstDim; Dim < Plan.Rank; ++Dim) {
+    const InnerTilePlan &I = Plan.Inner[Dim - Base];
+    std::string SV = "S" + std::to_string(Dim);
+    if (I.singleTile()) {
+      Out.line("const ht_int " + SV + " = " + i64(I.TileLo) + ";");
+      continue;
+    }
+    Out.open("for (ht_int " + SV + " = " + i64(I.TileLo) + "; " + SV +
+             " <= " + i64(I.TileHi) + "; ++" + SV + ")");
+    ++Opened;
+  }
+  return Opened;
+}
+
+/// Product of the inner tile widths: points one hexagonal row contributes
+/// per unit of b (Hex/Hybrid), or the whole per-tile thread count
+/// (Classical).
+int64_t innerPointsPerRow(const EmissionPlan &Plan, unsigned FirstDim) {
+  unsigned Base = Plan.innerBaseDim();
+  int64_t N = 1;
+  for (unsigned Dim = FirstDim; Dim < Plan.Rank; ++Dim)
+    N *= Plan.Inner[Dim - Base].Width;
+  return N;
+}
+
+void emitHexBody(Source &Out, const EmissionPlan &Plan, int Phase,
+                 const EmitTargetHooks &Hooks) {
+  // Tile origin: local (a, b) = (0, 0) sits at (t0, s0_0); see
+  // HexSchedule::tileOrigin.
+  Out.line("const ht_int t0 = TT * " + i64(Plan.Period) + " + (" +
+           i64(Plan.OrigT[Phase]) + ");");
+  Out.line("const ht_int s0_0 = S0 * " + i64(Plan.SpacePeriod) +
+           " - TT * (" + i64(Plan.Drift) + ") + (" +
+           i64(Plan.OrigS[Phase]) + ");");
+  unsigned TileScopes = emitTileLoops(Out, Plan, 1);
+
+  Out.open("for (ht_int a = 0; a < " + i64(Plan.Period) + "; ++a)");
+  Out.line("const ht_int t = t0 + a;");
+  Out.line("const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;");
+  Out.open("if (t >= 0 && t < " + i64(Plan.TimeExtent) + " && ht_nb > 0)");
+  int64_t RowPts = innerPointsPerRow(Plan, 1);
+  std::string Count =
+      RowPts == 1 ? "ht_nb" : "ht_nb * " + i64(RowPts);
+  Hooks.openThreadLoop(Out, "ht_tid", Count);
+  std::string BVar = emitLocalDecompose(Out, Plan, 1, "ht_tid", "a");
+  Out.line("const ht_int s0 = s0_0 + ht_row_lo[a] + " + BVar + ";");
+  emitGuardedDispatch(Out, Plan, Hooks);
+  Hooks.closeThreadLoop(Out);
+  Out.close(); // Row guard.
+  Hooks.barrier(Out);
+  Out.close(); // a loop.
+
+  for (unsigned I = 0; I < TileScopes; ++I)
+    Out.close();
+}
+
+void emitClassicalBody(Source &Out, const EmissionPlan &Plan,
+                       const EmitTargetHooks &Hooks) {
+  unsigned TileScopes = emitTileLoops(Out, Plan, 0);
+  Out.open("for (ht_int u = 0; u < " + i64(Plan.Period) + "; ++u)");
+  Out.line("const ht_int t = TB * " + i64(Plan.Period) + " + u;");
+  Out.open("if (t < " + i64(Plan.TimeExtent) + ")");
+  Hooks.openThreadLoop(Out, "ht_tid", i64(innerPointsPerRow(Plan, 0)));
+  std::string L0 = emitLocalDecompose(Out, Plan, 1, "ht_tid", "u");
+  const InnerTilePlan &I0 = Plan.Inner[0];
+  std::string Coord0 = "S0 * " + i64(I0.Width) + " + " + L0;
+  if (I0.SkewNum != 0)
+    Coord0 += " - " + skewTable(0) + "[u]";
+  Out.line("const ht_int s0 = " + Coord0 + ";");
+  emitGuardedDispatch(Out, Plan, Hooks);
+  Hooks.closeThreadLoop(Out);
+  Out.close(); // Time guard.
+  Hooks.barrier(Out);
+  Out.close(); // u loop.
+  for (unsigned I = 0; I < TileScopes; ++I)
+    Out.close();
+}
+
+} // namespace
+
+void codegen::emitKernelBody(Source &Out, const EmissionPlan &Plan,
+                             int Phase, const EmitTargetHooks &Hooks) {
+  if (Plan.TwoPhase)
+    emitHexBody(Out, Plan, Phase, Hooks);
+  else
+    emitClassicalBody(Out, Plan, Hooks);
+}
+
+void codegen::emitPlanTables(Source &Out, const EmissionPlan &Plan) {
+  auto Table = [&](const std::string &Name,
+                   const std::vector<int64_t> &Values) {
+    std::string Init;
+    for (size_t I = 0; I < Values.size(); ++I) {
+      if (I)
+        Init += ", ";
+      Init += i64(Values[I]);
+    }
+    Out.line("HT_TABLE " + Name + "[" + std::to_string(Values.size()) +
+             "] = {" + Init + "};");
+  };
+  if (Plan.TwoPhase) {
+    Out.line("// Hexagon row b-ranges per local time a (empty rows have "
+             "lo > hi).");
+    Table("ht_row_lo", Plan.RowLo);
+    Table("ht_row_hi", Plan.RowHi);
+  }
+  unsigned Base = Plan.innerBaseDim();
+  for (unsigned I = 0; I < Plan.Inner.size(); ++I) {
+    if (Plan.Inner[I].SkewNum == 0)
+      continue;
+    Out.line("// floor(" + i64(Plan.Inner[I].SkewNum) + "/" +
+             i64(Plan.Inner[I].SkewDen) + " * u): the eq. (14)/(17) skew "
+             "of dimension s" + std::to_string(Base + I) + ".");
+    Table(skewTable(Base + I), Plan.Inner[I].SkewByU);
+  }
+}
+
+void codegen::emitHostDriver(
+    Source &Out, const EmissionPlan &Plan,
+    const std::function<void(Source &, const std::string &,
+                             const std::string &,
+                             const std::vector<std::string> &)> &Launch) {
+  if (!Plan.TwoPhase) {
+    if (Plan.BandHi < 0)
+      return;
+    Out.open("for (ht_int TB = 0; TB <= " + i64(Plan.BandHi) + "; ++TB)");
+    Launch(Out, "band", "1", {"TB"});
+    Out.close();
+    return;
+  }
+  int64_t TTMin = std::min(Plan.TTLo[0], Plan.TTLo[1]);
+  int64_t TTMax = std::max(Plan.TTHi[0], Plan.TTHi[1]);
+  if (TTMax < TTMin)
+    return;
+  Out.open("for (ht_int TT = " + i64(TTMin) + "; TT <= " + i64(TTMax) +
+           "; ++TT)");
+  for (int Phase = 0; Phase < 2; ++Phase) {
+    if (Plan.TTHi[Phase] < Plan.TTLo[Phase])
+      continue;
+    Out.open("if (TT >= " + i64(Plan.TTLo[Phase]) + " && TT <= " +
+             i64(Plan.TTHi[Phase]) + ")");
+    // Hexagonal tiles whose s0 footprint [s0_0 + minB, s0_0 + maxB]
+    // meets the update range [Lo0, Hi0).
+    int64_t CLo = Plan.Lo[0] - Plan.MaxB - Plan.OrigS[Phase] +
+                  Plan.SpacePeriod - 1;
+    int64_t CHi = Plan.Hi[0] - 1 - Plan.MinB - Plan.OrigS[Phase];
+    Out.line("const ht_int ht_s0lo = ht_fdiv(" + i64(CLo) + " + TT * (" +
+             i64(Plan.Drift) + "), " + i64(Plan.SpacePeriod) + ");");
+    Out.line("const ht_int ht_s0hi = ht_fdiv(" + i64(CHi) + " + TT * (" +
+             i64(Plan.Drift) + "), " + i64(Plan.SpacePeriod) + ");");
+    Out.open("if (ht_s0hi >= ht_s0lo)");
+    Launch(Out, "phase" + std::to_string(Phase), "ht_s0hi - ht_s0lo + 1",
+           {"TT", "ht_s0lo"});
+    Out.close();
+    Out.close();
+  }
+  Out.close();
+}

@@ -1,0 +1,230 @@
+//===- EmissionCore.h - Target-neutral kernel emission ---------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retargetable core of the code generators: everything about the
+/// emitted kernels that is *not* surface syntax lives here, computed once
+/// from a CompiledHybrid and consumed by every emission target
+/// (CudaEmitter, HostEmitter).
+///
+/// The core has three parts:
+///
+///  * EmissionPlan -- the fully evaluated loop-nest constants of one
+///    schedule flavor (EmitSchedule): time-tile / band ranges, per-phase
+///    tile origins, the hexagon row tables, classical tile-index ranges,
+///    skew tables, domain guards and rotating-buffer depths. All plan
+///    numbers are exact integers derived from the schedule constructions
+///    (HexSchedule / ClassicalTiling), so the emitted loops enumerate
+///    exactly the statement instances the schedule-key replay enumerates.
+///
+///  * emitKernelBody / emitHostDriver -- the shared kernel-body and host
+///    time-loop builders. Targets parameterize them with EmitTargetHooks
+///    (how to open a forall-threads region, render a barrier, render a
+///    buffer element access), and the core emits identical *semantics*
+///    for every target: the same loops, guards, statement dispatch and
+///    arithmetic, bit-exact with exec::executeInstance.
+///
+///  * Rendering utilities -- the indented Source builder, exact float
+///    literal formatting (hex-floats, so emitted constants round-trip
+///    bit-for-bit) and the StencilExpr renderer both targets share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CODEGEN_EMISSIONCORE_H
+#define HEXTILE_CODEGEN_EMISSIONCORE_H
+
+#include "codegen/HybridCompiler.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace codegen {
+
+/// The schedule flavors the emission core can render as executable loops.
+/// Hex and Hybrid emit the two-phase hexagonal host loop of Sec. 4.1
+/// (Hex leaves the inner dimensions untiled); Classical emits the Sec. 3.4
+/// skewed-band scheme on every spatial dimension.
+enum class EmitSchedule { Hex, Hybrid, Classical };
+
+/// Lower-case flavor name ("hex", "hybrid", "classical") for diagnostics.
+const char *emitScheduleName(EmitSchedule S);
+
+/// Incremental source builder with two-space indentation.
+class Source {
+public:
+  /// Appends one indented line.
+  void line(const std::string &S) {
+    Text.append(Indent, ' ');
+    Text += S;
+    Text += '\n';
+  }
+  /// Appends an empty line.
+  void blank() { Text += '\n'; }
+  /// Appends pre-formatted text verbatim (file-scope helper blocks).
+  void raw(const std::string &S) { Text += S; }
+  /// Appends "S {" and indents.
+  void open(const std::string &S) {
+    line(S + " {");
+    Indent += 2;
+  }
+  /// Dedents and appends "}Suffix".
+  void close(const std::string &Suffix = "") {
+    Indent -= 2;
+    line("}" + Suffix);
+  }
+  /// Moves the accumulated text out.
+  std::string take() { return std::move(Text); }
+
+private:
+  std::string Text;
+  unsigned Indent = 0;
+};
+
+/// Renders \p V as a C++ float literal that parses back to exactly the same
+/// bits: hex-float (e.g. "0x1.99999ap-3f") for finite values, an
+/// ht_f32bits(...) call for NaN/Inf (both emission preludes define it).
+std::string formatFloatExact(float V);
+
+/// Renders \p E with \p ReadNames[i] substituted for read #i, using exact
+/// float literals (formatFloatExact) and the shim's ht_minf/ht_maxf, whose
+/// semantics match StencilExpr::evaluate (std::min/std::max) bit-for-bit.
+std::string renderExprExact(const ir::StencilExpr &E,
+                            std::span<const std::string> ReadNames);
+
+/// The runtime helper functions every emitted unit needs (ht_fdiv floor
+/// division, ht_emod Euclidean remainder, ht_minf/ht_maxf with exact
+/// std::min/std::max semantics, ht_f32bits), rendered with \p Qualifier
+/// in front of each definition ("static inline" for the host shim,
+/// "HT_FN" -- host+device -- for the CUDA prelude). One body for every
+/// target, so the bit-exactness semantics cannot silently diverge between
+/// the execution-tested host rendering and the CUDA text.
+std::string portableHelperFunctions(const std::string &Qualifier);
+
+/// One classically tiled dimension of the plan (eqs. (14)/(17)): inner
+/// dimensions s1..sn for Hex/Hybrid, every dimension for Classical.
+struct InnerTilePlan {
+  int64_t Width = 1;            ///< w_i.
+  int64_t SkewNum = 0;          ///< delta1_i numerator (0 = no skew).
+  int64_t SkewDen = 1;          ///< delta1_i denominator.
+  std::vector<int64_t> SkewByU; ///< floor(delta1_i * u) for u in [0, 2h+2).
+  int64_t TileLo = 0;           ///< First tile index intersecting the domain.
+  int64_t TileHi = 0;           ///< Last tile index intersecting the domain.
+
+  bool singleTile() const { return TileLo == TileHi; }
+};
+
+/// The fully evaluated loop-nest constants of one (program, schedule,
+/// flavor) triple; see the file comment. Built once, consumed by every
+/// target.
+struct EmissionPlan {
+  const ir::StencilProgram *Program = nullptr;
+  EmitSchedule Schedule = EmitSchedule::Hybrid;
+  OptimizationConfig Config;
+
+  // --- Canonical domain (IterationDomain::forProgram) ---
+  unsigned Rank = 0;             ///< Spatial rank.
+  unsigned NumStmts = 1;         ///< k: statements per time step.
+  int64_t TimeExtent = 0;        ///< Canonical time range [0, k*steps).
+  std::vector<int64_t> Sizes;    ///< Grid extents per dimension.
+  std::vector<int64_t> Lo, Hi;   ///< Update domain [Lo, Hi) per dimension.
+  int64_t PointsPerCopy = 0;     ///< Elements of one rotating copy.
+  std::vector<unsigned> Depth;   ///< Rotating-buffer depth per field.
+
+  // --- Time banding (all flavors) ---
+  int64_t Period = 0;            ///< 2h+2: kernel-local time extent.
+
+  // --- Hexagonal part (Hex/Hybrid; TwoPhase == true) ---
+  bool TwoPhase = false;
+  int64_t SpacePeriod = 0;       ///< s0 lattice period.
+  int64_t Drift = 0;             ///< Lattice drift per time tile.
+  int64_t OrigT[2] = {0, 0};     ///< t of local (a,b) = (0,0), per phase.
+  int64_t OrigS[2] = {0, 0};     ///< s0 of local (a,b) = (0,0), per phase.
+  std::vector<int64_t> RowLo;    ///< Hexagon row b-range per a (inclusive).
+  std::vector<int64_t> RowHi;
+  int64_t MinB = 0, MaxB = 0;    ///< Hexagon b bounding box.
+  int64_t TTLo[2] = {0, 0};      ///< Time tiles intersecting the domain,
+  int64_t TTHi[2] = {-1, -1};    ///< per phase (inclusive).
+
+  // --- Classically tiled dimensions ---
+  /// Hex/Hybrid: dims 1..Rank-1 (Hex uses one degenerate full-extent tile
+  /// per dimension). Classical: dims 0..Rank-1.
+  std::vector<InnerTilePlan> Inner;
+  int64_t BandHi = -1;           ///< Classical: last time band (bands from 0).
+
+  /// Evaluates the plan for \p C rendered as flavor \p S.
+  static EmissionPlan build(const CompiledHybrid &C, EmitSchedule S);
+
+  /// "g_<field name>": the buffer parameter naming every target uses.
+  std::string fieldArg(unsigned F) const;
+  /// Comma-separated "float *g_A, float *g_B, ..." parameter list.
+  std::string fieldParams() const;
+  /// Comma-separated "g_A, g_B, ..." argument list.
+  std::string fieldArgs() const;
+  /// Total floats of field \p F's buffer (depth * one copy).
+  int64_t fieldTotalElems(unsigned F) const;
+  /// First spatial dimension handled by Inner: 1 for Hex/Hybrid, 0 for
+  /// Classical.
+  unsigned innerBaseDim() const { return TwoPhase ? 1 : 0; }
+};
+
+/// Syntax hooks one emission target provides to the shared builders.
+struct EmitTargetHooks {
+  /// Opens the forall-threads region over \p CountExpr points, binding the
+  /// linear point id to \p TidVar (CUDA: a blockDim-stride loop; host: a
+  /// plain serial loop). Must leave Out indented inside the region.
+  std::function<void(Source &Out, const std::string &TidVar,
+                     const std::string &CountExpr)>
+      openThreadLoop;
+  /// Closes the forall-threads region.
+  std::function<void(Source &Out)> closeThreadLoop;
+  /// Emits the intra-kernel barrier separating consecutive local time
+  /// steps (CUDA: __syncthreads(); host: a no-op, since the serial thread
+  /// loop already retires a whole region before the next one starts).
+  std::function<void(Source &Out)> barrier;
+  /// Renders the element of field \p F at flat element index \p IdxExpr
+  /// (rotating slot already folded in) as an lvalue expression (the host
+  /// target inserts its bounds-checked accessor here).
+  std::function<std::string(const EmissionPlan &P, unsigned F,
+                            const std::string &IdxExpr)>
+      access;
+};
+
+/// Emits the body of one kernel into \p Out: the sequential classical tile
+/// loops, the local time loop with its barrier, the forall-threads point
+/// enumeration, domain guards, statement dispatch and the bit-exact update
+/// arithmetic. For Hex/Hybrid \p Phase selects the hexagonal phase and the
+/// body expects `TT` (time tile) and `S0` (this block's hexagonal tile
+/// index) in scope; for Classical \p Phase is ignored and the body expects
+/// `TB` (time band). Everything else is emitted from plan constants.
+void emitKernelBody(Source &Out, const EmissionPlan &Plan, int Phase,
+                    const EmitTargetHooks &Hooks);
+
+/// Emits the file-scope constant tables the kernel bodies reference (the
+/// hexagon row ranges and the per-dimension skew tables).
+void emitPlanTables(Source &Out, const EmissionPlan &Plan);
+
+/// Emits the host driver loop: the sequential time-tile (or band) loop
+/// with per-phase tile-range guards and per-launch S0 window computation.
+/// \p Launch renders one kernel launch; it receives the kernel suffix
+/// ("phase0", "phase1" or "band"), the block-count expression and the
+/// trailing kernel arguments (after the field buffers).
+void emitHostDriver(
+    Source &Out, const EmissionPlan &Plan,
+    const std::function<void(Source &Out, const std::string &KernelSuffix,
+                             const std::string &NumBlocksExpr,
+                             const std::vector<std::string> &ExtraArgs)>
+        &Launch);
+
+/// Kernel name for one phase: "<prog>_phase0", "<prog>_phase1" or
+/// "<prog>_band" (Classical).
+std::string kernelName(const EmissionPlan &Plan, const std::string &Suffix);
+
+} // namespace codegen
+} // namespace hextile
+
+#endif // HEXTILE_CODEGEN_EMISSIONCORE_H

@@ -1,0 +1,179 @@
+//===- HostEmitter.cpp - Portable host (CPU) kernel emission --------------===//
+
+#include "codegen/HostEmitter.h"
+
+using namespace hextile;
+using namespace hextile::codegen;
+
+std::string codegen::hostShimSource() {
+  // Composed from one prefix/suffix literal pair around the EmissionCore
+  // runtime helpers (shared with the CUDA prelude, so the bit-exactness
+  // semantics have a single definition); tests/harness/HostKernelRunner
+  // materializes the result as cuda_shim.h next to each emitted unit.
+  std::string Prefix =
+      R"shim(//===- cuda_shim.h - CUDA execution model on a serial host ----------------===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+// Maps the CUDA surface the emitted kernels use onto serial host execution:
+//
+//  * __global__ kernels become plain functions taking the block index as
+//    their first parameter;
+//  * HT_LAUNCH_1D is the blockIdx loop: blocks run one after another, in
+//    ascending order -- a legal serialization of CUDA's concurrent blocks;
+//  * HT_FOR_THREADS is the threadIdx loop: each barrier-delimited region
+//    of the kernel runs to completion for every thread before the next
+//    region starts, so
+//  * __syncthreads() is a no-op (the serial thread loop *is* the
+//    block-serial barrier);
+//  * __shared__ would map to a per-block array in the kernel frame (the
+//    executable rendering addresses global buffers directly, so no shim
+//    storage is needed);
+//  * every buffer element access goes through HT_AT, which traps (with a
+//    diagnostic naming the buffer) on any out-of-bounds index instead of
+//    reading garbage.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CUDA_SHIM_H
+#define HEXTILE_CUDA_SHIM_H
+
+#include <math.h>
+#include <stdio.h>
+#include <stdlib.h>
+
+typedef long long ht_int;
+
+#define __global__ static
+static inline void __syncthreads(void) {}
+
+#define HT_LAUNCH_1D(kernel, nblocks, ...)                                   \
+  do {                                                                       \
+    for (ht_int ht_block = 0; ht_block < (nblocks); ++ht_block)              \
+      kernel(ht_block, __VA_ARGS__);                                         \
+  } while (0)
+
+#define HT_FOR_THREADS(tid, count) for (ht_int tid = 0; tid < (count); ++tid)
+
+/// Compile-time constant tables (hexagon rows, skews).
+#define HT_TABLE static const ht_int
+
+)shim";
+  std::string Suffix = R"shim(
+/// Bounds-checked element pointer: traps with a diagnostic instead of
+/// touching memory outside [0, Total).
+static inline float *ht_at(float *Base, ht_int Idx, ht_int Total,
+                           const char *What) {
+  if (Idx < 0 || Idx >= Total) {
+    fprintf(stderr,
+            "cuda_shim: out-of-bounds access to %s: index %lld not in "
+            "[0, %lld)\n",
+            What, (long long)Idx, (long long)Total);
+    fflush(stderr);
+    abort();
+  }
+  return Base + Idx;
+}
+
+#define HT_AT(arr, idx, total) (*ht_at((arr), (idx), (total), #arr))
+
+#endif // HEXTILE_CUDA_SHIM_H
+)shim";
+  return Prefix + portableHelperFunctions("static inline") + Suffix;
+}
+
+std::string codegen::hostEntryName(const ir::StencilProgram &P) {
+  return P.name() + "_run";
+}
+
+namespace {
+
+EmitTargetHooks hostHooks() {
+  EmitTargetHooks H;
+  H.openThreadLoop = [](Source &Out, const std::string &Tid,
+                        const std::string &Count) {
+    Out.open("HT_FOR_THREADS(" + Tid + ", " + Count + ")");
+  };
+  H.closeThreadLoop = [](Source &Out) { Out.close(); };
+  H.barrier = [](Source &Out) { Out.line("__syncthreads();"); };
+  H.access = [](const EmissionPlan &Plan, unsigned F,
+                const std::string &Idx) {
+    return "HT_AT(" + Plan.fieldArg(F) + ", " + Idx + ", " +
+           std::to_string(Plan.fieldTotalElems(F)) + ")";
+  };
+  return H;
+}
+
+void emitHostKernel(Source &Out, const EmissionPlan &Plan,
+                    const std::string &Suffix, int Phase,
+                    const EmitTargetHooks &Hooks) {
+  std::string TailParams =
+      Plan.TwoPhase ? "ht_int TT, ht_int S0lo" : "ht_int TB";
+  Out.open("__global__ void " + kernelName(Plan, Suffix) +
+           "(ht_int ht_block, " + Plan.fieldParams() + ", " + TailParams +
+           ")");
+  if (Plan.TwoPhase)
+    Out.line("const ht_int S0 = S0lo + ht_block;");
+  else
+    Out.line("(void)ht_block; // Classical bands launch a single block.");
+  emitKernelBody(Out, Plan, Phase, Hooks);
+  Out.close();
+}
+
+} // namespace
+
+std::string codegen::emitHost(const CompiledHybrid &C, EmitSchedule S) {
+  EmissionPlan Plan = EmissionPlan::build(C, S);
+  const ir::StencilProgram &P = *Plan.Program;
+  EmitTargetHooks Hooks = hostHooks();
+
+  Source Out;
+  Out.line("// " + P.name() + ": " + std::string(emitScheduleName(S)) +
+           " tiling, host (CPU shim) rendering");
+  Out.line("// tile: " + C.schedule().params().str());
+  Out.line("// memory strategy modeled for the GPU: " + Plan.Config.str());
+  Out.line("// (the host rendering addresses the global rotating buffers "
+           "directly)");
+  Out.line("#include \"cuda_shim.h\"");
+  Out.blank();
+  emitPlanTables(Out, Plan);
+  Out.blank();
+
+  if (Plan.TwoPhase) {
+    emitHostKernel(Out, Plan, "phase0", 0, Hooks);
+    Out.blank();
+    emitHostKernel(Out, Plan, "phase1", 1, Hooks);
+  } else {
+    emitHostKernel(Out, Plan, "band", 0, Hooks);
+  }
+  Out.blank();
+
+  // Host driver: the sequential time-tile (band) loop of Sec. 4.1.
+  Out.open("static void " + P.name() + "_host(" + Plan.fieldParams() + ")");
+  emitHostDriver(Out, Plan,
+                 [&](Source &O, const std::string &Suffix,
+                     const std::string &NumBlocks,
+                     const std::vector<std::string> &Extra) {
+                   std::string Args = Plan.fieldArgs();
+                   for (const std::string &E : Extra)
+                     Args += ", " + E;
+                   O.line("HT_LAUNCH_1D(" + kernelName(Plan, Suffix) +
+                          ", " + NumBlocks + ", " + Args + ");");
+                 });
+  Out.close();
+  Out.blank();
+
+  // The ABI the JIT runner binds: one rotating buffer per field, in
+  // declaration order, GridStorage layout ([depth][grid] row-major).
+  Out.open("extern \"C\" void " + hostEntryName(P) +
+           "(float **ht_fields)");
+  std::string Args;
+  for (unsigned F = 0; F < P.fields().size(); ++F) {
+    if (F)
+      Args += ", ";
+    Args += "ht_fields[" + std::to_string(F) + "]";
+  }
+  Out.line(P.name() + "_host(" + Args + ");");
+  Out.close();
+  return Out.take();
+}

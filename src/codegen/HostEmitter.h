@@ -1,0 +1,50 @@
+//===- HostEmitter.h - Portable host (CPU) kernel emission -----*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The host emission target: renders a compiled program as one standard C++
+/// translation unit against a small `cuda_shim.h` that maps the CUDA
+/// execution model onto serial host execution (the blockIdx loop lives in
+/// HT_LAUNCH_1D, the threadIdx loop in HT_FOR_THREADS, __syncthreads() is
+/// a no-op "block-serial barrier", and every buffer access is
+/// bounds-checked). The unit exports one `extern "C"` entry point,
+/// `<name>_run(float **fields)`, over the same rotating-buffer layout
+/// exec::GridStorage uses -- which is how the oracle's fourth mechanism
+/// (tests/harness/HostKernelRunner) compiles, loads and differential-tests
+/// the emitted code against the naive executor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CODEGEN_HOSTEMITTER_H
+#define HEXTILE_CODEGEN_HOSTEMITTER_H
+
+#include "codegen/EmissionCore.h"
+
+#include <string>
+
+namespace hextile {
+namespace codegen {
+
+/// Emits the complete host C++ translation unit for \p C rendered as
+/// schedule flavor \p S (it `#include`s "cuda_shim.h"; see
+/// hostShimSource()).
+std::string emitHost(const CompiledHybrid &C,
+                     EmitSchedule S = EmitSchedule::Hybrid);
+
+/// The contents of `cuda_shim.h`: the execution-model shim every emitted
+/// host unit includes (composed over the shared EmissionCore runtime
+/// helpers). The JIT runner writes this next to the unit before compiling.
+std::string hostShimSource();
+
+/// Name of the emitted `extern "C"` entry point: "<program name>_run",
+/// with signature `void(float **fields)` (one rotating-buffer array per
+/// field, GridStorage layout).
+std::string hostEntryName(const ir::StencilProgram &P);
+
+} // namespace codegen
+} // namespace hextile
+
+#endif // HEXTILE_CODEGEN_HOSTEMITTER_H

@@ -30,22 +30,31 @@ namespace codegen {
 
 /// Tile-size request: explicit sizes, or model-driven selection (Sec. 3.7).
 struct TileSizeRequest {
-  std::optional<int64_t> H;
-  std::optional<int64_t> W0;
-  std::vector<int64_t> InnerWidths; ///< Empty = select automatically.
-  core::TileSizeConstraints Constraints;
+  std::optional<int64_t> H;         ///< Hexagon height h; unset = model pick.
+  std::optional<int64_t> W0;        ///< Peak width w0; unset = model pick.
+  std::vector<int64_t> InnerWidths; ///< Classical w_i; empty = select automatically.
+  core::TileSizeConstraints Constraints; ///< Bounds the Sec. 3.7 search space.
 };
 
-/// The result of compiling one stencil program with hybrid tiling.
+/// The result of compiling one stencil program with hybrid tiling: the
+/// analyzed program, its schedule and costs, and everything the emission
+/// targets (CudaEmitter/HostEmitter via EmissionCore), the functional
+/// executor and the GPU performance model consume.
 class CompiledHybrid {
 public:
+  /// Binds the compiled pieces and runs the exact slab cost analysis.
   CompiledHybrid(ir::StencilProgram Program, deps::DependenceInfo Deps,
                  core::HybridSchedule Schedule, OptimizationConfig Config);
 
+  /// The compiled program (owned copy; sizes/steps frozen at compile time).
   const ir::StencilProgram &program() const { return Prog; }
+  /// The dependence analysis the cone slopes were derived from.
   const deps::DependenceInfo &dependences() const { return Deps; }
+  /// The hybrid hexagonal/classical schedule (Sec. 3.6 composition).
   const core::HybridSchedule &schedule() const { return Sched; }
+  /// The Sec. 4.2 memory-strategy configuration this compile assumes.
   const OptimizationConfig &config() const { return Config; }
+  /// Exact per-slab transfer/compute costs (core::analyzeSlab).
   const core::SlabCosts &slabCosts() const { return Costs; }
 
   /// The launch models (one per phase) for the GPU performance model.

@@ -30,11 +30,19 @@ enum class ReuseKind {
   Dynamic, ///< Per-tile placement with an explicit shared->shared move.
 };
 
-/// One configuration of the code generator.
+/// One configuration of the code generator: which rungs of the Table 4
+/// shared-memory ladder the compiled kernels assume. The launch/cost
+/// models price the strategy; the executable emission (EmissionCore
+/// targets) carries it as an annotation and addresses the global rotating
+/// buffers directly, since staging is semantically the identity.
 struct OptimizationConfig {
+  /// Stage tile inputs in shared memory (configs (b)-(f)); off = (a).
   bool UseSharedMemory = true;
+  /// Issue copy-out stores interleaved with compute (Sec. 4.2.1).
   bool InterleaveCopyOut = true;
+  /// Translate tiles so row loads hit 128B boundaries (Sec. 4.2.3).
   bool AlignLoads = true;
+  /// Inter-tile value-reuse strategy (Sec. 4.2.2).
   ReuseKind Reuse = ReuseKind::Dynamic;
   /// Unroll the point loops and exploit register sliding-window reuse
   /// (Sec. 4.3.2); on for every Table 4 configuration.
@@ -76,6 +84,8 @@ struct OptimizationConfig {
     }
   }
 
+  /// Human-readable strategy summary ("shared memory + aligned loads
+  /// + ..."), used in diagnostics and emitted-source headers.
   std::string str() const;
 };
 

@@ -20,8 +20,8 @@ using namespace hextile::codegen;
 namespace {
 
 /// The snapshot subject: jacobi 1D (smallest emitted text that still covers
-/// both phases, shared-memory staging and the host loop), h=1, w0=2,
-/// default optimization config.
+/// both phases, the constant tables and the host loop), h=1, w0=2, default
+/// optimization config.
 std::string emitSnapshotSubject() {
   TileSizeRequest R;
   R.H = 1;
@@ -30,7 +30,9 @@ std::string emitSnapshotSubject() {
   return emitCuda(C);
 }
 
-constexpr const char *GoldenCuda = R"golden(// jacobi1d: hybrid hexagonal/classical tiling
+constexpr const char *GoldenCuda = R"golden(// jacobi1d: hybrid tiling (CUDA rendering)
+// tile: h=1, w0=2, delta0=1, delta1=1
+// memory strategy (Sec. 4.2 ladder): shared memory + interleaved copy-out + aligned loads + dynamic reuse
 // schedule:
 //   phase 0: [t, s0] -> [
 //     T  = floor((t + 2) / 4)
@@ -47,66 +49,101 @@ constexpr const char *GoldenCuda = R"golden(// jacobi1d: hybrid hexagonal/classi
 //     s0' = (s0 mod 8)
 //   ]
 
-__global__ void jacobi1d_phase0(float *g_A, int TT) {
-  // Hexagonal tile: h=1, w0=2, delta0=1, delta1=1
-  const int S0 = blockIdx.x;
-  const int t0 = TT * 4 + (-2);
-  const int s0_0 = S0 * 8 - TT * (0) + (-4);
-  __shared__ float s_A[2][7];
-  // inter-tile reuse: move the previous tile's overlap within shared memory (Sec. 4.2.2)
-  // load phase: tile translated for 128B-aligned rows
-  __syncthreads();
-  for (int a = 0; a < 4; ++a) {
-    const int t = t0 + a;
-    if (t < 0 || t >= 8) continue;
-    // full tiles: specialized, divergence-free code (Sec. 4.3.1)
-    if (__tile_is_full) {
-      case_a_0: // b in [1, 3], stmt jacobi
-      case_a_1: // b in [0, 4], stmt jacobi
-      case_a_2: // b in [0, 4], stmt jacobi
-      case_a_3: // b in [1, 3], stmt jacobi
+typedef long long ht_int;
+#define HT_TABLE static __constant__ ht_int
+#define HT_FN static __host__ __device__ __forceinline__
+/// Floor division (rounds toward negative infinity, unlike C's /).
+HT_FN ht_int ht_fdiv(ht_int N, ht_int D) {
+  ht_int Q = N / D;
+  if ((N % D) != 0 && ((N % D < 0) != (D < 0)))
+    --Q;
+  return Q;
+}
+/// Euclidean remainder: always in [0, |D|).
+HT_FN ht_int ht_emod(ht_int N, ht_int D) {
+  ht_int R = N % D;
+  if (R < 0)
+    R += (D < 0 ? -D : D);
+  return R;
+}
+/// Exactly std::min / std::max over floats (the executor's semantics).
+HT_FN float ht_minf(float A, float B) { return (B < A) ? B : A; }
+HT_FN float ht_maxf(float A, float B) { return (A < B) ? B : A; }
+/// Float from raw bits (non-finite constants are emitted through this).
+HT_FN float ht_f32bits(unsigned int Bits) {
+  union { unsigned int U; float F; } Pun;
+  Pun.U = Bits;
+  return Pun.F;
+}
+
+// Hexagon row b-ranges per local time a (empty rows have lo > hi).
+HT_TABLE ht_row_lo[4] = {1, 0, 0, 1};
+HT_TABLE ht_row_hi[4] = {3, 4, 4, 3};
+
+__global__ void jacobi1d_phase0(float *g_A, ht_int TT, ht_int S0lo) {
+  const ht_int S0 = S0lo + (ht_int)blockIdx.x;
+  const ht_int t0 = TT * 4 + (-2);
+  const ht_int s0_0 = S0 * 8 - TT * (0) + (-4);
+  for (ht_int a = 0; a < 4; ++a) {
+    const ht_int t = t0 + a;
+    const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;
+    if (t >= 0 && t < 8 && ht_nb > 0) {
+      for (ht_int ht_tid = (ht_int)threadIdx.x; ht_tid < ht_nb; ht_tid += (ht_int)blockDim.x) {
+        const ht_int s0 = s0_0 + ht_row_lo[a] + ht_tid;
+        if (s0 >= 1 && s0 < 31) {
+          const ht_int ht_step = t;
+          // jacobi
+          const float ht_v0 = g_A[ht_emod(ht_step + (-1), 2) * 32 + (s0 + (-1))];
+          const float ht_v1 = g_A[ht_emod(ht_step + (-1), 2) * 32 + s0];
+          const float ht_v2 = g_A[ht_emod(ht_step + (-1), 2) * 32 + (s0 + (1))];
+          g_A[ht_emod(ht_step, 2) * 32 + s0] = (0x1.555556p-2f * ((ht_v0 + ht_v1) + ht_v2));
+        }
+      }
     }
-    else {
-      // partial tiles: generic guarded code
-      // (bounds clamped against the iteration domain)
-    }
-    // interleaved copy-out: stores issue with the computation (Sec. 4.2.1)
     __syncthreads();
   }
 }
 
-__global__ void jacobi1d_phase1(float *g_A, int TT) {
-  // Hexagonal tile: h=1, w0=2, delta0=1, delta1=1
-  const int S0 = blockIdx.x;
-  const int t0 = TT * 4 + (0);
-  const int s0_0 = S0 * 8 - TT * (0) + (0);
-  __shared__ float s_A[2][7];
-  // inter-tile reuse: move the previous tile's overlap within shared memory (Sec. 4.2.2)
-  // load phase: tile translated for 128B-aligned rows
-  __syncthreads();
-  for (int a = 0; a < 4; ++a) {
-    const int t = t0 + a;
-    if (t < 0 || t >= 8) continue;
-    // full tiles: specialized, divergence-free code (Sec. 4.3.1)
-    if (__tile_is_full) {
-      case_a_0: // b in [1, 3], stmt jacobi
-      case_a_1: // b in [0, 4], stmt jacobi
-      case_a_2: // b in [0, 4], stmt jacobi
-      case_a_3: // b in [1, 3], stmt jacobi
+__global__ void jacobi1d_phase1(float *g_A, ht_int TT, ht_int S0lo) {
+  const ht_int S0 = S0lo + (ht_int)blockIdx.x;
+  const ht_int t0 = TT * 4 + (0);
+  const ht_int s0_0 = S0 * 8 - TT * (0) + (0);
+  for (ht_int a = 0; a < 4; ++a) {
+    const ht_int t = t0 + a;
+    const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;
+    if (t >= 0 && t < 8 && ht_nb > 0) {
+      for (ht_int ht_tid = (ht_int)threadIdx.x; ht_tid < ht_nb; ht_tid += (ht_int)blockDim.x) {
+        const ht_int s0 = s0_0 + ht_row_lo[a] + ht_tid;
+        if (s0 >= 1 && s0 < 31) {
+          const ht_int ht_step = t;
+          // jacobi
+          const float ht_v0 = g_A[ht_emod(ht_step + (-1), 2) * 32 + (s0 + (-1))];
+          const float ht_v1 = g_A[ht_emod(ht_step + (-1), 2) * 32 + s0];
+          const float ht_v2 = g_A[ht_emod(ht_step + (-1), 2) * 32 + (s0 + (1))];
+          g_A[ht_emod(ht_step, 2) * 32 + s0] = (0x1.555556p-2f * ((ht_v0 + ht_v1) + ht_v2));
+        }
+      }
     }
-    else {
-      // partial tiles: generic guarded code
-      // (bounds clamped against the iteration domain)
-    }
-    // interleaved copy-out: stores issue with the computation (Sec. 4.2.1)
     __syncthreads();
   }
 }
 
 void jacobi1d_host(float *g_A) {
-  for (int TT = 0; TT < 3; ++TT) {
-    jacobi1d_phase0<<<5, 8>>>(g_A, TT);
-    jacobi1d_phase1<<<5, 8>>>(g_A, TT);
+  for (ht_int TT = 0; TT <= 2; ++TT) {
+    if (TT >= 0 && TT <= 2) {
+      const ht_int ht_s0lo = ht_fdiv(8 + TT * (0), 8);
+      const ht_int ht_s0hi = ht_fdiv(34 + TT * (0), 8);
+      if (ht_s0hi >= ht_s0lo) {
+        jacobi1d_phase0<<<(unsigned)(ht_s0hi - ht_s0lo + 1), 8>>>(g_A, TT, ht_s0lo);
+      }
+    }
+    if (TT >= 0 && TT <= 1) {
+      const ht_int ht_s0lo = ht_fdiv(4 + TT * (0), 8);
+      const ht_int ht_s0hi = ht_fdiv(30 + TT * (0), 8);
+      if (ht_s0hi >= ht_s0lo) {
+        jacobi1d_phase1<<<(unsigned)(ht_s0hi - ht_s0lo + 1), 8>>>(g_A, TT, ht_s0lo);
+      }
+    }
   }
 }
 )golden";

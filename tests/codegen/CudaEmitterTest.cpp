@@ -26,25 +26,27 @@ CompiledHybrid compile(const ir::StencilProgram &P, int64_t H, int64_t W0,
 TEST(CudaEmitterTest, ThreeDimensionalKernelStructure) {
   CompiledHybrid C = compile(ir::makeHeat3D(64, 8), 2, 3, {4, 32});
   std::string Src = emitCuda(C);
-  // Two sequential classical loops inside the kernel (S1 and S2).
-  EXPECT_NE(Src.find("for (int S1 = 0;"), std::string::npos);
-  EXPECT_NE(Src.find("for (int S2 = 0;"), std::string::npos);
-  // Shared window with the rotating depth and the halo'd extents.
-  EXPECT_NE(Src.find("__shared__ float s_A[2]"), std::string::npos);
-  // Time loop over the 2h+2 = 6 local rows.
-  EXPECT_NE(Src.find("for (int a = 0; a < 6; ++a)"), std::string::npos);
+  // Two sequential classical tile loops inside the kernel (S1 and S2).
+  EXPECT_NE(Src.find("for (ht_int S1 = "), std::string::npos);
+  EXPECT_NE(Src.find("for (ht_int S2 = "), std::string::npos);
+  // Time loop over the 2h+2 = 6 local rows, with the row barrier.
+  EXPECT_NE(Src.find("for (ht_int a = 0; a < 6; ++a)"), std::string::npos);
+  EXPECT_NE(Src.find("__syncthreads();"), std::string::npos);
+  // Threads cover each row with a blockDim-stride loop.
+  EXPECT_NE(Src.find("ht_tid += (ht_int)blockDim.x"), std::string::npos);
 }
 
-TEST(CudaEmitterTest, FdtdEmitsAllFields) {
+TEST(CudaEmitterTest, FdtdEmitsAllFieldsAndStatements) {
   CompiledHybrid C = compile(ir::makeFdtd2D(64, 6), 2, 3, {8});
   std::string Src = emitCuda(C);
   EXPECT_NE(Src.find("float *g_ey"), std::string::npos);
   EXPECT_NE(Src.find("float *g_ex"), std::string::npos);
   EXPECT_NE(Src.find("float *g_hz"), std::string::npos);
-  // Each statement appears in the unrolled full-tile listing.
-  EXPECT_NE(Src.find("stmt ey"), std::string::npos);
-  EXPECT_NE(Src.find("stmt ex"), std::string::npos);
-  EXPECT_NE(Src.find("stmt hz"), std::string::npos);
+  // Multi-statement programs dispatch on the canonical time.
+  EXPECT_NE(Src.find("switch ((int)(t % 3))"), std::string::npos);
+  EXPECT_NE(Src.find("case 0: { // ey"), std::string::npos);
+  EXPECT_NE(Src.find("case 1: { // ex"), std::string::npos);
+  EXPECT_NE(Src.find("case 2: { // hz"), std::string::npos);
 }
 
 TEST(CudaEmitterTest, ScheduleCommentMatchesFormulas) {
@@ -55,25 +57,19 @@ TEST(CudaEmitterTest, ScheduleCommentMatchesFormulas) {
   EXPECT_NE(Src.find("(t mod 6)"), std::string::npos);
 }
 
-TEST(CudaEmitterTest, ReuseConfigAnnotatesKernels) {
-  OptimizationConfig F = OptimizationConfig::level('f');
-  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8}, F);
-  std::string Src = emitCuda(C);
-  EXPECT_NE(Src.find("inter-tile reuse: move the previous tile's overlap"),
-            std::string::npos);
-  OptimizationConfig E = OptimizationConfig::level('e');
-  CompiledHybrid CE = compile(ir::makeJacobi2D(64, 8), 2, 3, {8}, E);
-  EXPECT_NE(emitCuda(CE).find("static global->shared mapping"),
-            std::string::npos);
-}
-
-TEST(CudaEmitterTest, SeparateCopyOutAnnotated) {
-  OptimizationConfig B = OptimizationConfig::level('b');
-  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8}, B);
-  std::string Src = emitCuda(C);
-  EXPECT_NE(Src.find("separate copy-out phase"), std::string::npos);
-  EXPECT_EQ(Src.find("interleaved copy-out: stores issue"),
-            std::string::npos);
+TEST(CudaEmitterTest, MemoryStrategyAnnotated) {
+  // The Sec. 4.2 staging ladder is carried as a header annotation (the
+  // executable rendering addresses global buffers; the launch/cost models
+  // account for the staging strategy).
+  CompiledHybrid F = compile(ir::makeJacobi2D(64, 8), 2, 3, {8},
+                             OptimizationConfig::level('f'));
+  EXPECT_NE(emitCuda(F).find("dynamic reuse"), std::string::npos);
+  CompiledHybrid E = compile(ir::makeJacobi2D(64, 8), 2, 3, {8},
+                             OptimizationConfig::level('e'));
+  EXPECT_NE(emitCuda(E).find("static reuse"), std::string::npos);
+  CompiledHybrid A = compile(ir::makeJacobi2D(64, 8), 2, 3, {8},
+                             OptimizationConfig::level('a'));
+  EXPECT_NE(emitCuda(A).find("global-memory only"), std::string::npos);
 }
 
 TEST(CudaEmitterTest, HostLoopLaunchesBothPhases) {
@@ -86,10 +82,40 @@ TEST(CudaEmitterTest, HostLoopLaunchesBothPhases) {
   EXPECT_LT(P0, P1); // Phase 0 launches first within a time tile.
 }
 
-TEST(CudaEmitterTest, FullAndPartialTilePathsPresent) {
+TEST(CudaEmitterTest, DomainGuardsClampEveryDimension) {
+  // 64x64 grid, halo 1: updates guarded to [1, 63) in both dimensions.
   CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 1, 2, {8});
   std::string Src = emitCuda(C);
-  EXPECT_NE(Src.find("if (__tile_is_full)"), std::string::npos);
-  EXPECT_NE(Src.find("partial tiles: generic guarded code"),
-            std::string::npos);
+  EXPECT_NE(Src.find("s0 >= 1 && s0 < 63"), std::string::npos);
+  EXPECT_NE(Src.find("s1 >= 1 && s1 < 63"), std::string::npos);
+}
+
+TEST(CudaEmitterTest, HexFlavorLeavesInnerDimensionsUntiled) {
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8});
+  std::string Src = emitCuda(C, EmitSchedule::Hex);
+  // One degenerate inner tile: no sequential S1 loop, no skew table.
+  EXPECT_NE(Src.find("const ht_int S1 = 0;"), std::string::npos);
+  EXPECT_EQ(Src.find("for (ht_int S1 = "), std::string::npos);
+  EXPECT_EQ(Src.find("ht_skew1"), std::string::npos);
+}
+
+TEST(CudaEmitterTest, ClassicalFlavorEmitsBandKernel) {
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8});
+  std::string Src = emitCuda(C, EmitSchedule::Classical);
+  // Single band kernel over skewed tiles of every spatial dimension.
+  EXPECT_NE(Src.find("jacobi2d_band"), std::string::npos);
+  EXPECT_EQ(Src.find("_phase0"), std::string::npos);
+  EXPECT_NE(Src.find("for (ht_int S0 = "), std::string::npos);
+  EXPECT_NE(Src.find("ht_skew0"), std::string::npos);
+  EXPECT_NE(Src.find("for (ht_int u = 0; u < 6; ++u)"), std::string::npos);
+}
+
+TEST(CudaEmitterTest, ConstantsAreExactHexFloats) {
+  // 0.2f is not exactly representable in decimal: the emitted literal must
+  // be the hex-float form that round-trips the bits, never a rounded
+  // decimal rendering.
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8});
+  std::string Src = emitCuda(C);
+  EXPECT_NE(Src.find("0x1.99999ap-3f"), std::string::npos);
+  EXPECT_EQ(Src.find("0.200000"), std::string::npos);
 }

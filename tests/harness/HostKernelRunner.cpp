@@ -1,0 +1,253 @@
+//===- HostKernelRunner.cpp - JIT harness for emitted host kernels --------===//
+
+#include "harness/HostKernelRunner.h"
+
+#include "exec/Executor.h"
+#include "exec/GridStorage.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <dlfcn.h>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <sys/wait.h>
+#include <vector>
+
+using namespace hextile;
+using namespace hextile::harness;
+
+namespace {
+
+/// Runs a shell command, returning its exit code (-1 on spawn failure).
+int runCommand(const std::string &Cmd) {
+  int Status = std::system(Cmd.c_str());
+  if (Status == -1)
+    return -1;
+  if (WIFEXITED(Status))
+    return WEXITSTATUS(Status);
+  return -1;
+}
+
+/// Single-quotes \p S for the shell, so paths (and $CXX values) with
+/// spaces or metacharacters pass through std::system verbatim.
+std::string shellQuote(const std::string &S) {
+  std::string Q = "'";
+  for (char C : S) {
+    if (C == '\'')
+      Q += "'\\''";
+    else
+      Q += C;
+  }
+  Q += "'";
+  return Q;
+}
+
+std::string discoverCompiler() {
+  std::vector<std::string> Candidates;
+  if (const char *Env = std::getenv("CXX"); Env && *Env)
+    Candidates.push_back(Env);
+  Candidates.insert(Candidates.end(), {"c++", "g++", "clang++"});
+  for (const std::string &C : Candidates)
+    if (runCommand(shellQuote(C) + " --version > /dev/null 2>&1") == 0)
+      return C;
+  return "";
+}
+
+std::string readFile(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+const std::string &JitUnit::systemCompiler() {
+  static const std::string Compiler = discoverCompiler();
+  return Compiler;
+}
+
+JitUnit::~JitUnit() {
+  if (Handle)
+    dlclose(Handle);
+  if (!Dir.empty() && !Keep) {
+    std::error_code EC;
+    std::filesystem::remove_all(Dir, EC); // Best effort.
+  }
+}
+
+std::string JitUnit::build(const std::string &Source) {
+  assert(available() && "no system compiler; check available() first");
+  assert(Dir.empty() && "JitUnit::build is single-shot");
+
+  std::filesystem::path Base = std::filesystem::temp_directory_path();
+  std::string Templ = (Base / "hextile-jit-XXXXXX").string();
+  if (!mkdtemp(Templ.data()))
+    return "cannot create scratch directory under " + Base.string();
+  Dir = Templ;
+
+  std::filesystem::path Shim = std::filesystem::path(Dir) / "cuda_shim.h";
+  std::filesystem::path Src = std::filesystem::path(Dir) / "kernel.cpp";
+  std::filesystem::path Lib = std::filesystem::path(Dir) / "kernel.so";
+  std::filesystem::path Log = std::filesystem::path(Dir) / "compile.log";
+  {
+    std::ofstream(Shim) << codegen::hostShimSource();
+    std::ofstream(Src) << Source;
+  }
+
+  std::string Cmd = shellQuote(systemCompiler()) +
+                    " -std=c++17 -O1 -fPIC -shared -o " +
+                    shellQuote(Lib.string()) + " " +
+                    shellQuote(Src.string()) + " > " +
+                    shellQuote(Log.string()) + " 2>&1";
+  if (runCommand(Cmd) != 0) {
+    Keep = true;
+    return "emitted unit failed to compile (artifacts kept in " + Dir +
+           "):\n" + readFile(Log);
+  }
+
+  Handle = dlopen(Lib.string().c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!Handle) {
+    Keep = true;
+    const char *Err = dlerror();
+    return "emitted unit failed to load (artifacts kept in " + Dir +
+           "): " + (Err ? Err : "unknown dlopen error");
+  }
+  return "";
+}
+
+void *JitUnit::symbol(const std::string &Name) const {
+  if (!Handle)
+    return nullptr;
+  return dlsym(Handle, Name.c_str());
+}
+
+namespace {
+
+/// FieldStorage view over the flat rotating buffers the emitted entry
+/// point ran on (GridStorage layout), so the oracle's bit-exact
+/// compareStoragesAtStep works unchanged.
+class FlatBufferStorage final : public exec::FieldStorage {
+public:
+  FlatBufferStorage(const ir::StencilProgram &P,
+                    const exec::Initializer &Init)
+      : Extents(P.spaceSizes()) {
+    PointsPerCopy = 1;
+    for (int64_t S : Extents)
+      PointsPerCopy *= S;
+    Buffers.resize(P.fields().size());
+    Depths.resize(P.fields().size());
+    for (unsigned F = 0; F < P.fields().size(); ++F) {
+      Depths[F] = P.bufferDepth(F);
+      Buffers[F].resize(static_cast<size_t>(Depths[F]) * PointsPerCopy);
+    }
+    // Same contract as GridStorage: every rotating copy starts from the
+    // same per-point initial value (boundary cells included).
+    std::vector<int64_t> Coords(Extents.size(), 0);
+    std::function<void(unsigned)> Fill = [&](unsigned Dim) {
+      if (Dim == Extents.size()) {
+        for (unsigned F = 0; F < Buffers.size(); ++F) {
+          float V = Init(F, Coords);
+          for (unsigned D = 0; D < Depths[F]; ++D)
+            Buffers[F][D * PointsPerCopy + linear(Coords)] = V;
+        }
+        return;
+      }
+      for (int64_t I = 0; I < Extents[Dim]; ++I) {
+        Coords[Dim] = I;
+        Fill(Dim + 1);
+      }
+    };
+    Fill(0);
+  }
+
+  /// The per-field base pointers the emitted entry point consumes.
+  std::vector<float *> fieldPointers() {
+    std::vector<float *> Ptrs;
+    for (std::vector<float> &B : Buffers)
+      Ptrs.push_back(B.data());
+    return Ptrs;
+  }
+
+  const char *kind() const override { return "jit-flat"; }
+  unsigned numFields() const override { return Buffers.size(); }
+  unsigned depth(unsigned Field) const override { return Depths[Field]; }
+  const std::vector<int64_t> &sizes() const override { return Extents; }
+  float read(unsigned Field, int64_t T,
+             std::span<const int64_t> Coords) const override {
+    return Buffers[Field][euclidMod(T, Depths[Field]) * PointsPerCopy +
+                          linear(Coords)];
+  }
+  void write(unsigned Field, int64_t T, std::span<const int64_t> Coords,
+             float V) override {
+    Buffers[Field][euclidMod(T, Depths[Field]) * PointsPerCopy +
+                   linear(Coords)] = V;
+  }
+
+private:
+  int64_t linear(std::span<const int64_t> Coords) const {
+    int64_t L = 0;
+    for (unsigned D = 0; D < Extents.size(); ++D)
+      L = L * Extents[D] + Coords[D];
+    return L;
+  }
+
+  std::vector<int64_t> Extents;
+  int64_t PointsPerCopy = 0;
+  std::vector<unsigned> Depths;
+  std::vector<std::vector<float>> Buffers;
+};
+
+} // namespace
+
+EmittedDiff harness::runEmittedDifferential(const ir::StencilProgram &P,
+                                            const codegen::CompiledHybrid &C,
+                                            codegen::EmitSchedule S,
+                                            const exec::Initializer &Init,
+                                            const std::string &Context) {
+  EmittedDiff Result;
+  if (!JitUnit::available()) {
+    Result.Skipped = true;
+    return Result;
+  }
+
+  std::string Prefix = "[emitted " +
+                       std::string(codegen::emitScheduleName(S)) +
+                       "] program=" + P.name() +
+                       (Context.empty() ? "" : " " + Context);
+
+  JitUnit Unit;
+  if (std::string Err = Unit.build(codegen::emitHost(C, S)); !Err.empty()) {
+    Result.Message = Prefix + ": " + Err;
+    return Result;
+  }
+  using EntryFn = void (*)(float **);
+  EntryFn Entry = reinterpret_cast<EntryFn>(
+      Unit.symbol(codegen::hostEntryName(P)));
+  if (!Entry) {
+    Unit.keepArtifacts();
+    Result.Message = Prefix + ": entry point " + codegen::hostEntryName(P) +
+                     " missing from the emitted unit (artifacts kept in " +
+                     Unit.workDir() + ")";
+    return Result;
+  }
+
+  exec::GridStorage Ref(P, Init);
+  exec::runReference(P, Ref);
+
+  FlatBufferStorage Got(P, Init);
+  std::vector<float *> Ptrs = Got.fieldPointers();
+  Entry(Ptrs.data());
+
+  std::string Diff =
+      exec::compareStoragesAtStep(Ref, Got, P.timeSteps() - 1);
+  if (!Diff.empty()) {
+    Unit.keepArtifacts();
+    Result.Message = Prefix +
+                     " diverges from the row-major reference: " + Diff +
+                     " (emitted sources kept in " + Unit.workDir() + ")";
+  }
+  return Result;
+}

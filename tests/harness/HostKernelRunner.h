@@ -1,0 +1,101 @@
+//===- HostKernelRunner.h - JIT harness for emitted host kernels -*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The test-time JIT behind the oracle's fourth mechanism: takes the C++
+/// translation unit HostEmitter produces, writes it (next to cuda_shim.h)
+/// into a fresh scratch directory, compiles it with the system C++
+/// compiler into a shared object, dlopens the result and drives the
+/// emitted `<name>_run` entry point over GridStorage-layout rotating
+/// buffers. runEmittedDifferential then compares the final fields
+/// bit-exactly against the naive reference executor -- so every loop
+/// bound, guard, skew table and buffer index the emitter produces is
+/// *executed*, not just snapshot-compared.
+///
+/// Machines without a usable compiler skip cleanly: available() is false,
+/// runEmittedDifferential reports Skipped and runs nothing. On a mismatch
+/// the scratch directory (kernel.cpp, cuda_shim.h, compile log, .so) is
+/// kept and named in the diagnostic so a failing seed reproduces offline:
+///   c++ -std=c++17 -O1 -fPIC -shared -o kernel.so kernel.cpp
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_TESTS_HARNESS_HOSTKERNELRUNNER_H
+#define HEXTILE_TESTS_HARNESS_HOSTKERNELRUNNER_H
+
+#include "codegen/HostEmitter.h"
+#include "codegen/HybridCompiler.h"
+#include "exec/FieldStorage.h"
+#include "ir/StencilProgram.h"
+
+#include <string>
+
+namespace hextile {
+namespace harness {
+
+/// One compiled-and-loaded emitted translation unit. Owns the scratch
+/// directory and the dlopen handle; both are released on destruction
+/// unless keepArtifacts() was called.
+class JitUnit {
+public:
+  JitUnit() = default;
+  ~JitUnit();
+  JitUnit(const JitUnit &) = delete;
+  JitUnit &operator=(const JitUnit &) = delete;
+
+  /// The discovered system C++ compiler ($CXX, c++, g++ or clang++;
+  /// empty when none works). Cached across calls.
+  static const std::string &systemCompiler();
+  /// True when a system compiler is available, i.e. emitted kernels can
+  /// actually be built and run on this machine.
+  static bool available() { return !systemCompiler().empty(); }
+
+  /// Writes \p Source as kernel.cpp (with cuda_shim.h beside it),
+  /// compiles it into kernel.so and loads it. Returns an empty string on
+  /// success, else a diagnostic including the compiler output. Asserts
+  /// that available() held and that no unit was built before.
+  std::string build(const std::string &Source);
+
+  /// Looks up \p Name in the loaded unit (null when absent or not built).
+  void *symbol(const std::string &Name) const;
+
+  /// Scratch directory holding kernel.cpp / cuda_shim.h / kernel.so.
+  const std::string &workDir() const { return Dir; }
+  /// Keeps the scratch directory on destruction (failure forensics).
+  void keepArtifacts() { Keep = true; }
+
+private:
+  std::string Dir;
+  void *Handle = nullptr;
+  bool Keep = false;
+};
+
+/// Outcome of one emitted-kernel differential run.
+struct EmittedDiff {
+  /// True when nothing ran because no system compiler is available.
+  bool Skipped = false;
+  /// Empty on bit-exact agreement (or skip); else the full diagnostic
+  /// (program, flavor, seed context, first mismatch, kept artifact dir).
+  std::string Message;
+
+  bool agreed() const { return Message.empty(); }
+};
+
+/// Runs \p P through the naive reference executor and through the
+/// compiled-and-executed HostEmitter rendering of \p C as flavor \p S
+/// (both over buffers initialized by \p Init), comparing the final fields
+/// bit for bit. \p Context is prefixed to any diagnostic (the oracle puts
+/// the tiling/seed there so failures reproduce from the log alone).
+EmittedDiff runEmittedDifferential(const ir::StencilProgram &P,
+                                   const codegen::CompiledHybrid &C,
+                                   codegen::EmitSchedule S,
+                                   const exec::Initializer &Init,
+                                   const std::string &Context = "");
+
+} // namespace harness
+} // namespace hextile
+
+#endif // HEXTILE_TESTS_HARNESS_HOSTKERNELRUNNER_H

@@ -3,7 +3,9 @@
 #include "harness/StencilOracle.h"
 
 #include "baselines/DiamondTiling.h"
+#include "codegen/HybridCompiler.h"
 #include "core/ClassicalTiling.h"
+#include "harness/HostKernelRunner.h"
 #include "core/HexSchedule.h"
 #include "core/HybridSchedule.h"
 #include "core/IterationDomain.h"
@@ -247,6 +249,56 @@ OracleSchedule makeScheduleWithCones(
 
 } // namespace
 
+namespace {
+
+/// EmitSchedule of an oracle kind; nullopt when the kind has no emitter
+/// rendering (Diamond).
+std::optional<codegen::EmitSchedule> emitScheduleFor(ScheduleKind K) {
+  switch (K) {
+  case ScheduleKind::Hex:
+    return codegen::EmitSchedule::Hex;
+  case ScheduleKind::Hybrid:
+    return codegen::EmitSchedule::Hybrid;
+  case ScheduleKind::Classical:
+    return codegen::EmitSchedule::Classical;
+  case ScheduleKind::Diamond:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Mechanism four: compile the program for the oracle's (legalized) tiling,
+/// render it with HostEmitter as the kind's flavor, JIT-build and execute
+/// the emitted C++, and compare against the reference bit for bit.
+/// \p Cones are the caller's precomputed bounds (same instance the key
+/// mechanisms legalized against).
+std::string runEmittedMechanism(const ir::StencilProgram &P, ScheduleKind K,
+                                const OracleTiling &T,
+                                const OracleOptions &Opts,
+                                const std::vector<deps::ConeBounds> &Cones,
+                                const exec::Initializer &Init) {
+  std::optional<codegen::EmitSchedule> ES = emitScheduleFor(K);
+  if (!ES || !emittedMechanismAvailable())
+    return ""; // No emitter for this kind / no compiler: clean skip.
+  codegen::TileSizeRequest Sizes;
+  // The same legalization the key mechanisms use, so the emitted loops
+  // replay the identical tiling the diagnostics name.
+  core::HexTileParams Prm =
+      legalizedHexParams(T, Cones[0].Delta0, Cones[0].Delta1);
+  Sizes.H = Prm.H;
+  Sizes.W0 = Prm.W0;
+  Sizes.InnerWidths = innerWidthsFor(T, P.spaceRank());
+  codegen::CompiledHybrid C = codegen::compileHybrid(P, Sizes);
+  std::ostringstream Ctx;
+  Ctx << "tiling{" << T.str() << "} seed=0x" << std::hex << Opts.Seed;
+  EmittedDiff D = runEmittedDifferential(P, C, *ES, Init, Ctx.str());
+  return D.Message;
+}
+
+} // namespace
+
+bool harness::emittedMechanismAvailable() { return JitUnit::available(); }
+
 OracleSchedule harness::makeOracleSchedule(const ir::StencilProgram &P,
                                            ScheduleKind K,
                                            const OracleTiling &T,
@@ -311,6 +363,8 @@ std::string harness::runDifferential(const ir::StencilProgram &P,
       return OS.str();
     }
   }
+  if (Opts.RunEmitted)
+    return runEmittedMechanism(P, K, T, Opts, Cones, Init);
   return "";
 }
 

@@ -86,7 +86,18 @@ struct OracleOptions {
   int NumThreads = 0;
   /// Simulated device count for BackendKind::DeviceSim.
   unsigned NumDevices = 2;
+  /// Fourth mechanism: additionally render the schedule with HostEmitter,
+  /// JIT-compile the emitted C++ (tests/harness/HostKernelRunner), execute
+  /// it and compare bit-exactly against the reference. Covers kinds
+  /// Hex/Hybrid/Classical (Diamond has no emitter); machines without a
+  /// system compiler skip it cleanly (see emittedMechanismAvailable).
+  bool RunEmitted = false;
 };
+
+/// True when the RunEmitted mechanism can actually run here (a system C++
+/// compiler was found). Tests should skip -- not silently pass -- when
+/// this is false.
+bool emittedMechanismAvailable();
 
 /// A schedule key plus the index of its first thread-parallel component.
 struct OracleSchedule {

@@ -1,0 +1,121 @@
+//===- EmittedOracleTest.cpp - Emitted-code differential sweep ----------------===//
+//
+// The oracle's fourth mechanism end to end: every gallery stencil is
+// compiled for hybrid tiling, rendered by HostEmitter as the hex, hybrid
+// and classical flavors, JIT-built with the system compiler, *executed*
+// over seeded rotating buffers and compared bit-exactly against the naive
+// reference executor. This is the closed loop ROADMAP asked for: the
+// generated code path -- loop bounds, hexagon row tables, skew tables,
+// buffer depths, boundary guards -- is proven by execution, not by text
+// snapshot. Machines without a system compiler skip (visibly, not
+// silently).
+//
+// Reproducing a failure: the diagnostic names the tiling, the seed and a
+// kept scratch directory with kernel.cpp + cuda_shim.h + compile.log;
+// rebuild with `c++ -std=c++17 -O1 -fPIC -shared -o kernel.so kernel.cpp`
+// (see docs/oracle.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/HostKernelRunner.h"
+#include "harness/StencilOracle.h"
+
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::harness;
+
+namespace {
+
+struct EmittedCase {
+  const char *Name;
+  int64_t N;
+  int64_t Steps;
+  OracleTiling Tiling;
+};
+
+class EmittedOracleSweep : public ::testing::TestWithParam<EmittedCase> {
+protected:
+  ir::StencilProgram program() const {
+    const EmittedCase &C = GetParam();
+    ir::StencilProgram P = ir::makeByName(C.Name);
+    P.setSpaceSizes(std::vector<int64_t>(P.spaceRank(), C.N));
+    P.setTimeSteps(C.Steps);
+    return P;
+  }
+};
+
+} // namespace
+
+TEST_P(EmittedOracleSweep, EmittedKernelsBitExactAllKinds) {
+  if (!emittedMechanismAvailable())
+    GTEST_SKIP() << "no system C++ compiler; emitted kernels not run";
+  ir::StencilProgram P = program();
+  OracleOptions Opts;
+  Opts.RunEmitted = true;
+  Opts.NumShuffles = 1; // The key mechanisms have their own sweeps.
+  for (ScheduleKind K :
+       {ScheduleKind::Hex, ScheduleKind::Hybrid, ScheduleKind::Classical})
+    EXPECT_EQ(runDifferential(P, K, GetParam().Tiling, Opts), "")
+        << scheduleKindName(K);
+}
+
+// The full Table 3 gallery (plus the 1D extras): every program the repo
+// knows, at sweep-friendly sizes, each against all three emitted flavors.
+INSTANTIATE_TEST_SUITE_P(
+    Gallery, EmittedOracleSweep,
+    ::testing::Values(
+        EmittedCase{"jacobi1d", 48, 12, {3, 4, {}, 4}},
+        EmittedCase{"skewed1d", 48, 10, {2, 3, {}, 4}},
+        EmittedCase{"jacobi2d", 20, 8, {1, 2, {6}, 4}},
+        EmittedCase{"laplacian2d", 20, 8, {2, 2, {6}, 4}},
+        EmittedCase{"heat2d", 18, 6, {1, 3, {5}, 4}},
+        EmittedCase{"gradient2d", 18, 6, {2, 4, {6}, 4}},
+        EmittedCase{"fdtd2d", 16, 5, {2, 3, {5}, 4}},
+        EmittedCase{"laplacian3d", 12, 4, {1, 2, {4, 4}, 4}},
+        EmittedCase{"heat3d", 12, 4, {2, 2, {4, 4}, 4}},
+        EmittedCase{"gradient3d", 12, 4, {1, 3, {3, 4}, 4}}),
+    [](const ::testing::TestParamInfo<EmittedCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+TEST(EmittedOracleTest, DiamondKindHasNoEmitterAndStaysGreen) {
+  // RunEmitted on the Diamond kind is a clean no-op: the key mechanisms
+  // still run, the emitted mechanism reports agreement.
+  ir::StencilProgram P = ir::makeJacobi1D(32, 6);
+  OracleOptions Opts;
+  Opts.RunEmitted = true;
+  Opts.NumShuffles = 1;
+  EXPECT_EQ(runDifferential(P, ScheduleKind::Diamond, {2, 3, {}, 4}, Opts),
+            "");
+}
+
+TEST(EmittedOracleTest, IllegalTilingRequestsAreLegalizedLikeTheKeys) {
+  if (!emittedMechanismAvailable())
+    GTEST_SKIP() << "no system C++ compiler; emitted kernels not run";
+  // A below-minimum w0 must be legalized to the eq. (1) width for the
+  // emitted mechanism exactly as for the key mechanisms.
+  ir::StencilProgram P = ir::makeSkewedExample1D(40, 8);
+  OracleOptions Opts;
+  Opts.RunEmitted = true;
+  Opts.NumShuffles = 1;
+  EXPECT_EQ(runDifferential(P, ScheduleKind::Hybrid, {2, 1, {}, 4}, Opts),
+            "");
+}
+
+TEST(EmittedOracleTest, DistinctSeedsDistinctData) {
+  if (!emittedMechanismAvailable())
+    GTEST_SKIP() << "no system C++ compiler; emitted kernels not run";
+  ir::StencilProgram P = ir::makeJacobi2D(16, 5);
+  OracleTiling T{2, 3, {5}, 4};
+  for (uint64_t Seed : {0x1ull, 0xdeadbeefull}) {
+    OracleOptions Opts;
+    Opts.RunEmitted = true;
+    Opts.NumShuffles = 1;
+    Opts.Seed = Seed;
+    EXPECT_EQ(runDifferential(P, ScheduleKind::Hybrid, T, Opts), "")
+        << "seed " << Seed;
+  }
+}
