@@ -9,7 +9,11 @@
 //   run_ms       one execution of the emitted entry point,
 //   mpoints_s    statement instances per second through the emitted code,
 //
-// and mirrors the rows into BENCH_codegen.json via --json. Each run is
+// across the Sec. 4.2 memory-strategy ladder: --config <letters> selects
+// the OptimizationConfig rungs ('a' global-direct, 'b' staged + separate
+// copy-out, 'c' + interleaved copy-out, 'd' + aligned loads); the default
+// sweeps abcd ("acd" in --smoke), so BENCH_codegen.json records the
+// ladder's cost/benefit per commit in its "config" column. Each run is
 // also differential-verified against the reference executor, so the bench
 // doubles as an end-to-end smoke of the oracle's fourth mechanism.
 // Machines without a system compiler emit-only (compile_ms/run_ms = -1)
@@ -47,11 +51,41 @@ double msSince(std::chrono::steady_clock::time_point T0) {
       .count();
 }
 
+/// Ladder rungs given with --config <letters 'a'..'f'>; \p Fallback when
+/// the flag is absent. Unknown letters abort loudly.
+std::string configsArg(int argc, char **argv, const char *Fallback) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::string(argv[I]) != "--config")
+      continue;
+    if (I + 1 >= argc) {
+      std::fprintf(stderr,
+                   "error: --config needs a rung-letter argument "
+                   "(e.g. --config abcd)\n");
+      std::exit(2);
+    }
+    std::string Levels = argv[I + 1];
+    if (Levels.empty()) {
+      std::fprintf(stderr,
+                   "error: --config got an empty rung list; nothing "
+                   "would be benched\n");
+      std::exit(2);
+    }
+    for (char L : Levels)
+      if (L < 'a' || L > 'f') {
+        std::fprintf(stderr, "error: unknown ladder rung '%c'\n", L);
+        std::exit(2);
+      }
+    return Levels;
+  }
+  return Fallback;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   bool Smoke = smokeMode(argc, argv);
   const char *JsonPath = jsonPathArg(argc, argv);
+  std::string Configs = configsArg(argc, argv, Smoke ? "acd" : "abcd");
 
   std::vector<EmitCase> Cases = {
       {"jacobi1d", 512, 64, 3, 4, {}},
@@ -74,10 +108,12 @@ int main(int argc, char **argv) {
   Report.config()
       .str("compiler",
            Compiler ? harness::JitUnit::systemCompiler() : "none")
+      .str("configs", Configs)
       .num("smoke", static_cast<int64_t>(Smoke));
 
-  std::printf("%-12s %-10s %9s %9s %9s %9s %10s\n", "program", "flavor",
-              "emit_ms", "cuda_ms", "compile", "run_ms", "mpoints/s");
+  std::printf("%-12s %-10s %-7s %9s %9s %9s %9s %10s\n", "program",
+              "flavor", "config", "emit_ms", "cuda_ms", "compile",
+              "run_ms", "mpoints/s");
   int Failures = 0;
   for (const EmitCase &Cs : Cases) {
     ir::StencilProgram P = ir::makeByName(Cs.Name);
@@ -87,86 +123,90 @@ int main(int argc, char **argv) {
     R.H = Cs.H;
     R.W0 = Cs.W0;
     R.InnerWidths = Cs.Inner;
-    codegen::CompiledHybrid C = codegen::compileHybrid(P, R);
     int64_t Instances = core::IterationDomain::forProgram(P).numPoints();
 
-    for (codegen::EmitSchedule S :
-         {codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
-          codegen::EmitSchedule::Classical}) {
-      auto T0 = std::chrono::steady_clock::now();
-      std::string HostSrc = codegen::emitHost(C, S);
-      double EmitMs = msSince(T0);
-      T0 = std::chrono::steady_clock::now();
-      std::string CudaSrc = codegen::emitCuda(C, S);
-      double CudaMs = msSince(T0);
+    for (char Level : Configs) {
+      codegen::CompiledHybrid C = codegen::compileHybrid(
+          P, R, codegen::OptimizationConfig::level(Level));
+      for (codegen::EmitSchedule S :
+           {codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
+            codegen::EmitSchedule::Classical}) {
+        auto T0 = std::chrono::steady_clock::now();
+        std::string HostSrc = codegen::emitHost(C, S);
+        double EmitMs = msSince(T0);
+        T0 = std::chrono::steady_clock::now();
+        std::string CudaSrc = codegen::emitCuda(C, S);
+        double CudaMs = msSince(T0);
 
-      double CompileMs = -1, RunMs = -1, MPointsPerSec = -1;
-      if (Compiler) {
-        // Build once for timing; the verified run below re-does the whole
-        // compile+execute round trip through the oracle mechanism.
-        harness::JitUnit Unit;
-        T0 = std::chrono::steady_clock::now();
-        std::string Err = Unit.build(HostSrc);
-        CompileMs = msSince(T0);
-        if (!Err.empty()) {
-          std::fprintf(stderr, "compile failed: %s\n", Err.c_str());
-          ++Failures;
-          continue;
+        double CompileMs = -1, RunMs = -1, MPointsPerSec = -1;
+        if (Compiler) {
+          // Build once for timing; the verified run below re-does the whole
+          // compile+execute round trip through the oracle mechanism.
+          harness::JitUnit Unit;
+          T0 = std::chrono::steady_clock::now();
+          std::string Err = Unit.build(HostSrc);
+          CompileMs = msSince(T0);
+          if (!Err.empty()) {
+            std::fprintf(stderr, "compile failed: %s\n", Err.c_str());
+            ++Failures;
+            continue;
+          }
+          using EntryFn = void (*)(float **);
+          auto Entry = reinterpret_cast<EntryFn>(
+              Unit.symbol(codegen::hostEntryName(P)));
+          if (!Entry) {
+            std::fprintf(stderr, "entry point missing for %s\n", Cs.Name);
+            ++Failures;
+            continue;
+          }
+          // Time one bare execution over GridStorage-layout buffers.
+          int64_t PointsPerCopy = 1;
+          for (int64_t Sz : P.spaceSizes())
+            PointsPerCopy *= Sz;
+          std::vector<std::vector<float>> Buffers;
+          std::vector<float *> Ptrs;
+          for (unsigned F = 0; F < P.fields().size(); ++F) {
+            Buffers.emplace_back(
+                static_cast<size_t>(P.bufferDepth(F)) * PointsPerCopy,
+                0.25f);
+            Ptrs.push_back(Buffers.back().data());
+          }
+          T0 = std::chrono::steady_clock::now();
+          Entry(Ptrs.data());
+          RunMs = msSince(T0);
+          if (RunMs > 0)
+            MPointsPerSec =
+                static_cast<double>(Instances) / (RunMs / 1000.0) / 1e6;
+          // Untimed: full differential verification of the same rendering.
+          harness::EmittedDiff D = harness::runEmittedDifferential(
+              P, C, S, exec::defaultInit, "bench");
+          if (!D.agreed()) {
+            std::fprintf(stderr, "verification failed: %s\n",
+                         D.Message.c_str());
+            ++Failures;
+            continue;
+          }
         }
-        using EntryFn = void (*)(float **);
-        auto Entry = reinterpret_cast<EntryFn>(
-            Unit.symbol(codegen::hostEntryName(P)));
-        if (!Entry) {
-          std::fprintf(stderr, "entry point missing for %s\n", Cs.Name);
-          ++Failures;
-          continue;
-        }
-        // Time one bare execution over GridStorage-layout buffers.
-        int64_t PointsPerCopy = 1;
-        for (int64_t Sz : P.spaceSizes())
-          PointsPerCopy *= Sz;
-        std::vector<std::vector<float>> Buffers;
-        std::vector<float *> Ptrs;
-        for (unsigned F = 0; F < P.fields().size(); ++F) {
-          Buffers.emplace_back(
-              static_cast<size_t>(P.bufferDepth(F)) * PointsPerCopy,
-              0.25f);
-          Ptrs.push_back(Buffers.back().data());
-        }
-        T0 = std::chrono::steady_clock::now();
-        Entry(Ptrs.data());
-        RunMs = msSince(T0);
-        if (RunMs > 0)
-          MPointsPerSec =
-              static_cast<double>(Instances) / (RunMs / 1000.0) / 1e6;
-        // Untimed: full differential verification of the same rendering.
-        harness::EmittedDiff D = harness::runEmittedDifferential(
-            P, C, S, exec::defaultInit, "bench");
-        if (!D.agreed()) {
-          std::fprintf(stderr, "verification failed: %s\n",
-                       D.Message.c_str());
-          ++Failures;
-          continue;
-        }
+
+        std::printf("%-12s %-10s %-7c %9.2f %9.2f %9.2f %9.2f %10.2f\n",
+                    Cs.Name, codegen::emitScheduleName(S), Level, EmitMs,
+                    CudaMs, CompileMs, RunMs, MPointsPerSec);
+        JsonRow Row;
+        Row.str("program", Cs.Name)
+            .str("flavor", codegen::emitScheduleName(S))
+            .str("config", std::string(1, Level))
+            .num("n", Cs.N)
+            .num("steps", Cs.Steps)
+            .num("instances", Instances)
+            .num("host_bytes", static_cast<int64_t>(HostSrc.size()))
+            .num("cuda_bytes", static_cast<int64_t>(CudaSrc.size()))
+            .num("emit_ms", EmitMs)
+            .num("cuda_emit_ms", CudaMs)
+            .num("compile_ms", CompileMs)
+            .num("run_ms", RunMs)
+            .num("mpoints_s", MPointsPerSec);
+        Report.add(Row);
       }
-
-      std::printf("%-12s %-10s %9.2f %9.2f %9.2f %9.2f %10.2f\n", Cs.Name,
-                  codegen::emitScheduleName(S), EmitMs, CudaMs, CompileMs,
-                  RunMs, MPointsPerSec);
-      JsonRow Row;
-      Row.str("program", Cs.Name)
-          .str("flavor", codegen::emitScheduleName(S))
-          .num("n", Cs.N)
-          .num("steps", Cs.Steps)
-          .num("instances", Instances)
-          .num("host_bytes", static_cast<int64_t>(HostSrc.size()))
-          .num("cuda_bytes", static_cast<int64_t>(CudaSrc.size()))
-          .num("emit_ms", EmitMs)
-          .num("cuda_emit_ms", CudaMs)
-          .num("compile_ms", CompileMs)
-          .num("run_ms", RunMs)
-          .num("mpoints_s", MPointsPerSec);
-      Report.add(Row);
     }
   }
 

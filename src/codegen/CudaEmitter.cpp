@@ -23,6 +23,13 @@ EmitTargetHooks cudaHooks() {
                 const std::string &Idx) {
     return Plan.fieldArg(F) + "[" + Idx + "]";
   };
+  H.declareShared = [](Source &Out, const std::string &Name,
+                       int64_t Count) {
+    Out.line("__shared__ float " + Name + "[" + std::to_string(Count) +
+             "];");
+  };
+  H.stageAccess = [](const std::string &Name, const std::string &Idx,
+                     int64_t) { return Name + "[" + Idx + "]"; };
   return H;
 }
 
@@ -63,6 +70,19 @@ std::string codegen::emitCuda(const CompiledHybrid &C, EmitSchedule S) {
            " tiling (CUDA rendering)");
   Out.line("// tile: " + C.schedule().params().str());
   Out.line("// memory strategy (Sec. 4.2 ladder): " + Plan.Config.str());
+  // The default per-block __shared__ budget (sm_50+ guarantee; larger
+  // opt-ins exist but need cudaFuncSetAttribute). Oversized windows --
+  // typically the hex flavor, whose degenerate inner tiles span the whole
+  // inner extent -- would fail nvcc with an opaque "too much shared data";
+  // flag them loudly here instead of leaving the failure latent.
+  constexpr int64_t SharedBudgetBytes = 48 * 1024;
+  if (Plan.stagedBytesPerBlock() > SharedBudgetBytes)
+    Out.line("// WARNING: staging windows need " +
+             std::to_string(Plan.stagedBytesPerBlock()) +
+             " bytes of __shared__ per block, over the " +
+             std::to_string(SharedBudgetBytes) +
+             "-byte budget; this unit will not build with nvcc -- use "
+             "the hybrid flavor or smaller tiles.");
   if (S == EmitSchedule::Hybrid) {
     Out.line("// schedule:");
     std::string Text = C.schedule().str();

@@ -134,6 +134,68 @@ int64_t EmissionPlan::fieldTotalElems(unsigned F) const {
   return static_cast<int64_t>(Depth[F]) * PointsPerCopy;
 }
 
+std::string EmissionPlan::stageArg(unsigned F) const {
+  return "ht_s_" + Program->fields()[F].Name;
+}
+
+int64_t EmissionPlan::stageTotalElems(unsigned F) const {
+  return static_cast<int64_t>(Depth[F]) * Staging.WindowPoints;
+}
+
+int64_t EmissionPlan::stagedBytesPerBlock() const {
+  if (!Staging.Enabled)
+    return 0;
+  int64_t Bytes = 0;
+  for (unsigned F = 0; F < Program->fields().size(); ++F)
+    Bytes += stageTotalElems(F) * static_cast<int64_t>(sizeof(float));
+  return Bytes;
+}
+
+namespace {
+
+/// Evaluates the Sec. 4.2 staging window of \p Plan from the compile's
+/// OptimizationConfig. Per dimension, the window covers the tile's spatial
+/// footprint (the hexagon's b bounding box for the hexagonal dimension,
+/// the tile width elsewhere), padded *below* by the skew travel (local
+/// coordinates shift down by up to skew(2h+1) over a period) plus the
+/// stencil's low halo, and *above* by the high halo -- so every staged
+/// read of every guarded point lands inside the window. Aligned loads
+/// (Sec. 4.2.3) translate the innermost base down to a 128-byte boundary
+/// and pad the extent to compensate.
+void buildStagingPlan(EmissionPlan &Plan, const OptimizationConfig &Cfg) {
+  StagingPlan &St = Plan.Staging;
+  St.Enabled = Cfg.UseSharedMemory;
+  if (!St.Enabled)
+    return;
+  St.Interleaved = Cfg.InterleaveCopyOut;
+  St.StaticPlacement = Cfg.Reuse == ReuseKind::Static && Cfg.EmitStaticReuse;
+  St.AlignQuantum = Cfg.AlignLoads ? 32 : 1;
+  const ir::StencilProgram &P = *Plan.Program;
+  unsigned Base = Plan.innerBaseDim();
+  for (unsigned Dim = 0; Dim < Plan.Rank; ++Dim) {
+    int64_t Foot, SkewMax;
+    if (Plan.TwoPhase && Dim == 0) {
+      Foot = Plan.MaxB - Plan.MinB + 1;
+      SkewMax = 0;
+    } else {
+      const InnerTilePlan &I = Plan.Inner[Dim - Base];
+      Foot = I.Width;
+      SkewMax = 0;
+      for (int64_t V : I.SkewByU)
+        SkewMax = std::max(SkewMax, V);
+    }
+    int64_t LoPad = SkewMax + P.loHalo(Dim);
+    int64_t Ext = Foot + LoPad + P.hiHalo(Dim);
+    if (Dim == Plan.Rank - 1 && St.AlignQuantum > 1)
+      Ext += St.AlignQuantum - 1;
+    St.LoPad.push_back(LoPad);
+    St.Ext.push_back(Ext);
+    St.WindowPoints *= Ext;
+  }
+}
+
+} // namespace
+
 EmissionPlan EmissionPlan::build(const CompiledHybrid &C, EmitSchedule S) {
   const ir::StencilProgram &P = C.program();
   const core::HybridSchedule &Sched = C.schedule();
@@ -201,6 +263,7 @@ EmissionPlan EmissionPlan::build(const CompiledHybrid &C, EmitSchedule S) {
       TileRange(I, Dim);
       Plan.Inner.push_back(std::move(I));
     }
+    buildStagingPlan(Plan, C.config());
     return Plan;
   }
 
@@ -249,6 +312,7 @@ EmissionPlan EmissionPlan::build(const CompiledHybrid &C, EmitSchedule S) {
     }
     Plan.Inner.push_back(std::move(I));
   }
+  buildStagingPlan(Plan, C.config());
   return Plan;
 }
 
@@ -298,12 +362,64 @@ std::string elementIndexExpr(const EmissionPlan &Plan, unsigned F,
   return Slot + " * " + i64(Plan.PointsPerCopy) + " + " + Linear;
 }
 
-/// Emits the guarded update of one statement instance at (t, s0, ..): the
-/// reads, the exact RHS and the write, all against the rotating buffers.
+/// Flat *staging-buffer* element index of field \p F at (s0 + off0, ...):
+/// rotating slot times window size plus the in-window offset. Window
+/// placement subtracts the per-tile base ht_wb<d>; static placement
+/// (Sec. 4.2.2) maps through the fixed s mod Ext[d] scheme instead.
+std::string stagedIndexExpr(const EmissionPlan &Plan, unsigned F,
+                            const std::string &StepExpr,
+                            std::span<const int64_t> Offsets) {
+  const StagingPlan &St = Plan.Staging;
+  auto WinCoord = [&](unsigned Dim) {
+    int64_t Off = Dim < Offsets.size() ? Offsets[Dim] : 0;
+    std::string G = coordVar(Dim);
+    if (Off != 0)
+      G = G + " + (" + i64(Off) + ")";
+    if (St.StaticPlacement)
+      return "ht_emod(" + G + ", " + i64(St.Ext[Dim]) + ")";
+    return "(" + G + " - ht_wb" + std::to_string(Dim) + ")";
+  };
+  std::string L = WinCoord(0);
+  for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim)
+    L = "(" + L + ") * " + i64(St.Ext[Dim]) + " + " + WinCoord(Dim);
+  if (Plan.Depth[F] == 1)
+    return L;
+  std::string Slot =
+      "ht_emod(" + StepExpr + ", " + i64(Plan.Depth[F]) + ")";
+  return Slot + " * " + i64(St.WindowPoints) + " + " + L;
+}
+
+/// What one pass of the guarded statement dispatch does: compute the
+/// update, or (separate copy-out) move the staged result back to global.
+enum class StmtAction { Compute, CopyOut };
+
+/// Emits the guarded body of one statement instance at (t, s0, ..).
+/// Compute: the reads, the exact RHS and the write. Without staging both
+/// sides address the global rotating buffers; with staging the reads and
+/// the write go to the tile-local window, plus a same-expression global
+/// store when the copy-out is interleaved (Sec. 4.2.1). CopyOut: the
+/// separate copy-out move global[write cell] = staged[write cell].
 void emitStmtUpdate(Source &Out, const EmissionPlan &Plan, unsigned StmtIdx,
-                    const EmitTargetHooks &Hooks) {
+                    const EmitTargetHooks &Hooks, StmtAction Action) {
   const ir::StencilProgram &P = *Plan.Program;
   const ir::StencilStmt &St = P.stmts()[StmtIdx];
+  const StagingPlan &Staging = Plan.Staging;
+  std::vector<int64_t> NoOffsets(Plan.Rank, 0);
+  std::string GlobalWrite =
+      Hooks.access(Plan, St.WriteField,
+                   elementIndexExpr(Plan, St.WriteField, "ht_step",
+                                    NoOffsets));
+  std::string StagedWrite =
+      Staging.Enabled
+          ? Hooks.stageAccess(Plan.stageArg(St.WriteField),
+                              stagedIndexExpr(Plan, St.WriteField,
+                                              "ht_step", NoOffsets),
+                              Plan.stageTotalElems(St.WriteField))
+          : std::string();
+  if (Action == StmtAction::CopyOut) {
+    Out.line(GlobalWrite + " = " + StagedWrite + ";");
+    return;
+  }
   std::vector<std::string> ReadNames;
   for (unsigned R = 0; R < St.Reads.size(); ++R) {
     const ir::ReadAccess &A = St.Reads[R];
@@ -311,24 +427,33 @@ void emitStmtUpdate(Source &Out, const EmissionPlan &Plan, unsigned StmtIdx,
                            ? "ht_step"
                            : "ht_step + (" + i64(A.TimeOffset) + ")";
     std::string Name = "ht_v" + std::to_string(R);
-    Out.line("const float " + Name + " = " +
-             Hooks.access(Plan, A.Field,
-                          elementIndexExpr(Plan, A.Field, Step,
-                                           A.Offsets)) +
-             ";");
+    std::string Src =
+        Staging.Enabled
+            ? Hooks.stageAccess(Plan.stageArg(A.Field),
+                                stagedIndexExpr(Plan, A.Field, Step,
+                                                A.Offsets),
+                                Plan.stageTotalElems(A.Field))
+            : Hooks.access(Plan, A.Field,
+                           elementIndexExpr(Plan, A.Field, Step,
+                                            A.Offsets));
+    Out.line("const float " + Name + " = " + Src + ";");
     ReadNames.push_back(Name);
   }
-  std::vector<int64_t> NoOffsets(Plan.Rank, 0);
-  Out.line(Hooks.access(Plan, St.WriteField,
-                        elementIndexExpr(Plan, St.WriteField, "ht_step",
-                                         NoOffsets)) +
-           " = " + renderExprExact(St.RHS, ReadNames) + ";");
+  std::string RHS = renderExprExact(St.RHS, ReadNames);
+  if (!Staging.Enabled) {
+    Out.line(GlobalWrite + " = " + RHS + ";");
+    return;
+  }
+  Out.line("const float ht_out = " + RHS + ";");
+  Out.line(StagedWrite + " = ht_out;");
+  if (Staging.Interleaved)
+    Out.line(GlobalWrite + " = ht_out;");
 }
 
 /// Emits the in-domain guard over every spatial dimension and, inside it,
 /// the statement dispatch on the canonical time t.
 void emitGuardedDispatch(Source &Out, const EmissionPlan &Plan,
-                         const EmitTargetHooks &Hooks) {
+                         const EmitTargetHooks &Hooks, StmtAction Action) {
   std::string Guard;
   for (unsigned Dim = 0; Dim < Plan.Rank; ++Dim) {
     if (Dim)
@@ -340,19 +465,97 @@ void emitGuardedDispatch(Source &Out, const EmissionPlan &Plan,
   if (Plan.NumStmts == 1) {
     Out.line("const ht_int ht_step = t;");
     Out.line("// " + Plan.Program->stmts()[0].Name);
-    emitStmtUpdate(Out, Plan, 0, Hooks);
+    emitStmtUpdate(Out, Plan, 0, Hooks, Action);
   } else {
     Out.line("const ht_int ht_step = t / " + i64(Plan.NumStmts) + ";");
     Out.open("switch ((int)(t % " + i64(Plan.NumStmts) + "))");
     for (unsigned I = 0; I < Plan.NumStmts; ++I) {
       Out.open("case " + std::to_string(I) + ": { // " +
                Plan.Program->stmts()[I].Name);
-      emitStmtUpdate(Out, Plan, I, Hooks);
+      emitStmtUpdate(Out, Plan, I, Hooks, Action);
       Out.close(" break;");
     }
     Out.close();
   }
   Out.close();
+}
+
+/// Emits the per-tile staging-window base variables ht_wb<d>: the lowest
+/// grid coordinate the window covers in each dimension. Aligned loads
+/// translate the innermost base down to the 128-byte quantum.
+void emitStageBases(Source &Out, const EmissionPlan &Plan) {
+  const StagingPlan &St = Plan.Staging;
+  for (unsigned Dim = 0; Dim < Plan.Rank; ++Dim) {
+    std::string Base;
+    if (Plan.TwoPhase && Dim == 0)
+      Base = "s0_0 + (" + i64(Plan.MinB - St.LoPad[0]) + ")";
+    else
+      Base = "S" + std::to_string(Dim) + " * " +
+             i64(Plan.Inner[Dim - Plan.innerBaseDim()].Width) + " + (" +
+             i64(-St.LoPad[Dim]) + ")";
+    if (Dim == Plan.Rank - 1 && St.AlignQuantum > 1)
+      Base = "ht_fdiv(" + Base + ", " + i64(St.AlignQuantum) + ") * " +
+             i64(St.AlignQuantum);
+    Out.line("const ht_int ht_wb" + std::to_string(Dim) + " = " + Base +
+             ";");
+  }
+}
+
+/// Emits the cooperative load phase: for every field, a forall-threads
+/// sweep over its (depth x window) staging elements copying the current
+/// global value in, guarded to the grid (window cells outside the grid
+/// are never read by the guarded compute, so they stay unloaded), then
+/// one barrier before any staged value is consumed.
+void emitStageLoads(Source &Out, const EmissionPlan &Plan,
+                    const EmitTargetHooks &Hooks) {
+  const StagingPlan &St = Plan.Staging;
+  const ir::StencilProgram &P = *Plan.Program;
+  Out.line("// Cooperative load phase: global -> staging window.");
+  for (unsigned F = 0; F < P.fields().size(); ++F) {
+    Hooks.openThreadLoop(Out, "ht_ld",
+                         i64(Plan.stageTotalElems(F)));
+    Out.line("ht_int ht_r = ht_ld;");
+    for (unsigned Dim = Plan.Rank; Dim-- > 0;) {
+      std::string D = std::to_string(Dim);
+      Out.line("const ht_int ht_w" + D + " = ht_r % " + i64(St.Ext[Dim]) +
+               "; ht_r /= " + i64(St.Ext[Dim]) + ";");
+      Out.line("const ht_int ht_g" + D + " = ht_wb" + D + " + ht_w" + D +
+               ";");
+    }
+    std::string Guard;
+    for (unsigned Dim = 0; Dim < Plan.Rank; ++Dim) {
+      std::string G = "ht_g" + std::to_string(Dim);
+      if (Dim)
+        Guard += " && ";
+      Guard += G + " >= 0 && " + G + " < " + i64(Plan.Sizes[Dim]);
+    }
+    // In-window store index: window-relative, or the static mapping.
+    auto StoreCoord = [&](unsigned Dim) -> std::string {
+      std::string D = std::to_string(Dim);
+      if (St.StaticPlacement)
+        return "ht_emod(ht_g" + D + ", " + i64(St.Ext[Dim]) + ")";
+      return "ht_w" + D;
+    };
+    std::string StoreIdx = StoreCoord(0);
+    for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim)
+      StoreIdx = "(" + StoreIdx + ") * " + i64(St.Ext[Dim]) + " + " +
+                 StoreCoord(Dim);
+    std::string LoadIdx = "ht_g0";
+    for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim)
+      LoadIdx = "(" + LoadIdx + ") * " + i64(Plan.Sizes[Dim]) + " + ht_g" +
+                std::to_string(Dim);
+    // ht_r is the rotating slot after the spatial decomposition (0 for
+    // depth-1 fields).
+    StoreIdx = "ht_r * " + i64(St.WindowPoints) + " + " + StoreIdx;
+    LoadIdx = "ht_r * " + i64(Plan.PointsPerCopy) + " + " + LoadIdx;
+    Out.open("if (" + Guard + ")");
+    Out.line(Hooks.stageAccess(Plan.stageArg(F), StoreIdx,
+                               Plan.stageTotalElems(F)) +
+             " = " + Hooks.access(Plan, F, LoadIdx) + ";");
+    Out.close();
+    Hooks.closeThreadLoop(Out);
+  }
+  Hooks.barrier(Out);
 }
 
 /// Decomposes the linear thread id into the local coordinates of the
@@ -412,17 +615,11 @@ int64_t innerPointsPerRow(const EmissionPlan &Plan, unsigned FirstDim) {
   return N;
 }
 
-void emitHexBody(Source &Out, const EmissionPlan &Plan, int Phase,
-                 const EmitTargetHooks &Hooks) {
-  // Tile origin: local (a, b) = (0, 0) sits at (t0, s0_0); see
-  // HexSchedule::tileOrigin.
-  Out.line("const ht_int t0 = TT * " + i64(Plan.Period) + " + (" +
-           i64(Plan.OrigT[Phase]) + ");");
-  Out.line("const ht_int s0_0 = S0 * " + i64(Plan.SpacePeriod) +
-           " - TT * (" + i64(Plan.Drift) + ") + (" +
-           i64(Plan.OrigS[Phase]) + ");");
-  unsigned TileScopes = emitTileLoops(Out, Plan, 1);
-
+/// The hexagonal local time loop over a: one pass either computes the
+/// tile (Compute) or replays the same guarded enumeration moving staged
+/// results back to global memory (the separate copy-out).
+void emitHexTimeLoop(Source &Out, const EmissionPlan &Plan,
+                     const EmitTargetHooks &Hooks, StmtAction Action) {
   Out.open("for (ht_int a = 0; a < " + i64(Plan.Period) + "; ++a)");
   Out.line("const ht_int t = t0 + a;");
   Out.line("const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;");
@@ -433,19 +630,53 @@ void emitHexBody(Source &Out, const EmissionPlan &Plan, int Phase,
   Hooks.openThreadLoop(Out, "ht_tid", Count);
   std::string BVar = emitLocalDecompose(Out, Plan, 1, "ht_tid", "a");
   Out.line("const ht_int s0 = s0_0 + ht_row_lo[a] + " + BVar + ";");
-  emitGuardedDispatch(Out, Plan, Hooks);
+  emitGuardedDispatch(Out, Plan, Hooks, Action);
   Hooks.closeThreadLoop(Out);
   Out.close(); // Row guard.
   Hooks.barrier(Out);
   Out.close(); // a loop.
+}
 
+/// The staging orchestration shared by both bodies: per-tile bases and
+/// cooperative loads, the compute pass, and -- when interleaving is off --
+/// the separate copy-out replay. \p TimeLoop is the flavor's local time
+/// loop (emitHexTimeLoop / emitClassicalTimeLoop).
+void emitTilePasses(
+    Source &Out, const EmissionPlan &Plan, const EmitTargetHooks &Hooks,
+    const std::function<void(Source &, const EmissionPlan &,
+                             const EmitTargetHooks &, StmtAction)>
+        &TimeLoop) {
+  if (Plan.Staging.Enabled) {
+    emitStageBases(Out, Plan);
+    emitStageLoads(Out, Plan, Hooks);
+  }
+  TimeLoop(Out, Plan, Hooks, StmtAction::Compute);
+  if (Plan.Staging.Enabled && !Plan.Staging.Interleaved) {
+    Out.line("// Separate copy-out: staged results -> global "
+             "(interleaving off).");
+    TimeLoop(Out, Plan, Hooks, StmtAction::CopyOut);
+  }
+}
+
+void emitHexBody(Source &Out, const EmissionPlan &Plan, int Phase,
+                 const EmitTargetHooks &Hooks) {
+  // Tile origin: local (a, b) = (0, 0) sits at (t0, s0_0); see
+  // HexSchedule::tileOrigin.
+  Out.line("const ht_int t0 = TT * " + i64(Plan.Period) + " + (" +
+           i64(Plan.OrigT[Phase]) + ");");
+  Out.line("const ht_int s0_0 = S0 * " + i64(Plan.SpacePeriod) +
+           " - TT * (" + i64(Plan.Drift) + ") + (" +
+           i64(Plan.OrigS[Phase]) + ");");
+  unsigned TileScopes = emitTileLoops(Out, Plan, 1);
+  emitTilePasses(Out, Plan, Hooks, emitHexTimeLoop);
   for (unsigned I = 0; I < TileScopes; ++I)
     Out.close();
 }
 
-void emitClassicalBody(Source &Out, const EmissionPlan &Plan,
-                       const EmitTargetHooks &Hooks) {
-  unsigned TileScopes = emitTileLoops(Out, Plan, 0);
+/// The classical local time loop over u; see emitHexTimeLoop.
+void emitClassicalTimeLoop(Source &Out, const EmissionPlan &Plan,
+                           const EmitTargetHooks &Hooks,
+                           StmtAction Action) {
   Out.open("for (ht_int u = 0; u < " + i64(Plan.Period) + "; ++u)");
   Out.line("const ht_int t = TB * " + i64(Plan.Period) + " + u;");
   Out.open("if (t < " + i64(Plan.TimeExtent) + ")");
@@ -456,11 +687,17 @@ void emitClassicalBody(Source &Out, const EmissionPlan &Plan,
   if (I0.SkewNum != 0)
     Coord0 += " - " + skewTable(0) + "[u]";
   Out.line("const ht_int s0 = " + Coord0 + ";");
-  emitGuardedDispatch(Out, Plan, Hooks);
+  emitGuardedDispatch(Out, Plan, Hooks, Action);
   Hooks.closeThreadLoop(Out);
   Out.close(); // Time guard.
   Hooks.barrier(Out);
   Out.close(); // u loop.
+}
+
+void emitClassicalBody(Source &Out, const EmissionPlan &Plan,
+                       const EmitTargetHooks &Hooks) {
+  unsigned TileScopes = emitTileLoops(Out, Plan, 0);
+  emitTilePasses(Out, Plan, Hooks, emitClassicalTimeLoop);
   for (unsigned I = 0; I < TileScopes; ++I)
     Out.close();
 }
@@ -469,6 +706,19 @@ void emitClassicalBody(Source &Out, const EmissionPlan &Plan,
 
 void codegen::emitKernelBody(Source &Out, const EmissionPlan &Plan,
                              int Phase, const EmitTargetHooks &Hooks) {
+  if (Plan.Staging.Enabled) {
+    std::string Exts;
+    for (size_t D = 0; D < Plan.Staging.Ext.size(); ++D)
+      Exts += (D ? "x" : "") + i64(Plan.Staging.Ext[D]);
+    Out.line("// Sec. 4.2 staging: per-tile " + Exts +
+             " window per rotating copy" +
+             (Plan.Staging.StaticPlacement ? ", static placement" : "") +
+             (Plan.Staging.AlignQuantum > 1 ? ", 128B-aligned loads"
+                                            : "") +
+             ".");
+    for (unsigned F = 0; F < Plan.Program->fields().size(); ++F)
+      Hooks.declareShared(Out, Plan.stageArg(F), Plan.stageTotalElems(F));
+  }
   if (Plan.TwoPhase)
     emitHexBody(Out, Plan, Phase, Hooks);
   else

@@ -23,9 +23,13 @@
 ///  * emitKernelBody / emitHostDriver -- the shared kernel-body and host
 ///    time-loop builders. Targets parameterize them with EmitTargetHooks
 ///    (how to open a forall-threads region, render a barrier, render a
-///    buffer element access), and the core emits identical *semantics*
-///    for every target: the same loops, guards, statement dispatch and
-///    arithmetic, bit-exact with exec::executeInstance.
+///    buffer element access, declare/address a staging buffer), and the
+///    core emits identical *semantics* for every target: the same loops,
+///    guards, statement dispatch and arithmetic, bit-exact with
+///    exec::executeInstance. When the compile's OptimizationConfig asks
+///    for shared-memory staging (Sec. 4.2), the body additionally renders
+///    the cooperative load phase, the barriers and the separate or
+///    interleaved copy-out over a per-tile StagingPlan window.
 ///
 ///  * Rendering utilities -- the indented Source builder, exact float
 ///    literal formatting (hex-floats, so emitted constants round-trip
@@ -105,6 +109,38 @@ std::string renderExprExact(const ir::StencilExpr &E,
 /// the execution-tested host rendering and the CUDA text.
 std::string portableHelperFunctions(const std::string &Qualifier);
 
+/// The executable rendering of the Sec. 4.2 shared-memory ladder: per
+/// (inner-)tile, each field's input footprint is staged through a
+/// tile-local buffer holding a rectangular *window* of the grid -- the
+/// tile's spatial footprint padded by the skew travel and the stencil
+/// halo, all rotating copies deep. The kernel body then becomes
+///
+///   cooperative load (global -> staging, grid-bounds guarded)
+///   barrier
+///   local time loop computing against staged values
+///     [interleaved copy-out: each result also stored to global]
+///   [separate copy-out: replay of the guarded loops, staging -> global]
+///
+/// Window extents are compile-time constants; only the window base is a
+/// runtime value (per tile). Every mode is semantically the identity,
+/// which the oracle's fourth mechanism proves by execution.
+struct StagingPlan {
+  bool Enabled = false;         ///< Config.UseSharedMemory.
+  bool Interleaved = false;     ///< Sec. 4.2.1 interleaved copy-out.
+  /// Sec. 4.2.2 static placement (gated by Config.EmitStaticReuse):
+  /// element s of a window dimension lives at staging slot
+  /// s mod Ext[dim] -- a fixed global->shared mapping, bijective inside
+  /// one window since Ext consecutive values are distinct mod Ext.
+  bool StaticPlacement = false;
+  /// Sec. 4.2.3 aligned loads: the innermost window base is translated
+  /// down to a multiple of this many elements (32 floats = 128 bytes;
+  /// 1 = natural placement) and the extent padded to compensate.
+  int64_t AlignQuantum = 1;
+  std::vector<int64_t> Ext;     ///< Window extent per spatial dimension.
+  std::vector<int64_t> LoPad;   ///< Window pad below the tile base per dim.
+  int64_t WindowPoints = 1;     ///< prod(Ext): elements of one window copy.
+};
+
 /// One classically tiled dimension of the plan (eqs. (14)/(17)): inner
 /// dimensions s1..sn for Hex/Hybrid, every dimension for Classical.
 struct InnerTilePlan {
@@ -156,6 +192,9 @@ struct EmissionPlan {
   std::vector<InnerTilePlan> Inner;
   int64_t BandHi = -1;           ///< Classical: last time band (bands from 0).
 
+  // --- Sec. 4.2 shared-memory staging (all flavors) ---
+  StagingPlan Staging;
+
   /// Evaluates the plan for \p C rendered as flavor \p S.
   static EmissionPlan build(const CompiledHybrid &C, EmitSchedule S);
 
@@ -167,6 +206,16 @@ struct EmissionPlan {
   std::string fieldArgs() const;
   /// Total floats of field \p F's buffer (depth * one copy).
   int64_t fieldTotalElems(unsigned F) const;
+  /// "ht_s_<field name>": the staging-buffer naming every target uses.
+  std::string stageArg(unsigned F) const;
+  /// Total floats of field \p F's staging buffer (depth * window points).
+  int64_t stageTotalElems(unsigned F) const;
+  /// Total bytes of staging storage one block needs (all fields; 0 when
+  /// staging is off). The CUDA target compares this against the device
+  /// __shared__ budget and flags oversized windows in the emitted header
+  /// (the hex flavor's degenerate full-extent inner tiles are the usual
+  /// culprit); the host arena has no such limit.
+  int64_t stagedBytesPerBlock() const;
   /// First spatial dimension handled by Inner: 1 for Hex/Hybrid, 0 for
   /// Classical.
   unsigned innerBaseDim() const { return TwoPhase ? 1 : 0; }
@@ -192,6 +241,18 @@ struct EmitTargetHooks {
   std::function<std::string(const EmissionPlan &P, unsigned F,
                             const std::string &IdxExpr)>
       access;
+  /// Declares the tile-local staging buffer \p Name of \p Count floats
+  /// (CUDA: __shared__; host: the shim's HT_SHARED per-block arena). Only
+  /// invoked when the plan's StagingPlan is enabled.
+  std::function<void(Source &Out, const std::string &Name, int64_t Count)>
+      declareShared;
+  /// Renders element \p IdxExpr of staging buffer \p Name (\p Total floats)
+  /// as an lvalue (the host target bounds-checks through the same HT_AT
+  /// trap the global buffers use, so a staged access escaping its window
+  /// aborts with the buffer named).
+  std::function<std::string(const std::string &Name,
+                            const std::string &IdxExpr, int64_t Total)>
+      stageAccess;
 };
 
 /// Emits the body of one kernel into \p Out: the sequential classical tile

@@ -26,10 +26,12 @@ std::string codegen::hostShimSource() {
 //    region starts, so
 //  * __syncthreads() is a no-op (the serial thread loop *is* the
 //    block-serial barrier);
-//  * __shared__ would map to a per-block array in the kernel frame (the
-//    executable rendering addresses global buffers directly, so no shim
-//    storage is needed);
-//  * every buffer element access goes through HT_AT, which traps (with a
+//  * HT_SHARED is the __shared__ arena: blocks run serially, so one
+//    static per-block buffer per declaration gives exactly the __shared__
+//    lifetime -- contents are undefined at tile start and must be
+//    (re)loaded by the staging load phase every tile;
+//  * every buffer element access -- global rotating buffers *and* the
+//    staging windows -- goes through HT_AT, which traps (with a
 //    diagnostic naming the buffer) on any out-of-bounds index instead of
 //    reading garbage.
 //
@@ -57,6 +59,11 @@ static inline void __syncthreads(void) {}
 
 /// Compile-time constant tables (hexagon rows, skews).
 #define HT_TABLE static const ht_int
+
+/// Tile-local staging storage (the __shared__ arena): blocks are serial,
+/// so a static per-kernel array has exactly the per-block lifetime
+/// __shared__ has on a GPU. Never read before the load phase fills it.
+#define HT_SHARED(name, count) static float name[count]
 
 )shim";
   std::string Suffix = R"shim(
@@ -101,6 +108,15 @@ EmitTargetHooks hostHooks() {
     return "HT_AT(" + Plan.fieldArg(F) + ", " + Idx + ", " +
            std::to_string(Plan.fieldTotalElems(F)) + ")";
   };
+  H.declareShared = [](Source &Out, const std::string &Name,
+                       int64_t Count) {
+    Out.line("HT_SHARED(" + Name + ", " + std::to_string(Count) + ");");
+  };
+  H.stageAccess = [](const std::string &Name, const std::string &Idx,
+                     int64_t Total) {
+    return "HT_AT(" + Name + ", " + Idx + ", " + std::to_string(Total) +
+           ")";
+  };
   return H;
 }
 
@@ -131,9 +147,15 @@ std::string codegen::emitHost(const CompiledHybrid &C, EmitSchedule S) {
   Out.line("// " + P.name() + ": " + std::string(emitScheduleName(S)) +
            " tiling, host (CPU shim) rendering");
   Out.line("// tile: " + C.schedule().params().str());
-  Out.line("// memory strategy modeled for the GPU: " + Plan.Config.str());
-  Out.line("// (the host rendering addresses the global rotating buffers "
-           "directly)");
+  Out.line("// memory strategy (Sec. 4.2 ladder): " + Plan.Config.str());
+  if (Plan.Staging.Enabled)
+    Out.line("// (staged: cooperative load into a per-tile window, " +
+             std::string(Plan.Staging.Interleaved ? "interleaved"
+                                                  : "separate") +
+             " copy-out)");
+  else
+    Out.line("// (global-direct: kernels address the rotating buffers "
+             "directly)");
   Out.line("#include \"cuda_shim.h\"");
   Out.blank();
   emitPlanTables(Out, Plan);

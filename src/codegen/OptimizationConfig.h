@@ -32,9 +32,11 @@ enum class ReuseKind {
 
 /// One configuration of the code generator: which rungs of the Table 4
 /// shared-memory ladder the compiled kernels assume. The launch/cost
-/// models price the strategy; the executable emission (EmissionCore
-/// targets) carries it as an annotation and addresses the global rotating
-/// buffers directly, since staging is semantically the identity.
+/// models price the strategy, and the executable emission (EmissionCore
+/// targets) renders it as real code: a cooperative load phase into a
+/// tile-local staging buffer, compute against staged values, and either a
+/// separate or an interleaved copy-out -- every rung semantically the
+/// identity, which the oracle's fourth mechanism proves by execution.
 struct OptimizationConfig {
   /// Stage tile inputs in shared memory (configs (b)-(f)); off = (a).
   bool UseSharedMemory = true;
@@ -52,6 +54,14 @@ struct OptimizationConfig {
   /// concluding future-work item ("further reducing the number of shared
   /// memory loads through register tiling"); 1 disables it.
   int64_t RegisterTile = 1;
+  /// Stretch gate for the *executable* rendering of ReuseKind::Static:
+  /// when set (and Reuse == Static), the emitted staging buffers use the
+  /// Sec. 4.2.2 fixed global->shared placement (element (s) lives at slot
+  /// s mod windowExtent, independent of the tile origin) instead of the
+  /// per-tile window-relative placement. Off by default: the cost model
+  /// always prices Reuse, but the emission only renders the static
+  /// addressing scheme when explicitly asked.
+  bool EmitStaticReuse = false;
 
   /// The ladder of Table 4 by letter 'a'..'f'.
   static OptimizationConfig level(char Level) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -23,12 +24,17 @@ struct SlabContext {
   const HybridSchedule &Sched;
   unsigned Rank;
 
-  /// Canonical-time distance of read \p R of statement \p J (consumer
-  /// minus producer).
-  int64_t readDistance(unsigned J, const ir::ReadAccess &R) const {
+  /// Producer version of read \p R issued by statement \p J at slab time
+  /// \p A. Read-only fields (no writer) carry a single pre-existing
+  /// version: every read of such a cell is the same initial value, so all
+  /// its reads dedup into one input regardless of the rotating slot.
+  static constexpr int64_t ReadOnlyVersion =
+      std::numeric_limits<int64_t>::min() / 4;
+  int64_t readVersion(unsigned J, int64_t A, const ir::ReadAccess &R) const {
     int Writer = P.writerOf(R.Field);
-    assert(Writer >= 0 && "gallery fields always have writers");
-    return -static_cast<int64_t>(P.numStmts()) * R.TimeOffset +
+    if (Writer < 0)
+      return ReadOnlyVersion;
+    return A + static_cast<int64_t>(P.numStmts()) * R.TimeOffset -
            (static_cast<int64_t>(J) - Writer);
   }
 
@@ -153,7 +159,7 @@ SlabCosts core::analyzeSlab(const ir::StencilProgram &P,
     unsigned J = euclidMod(A, P.numStmts());
     const ir::StencilStmt &S = P.stmts()[J];
     for (const ir::ReadAccess &R : S.Reads) {
-      int64_t Version = A - Ctx.readDistance(J, R);
+      int64_t Version = Ctx.readVersion(J, A, R);
       for (unsigned D = 0; D < Rank; ++D)
         RCell[D] = Cell[D] + R.Offsets[D];
       ValueKey K = makeKey(R.Field, Version, RCell);

@@ -235,6 +235,54 @@ StencilProgram ir::makeJacobi1D(int64_t N, int64_t T) {
   return P;
 }
 
+StencilProgram ir::makeWave2D(int64_t N, int64_t T) {
+  StencilProgram P("wave2d", 2);
+  unsigned U = P.addField("u");
+  std::vector<ReadAccess> Reads;
+  Reads.push_back({U, -1, {0, 0}});  // u[t]
+  Reads.push_back({U, -2, {0, 0}});  // u[t-1]
+  Reads.push_back({U, -1, {0, 1}});
+  Reads.push_back({U, -1, {0, -1}});
+  Reads.push_back({U, -1, {1, 0}});
+  Reads.push_back({U, -1, {-1, 0}});
+  StencilExpr C = StencilExpr::read(0), Pm = StencilExpr::read(1),
+              E = StencilExpr::read(2), W = StencilExpr::read(3),
+              S = StencilExpr::read(4), Nn = StencilExpr::read(5);
+  // 2c - pm + c2*(((e+w) + (s+n)) - 4c): 1 mul + 1 sub + 3 adds/subs
+  // inside the laplacian + 1 mul + 1 mul + 1 sub + 1 add = 9 flops.
+  StencilExpr Lap = ((E + W) + (S + Nn)) - StencilExpr::constant(4.0f) * C;
+  StencilExpr RHS = (StencilExpr::constant(2.0f) * C - Pm) +
+                    StencilExpr::constant(0.2f) * Lap;
+  P.addStmt({"wave", U, std::move(Reads), RHS});
+  P.setSpaceSizes({N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
+StencilProgram ir::makeVarHeat2D(int64_t N, int64_t T) {
+  StencilProgram P("varheat2d", 2);
+  unsigned A = P.addField("A");
+  unsigned K = P.addField("K"); // Read-only coefficient: never written.
+  std::vector<ReadAccess> Reads;
+  Reads.push_back({A, -1, {0, 0}});
+  Reads.push_back({K, -1, {0, 0}});
+  Reads.push_back({A, -1, {0, 1}});
+  Reads.push_back({A, -1, {0, -1}});
+  Reads.push_back({A, -1, {1, 0}});
+  Reads.push_back({A, -1, {-1, 0}});
+  StencilExpr C = StencilExpr::read(0), Kc = StencilExpr::read(1),
+              E = StencilExpr::read(2), W = StencilExpr::read(3),
+              S = StencilExpr::read(4), Nn = StencilExpr::read(5);
+  // c + k*(((e+w) + (s+n)) - 4c): 3 adds + 1 sub + 1 mul inside + 1 mul
+  // + 1 add = 7 flops, 6 loads.
+  StencilExpr Lap = ((E + W) + (S + Nn)) - StencilExpr::constant(4.0f) * C;
+  StencilExpr RHS = C + Kc * Lap;
+  P.addStmt({"varheat", A, std::move(Reads), RHS});
+  P.setSpaceSizes({N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
 std::vector<StencilProgram> ir::makeBenchmarkSuite() {
   std::vector<StencilProgram> Suite;
   Suite.push_back(makeLaplacian2D());
@@ -268,5 +316,9 @@ StencilProgram ir::makeByName(const std::string &Name) {
     return makeSkewedExample1D();
   if (Name == "jacobi1d")
     return makeJacobi1D();
+  if (Name == "wave2d")
+    return makeWave2D();
+  if (Name == "varheat2d")
+    return makeVarHeat2D();
   return StencilProgram();
 }

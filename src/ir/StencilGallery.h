@@ -60,6 +60,19 @@ StencilProgram makeSkewedExample1D(int64_t N = 1024, int64_t T = 64);
 /// degenerates to pure hexagonal tiling here).
 StencilProgram makeJacobi1D(int64_t N = 4096, int64_t T = 256);
 
+/// 2D wave equation, second order in time (beyond Table 3): reads two time
+/// depths, u[t-1] and u[t-2], so the rotating buffers are three deep --
+///   u[t+1] = 2 u[t] - u[t-1] + c^2 (e + w + s + n - 4 u[t]).
+/// 6 loads, 9 flops.
+StencilProgram makeWave2D(int64_t N = 3072, int64_t T = 512);
+
+/// Variable-coefficient 2D heat equation (beyond Table 3): the diffusivity
+/// is a second grid K that no statement writes -- a read-only coefficient
+/// field flowing through every storage/staging path --
+///   A[t+1] = A[t] + K (e + w + s + n - 4 A[t]).
+/// 6 loads, 7 flops.
+StencilProgram makeVarHeat2D(int64_t N = 3072, int64_t T = 512);
+
 /// All Table 1/2 benchmark programs in paper order with default sizes.
 std::vector<StencilProgram> makeBenchmarkSuite();
 

@@ -20,8 +20,9 @@ using namespace hextile::codegen;
 namespace {
 
 /// The snapshot subject: jacobi 1D (smallest emitted text that still covers
-/// both phases, the constant tables and the host loop), h=1, w0=2, default
-/// optimization config.
+/// both phases, the constant tables, the host loop and the full default
+/// Sec. 4.2 ladder -- __shared__ staging window, cooperative load phase,
+/// interleaved copy-out, 128B-aligned window base), h=1, w0=2.
 std::string emitSnapshotSubject() {
   TileSizeRequest R;
   R.H = 1;
@@ -82,8 +83,21 @@ HT_TABLE ht_row_hi[4] = {3, 4, 4, 3};
 
 __global__ void jacobi1d_phase0(float *g_A, ht_int TT, ht_int S0lo) {
   const ht_int S0 = S0lo + (ht_int)blockIdx.x;
+  // Sec. 4.2 staging: per-tile 38 window per rotating copy, 128B-aligned loads.
+  __shared__ float ht_s_A[76];
   const ht_int t0 = TT * 4 + (-2);
   const ht_int s0_0 = S0 * 8 - TT * (0) + (-4);
+  const ht_int ht_wb0 = ht_fdiv(s0_0 + (-1), 32) * 32;
+  // Cooperative load phase: global -> staging window.
+  for (ht_int ht_ld = (ht_int)threadIdx.x; ht_ld < 76; ht_ld += (ht_int)blockDim.x) {
+    ht_int ht_r = ht_ld;
+    const ht_int ht_w0 = ht_r % 38; ht_r /= 38;
+    const ht_int ht_g0 = ht_wb0 + ht_w0;
+    if (ht_g0 >= 0 && ht_g0 < 32) {
+      ht_s_A[ht_r * 38 + ht_w0] = g_A[ht_r * 32 + ht_g0];
+    }
+  }
+  __syncthreads();
   for (ht_int a = 0; a < 4; ++a) {
     const ht_int t = t0 + a;
     const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;
@@ -93,10 +107,12 @@ __global__ void jacobi1d_phase0(float *g_A, ht_int TT, ht_int S0lo) {
         if (s0 >= 1 && s0 < 31) {
           const ht_int ht_step = t;
           // jacobi
-          const float ht_v0 = g_A[ht_emod(ht_step + (-1), 2) * 32 + (s0 + (-1))];
-          const float ht_v1 = g_A[ht_emod(ht_step + (-1), 2) * 32 + s0];
-          const float ht_v2 = g_A[ht_emod(ht_step + (-1), 2) * 32 + (s0 + (1))];
-          g_A[ht_emod(ht_step, 2) * 32 + s0] = (0x1.555556p-2f * ((ht_v0 + ht_v1) + ht_v2));
+          const float ht_v0 = ht_s_A[ht_emod(ht_step + (-1), 2) * 38 + (s0 + (-1) - ht_wb0)];
+          const float ht_v1 = ht_s_A[ht_emod(ht_step + (-1), 2) * 38 + (s0 - ht_wb0)];
+          const float ht_v2 = ht_s_A[ht_emod(ht_step + (-1), 2) * 38 + (s0 + (1) - ht_wb0)];
+          const float ht_out = (0x1.555556p-2f * ((ht_v0 + ht_v1) + ht_v2));
+          ht_s_A[ht_emod(ht_step, 2) * 38 + (s0 - ht_wb0)] = ht_out;
+          g_A[ht_emod(ht_step, 2) * 32 + s0] = ht_out;
         }
       }
     }
@@ -106,8 +122,21 @@ __global__ void jacobi1d_phase0(float *g_A, ht_int TT, ht_int S0lo) {
 
 __global__ void jacobi1d_phase1(float *g_A, ht_int TT, ht_int S0lo) {
   const ht_int S0 = S0lo + (ht_int)blockIdx.x;
+  // Sec. 4.2 staging: per-tile 38 window per rotating copy, 128B-aligned loads.
+  __shared__ float ht_s_A[76];
   const ht_int t0 = TT * 4 + (0);
   const ht_int s0_0 = S0 * 8 - TT * (0) + (0);
+  const ht_int ht_wb0 = ht_fdiv(s0_0 + (-1), 32) * 32;
+  // Cooperative load phase: global -> staging window.
+  for (ht_int ht_ld = (ht_int)threadIdx.x; ht_ld < 76; ht_ld += (ht_int)blockDim.x) {
+    ht_int ht_r = ht_ld;
+    const ht_int ht_w0 = ht_r % 38; ht_r /= 38;
+    const ht_int ht_g0 = ht_wb0 + ht_w0;
+    if (ht_g0 >= 0 && ht_g0 < 32) {
+      ht_s_A[ht_r * 38 + ht_w0] = g_A[ht_r * 32 + ht_g0];
+    }
+  }
+  __syncthreads();
   for (ht_int a = 0; a < 4; ++a) {
     const ht_int t = t0 + a;
     const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;
@@ -117,10 +146,12 @@ __global__ void jacobi1d_phase1(float *g_A, ht_int TT, ht_int S0lo) {
         if (s0 >= 1 && s0 < 31) {
           const ht_int ht_step = t;
           // jacobi
-          const float ht_v0 = g_A[ht_emod(ht_step + (-1), 2) * 32 + (s0 + (-1))];
-          const float ht_v1 = g_A[ht_emod(ht_step + (-1), 2) * 32 + s0];
-          const float ht_v2 = g_A[ht_emod(ht_step + (-1), 2) * 32 + (s0 + (1))];
-          g_A[ht_emod(ht_step, 2) * 32 + s0] = (0x1.555556p-2f * ((ht_v0 + ht_v1) + ht_v2));
+          const float ht_v0 = ht_s_A[ht_emod(ht_step + (-1), 2) * 38 + (s0 + (-1) - ht_wb0)];
+          const float ht_v1 = ht_s_A[ht_emod(ht_step + (-1), 2) * 38 + (s0 - ht_wb0)];
+          const float ht_v2 = ht_s_A[ht_emod(ht_step + (-1), 2) * 38 + (s0 + (1) - ht_wb0)];
+          const float ht_out = (0x1.555556p-2f * ((ht_v0 + ht_v1) + ht_v2));
+          ht_s_A[ht_emod(ht_step, 2) * 38 + (s0 - ht_wb0)] = ht_out;
+          g_A[ht_emod(ht_step, 2) * 32 + s0] = ht_out;
         }
       }
     }

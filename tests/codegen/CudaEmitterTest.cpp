@@ -57,19 +57,63 @@ TEST(CudaEmitterTest, ScheduleCommentMatchesFormulas) {
   EXPECT_NE(Src.find("(t mod 6)"), std::string::npos);
 }
 
-TEST(CudaEmitterTest, MemoryStrategyAnnotated) {
-  // The Sec. 4.2 staging ladder is carried as a header annotation (the
-  // executable rendering addresses global buffers; the launch/cost models
-  // account for the staging strategy).
+TEST(CudaEmitterTest, MemoryStrategyAnnotatedAndRendered) {
+  // The Sec. 4.2 staging ladder is named in the header *and* rendered:
+  // staged configs declare __shared__ windows, the global-only config
+  // addresses the rotating buffers directly.
   CompiledHybrid F = compile(ir::makeJacobi2D(64, 8), 2, 3, {8},
                              OptimizationConfig::level('f'));
-  EXPECT_NE(emitCuda(F).find("dynamic reuse"), std::string::npos);
+  std::string SrcF = emitCuda(F);
+  EXPECT_NE(SrcF.find("dynamic reuse"), std::string::npos);
+  EXPECT_NE(SrcF.find("__shared__ float ht_s_A["), std::string::npos);
   CompiledHybrid E = compile(ir::makeJacobi2D(64, 8), 2, 3, {8},
                              OptimizationConfig::level('e'));
   EXPECT_NE(emitCuda(E).find("static reuse"), std::string::npos);
   CompiledHybrid A = compile(ir::makeJacobi2D(64, 8), 2, 3, {8},
                              OptimizationConfig::level('a'));
-  EXPECT_NE(emitCuda(A).find("global-memory only"), std::string::npos);
+  std::string SrcA = emitCuda(A);
+  EXPECT_NE(SrcA.find("global-memory only"), std::string::npos);
+  EXPECT_EQ(SrcA.find("__shared__"), std::string::npos);
+}
+
+TEST(CudaEmitterTest, OversizedStagingWindowIsFlaggedInTheHeader) {
+  // The hex flavor's degenerate inner tiles make the staging window span
+  // the whole inner extent: at production sizes that exceeds any GPU's
+  // per-block __shared__ budget, which nvcc would reject with an opaque
+  // error. The emitted header must flag it; a tile-sized hybrid window
+  // of the same compile must not be flagged.
+  CompiledHybrid C = compile(ir::makeJacobi2D(3072, 16), 2, 3, {8});
+  std::string Hex = emitCuda(C, EmitSchedule::Hex);
+  std::string Hybrid = emitCuda(C, EmitSchedule::Hybrid);
+  EXPECT_NE(Hex.find("// WARNING: staging windows need "),
+            std::string::npos);
+  EXPECT_EQ(Hybrid.find("// WARNING"), std::string::npos);
+}
+
+TEST(CudaEmitterTest, StagedKernelLoadsCooperativelyBeforeCompute) {
+  // Config (b): the load phase is a blockDim-stride sweep over the
+  // (depth x window) staging elements, synchronized before any staged
+  // value is consumed, with the separate copy-out replay at the end.
+  CompiledHybrid C = compile(ir::makeJacobi2D(64, 8), 2, 3, {8},
+                             OptimizationConfig::level('b'));
+  std::string Src = emitCuda(C);
+  size_t Decl = Src.find("__shared__ float ht_s_A[");
+  size_t Load = Src.find("// Cooperative load phase");
+  size_t LoadLoop = Src.find("for (ht_int ht_ld = (ht_int)threadIdx.x;");
+  size_t Barrier = Src.find("__syncthreads();", Load);
+  size_t Compute = Src.find("const float ht_v0 = ht_s_A[");
+  size_t CopyOut = Src.find("// Separate copy-out");
+  ASSERT_NE(Decl, std::string::npos);
+  ASSERT_NE(Load, std::string::npos);
+  ASSERT_NE(LoadLoop, std::string::npos);
+  ASSERT_NE(Barrier, std::string::npos);
+  ASSERT_NE(Compute, std::string::npos);
+  ASSERT_NE(CopyOut, std::string::npos);
+  EXPECT_LT(Decl, Load);
+  EXPECT_LT(Load, LoadLoop);
+  EXPECT_LT(LoadLoop, Barrier);
+  EXPECT_LT(Barrier, Compute);
+  EXPECT_LT(Compute, CopyOut);
 }
 
 TEST(CudaEmitterTest, HostLoopLaunchesBothPhases) {

@@ -1,8 +1,11 @@
 //===- HostEmitterTest.cpp - Host (CPU shim) rendering tests ------------------===//
 //
 // Structure, golden-snapshot and regression tests for the HostEmitter
-// target. The golden literal is re-baselined like CudaEmitterGoldenTest:
-// copy the "actual" text from the failure output when drift is intended.
+// target, covering both ends of the Sec. 4.2 ladder: the global-direct
+// baseline (config (a)) and a staged kernel (config (b): shared-memory
+// window, cooperative load phase, separate copy-out). The golden literals
+// are re-baselined like CudaEmitterGoldenTest: copy the "actual" text from
+// the failure output when drift is intended.
 //
 //===----------------------------------------------------------------------===//
 
@@ -17,29 +20,41 @@ using namespace hextile::codegen;
 
 namespace {
 
+/// Number of (non-overlapping) occurrences of \p Needle in \p Hay.
+size_t countOf(const std::string &Hay, const std::string &Needle) {
+  size_t N = 0;
+  for (size_t At = Hay.find(Needle); At != std::string::npos;
+       At = Hay.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
 CompiledHybrid compile(const ir::StencilProgram &P, int64_t H, int64_t W0,
-                       std::vector<int64_t> Inner) {
+                       std::vector<int64_t> Inner,
+                       OptimizationConfig Config = {}) {
   TileSizeRequest R;
   R.H = H;
   R.W0 = W0;
   R.InnerWidths = std::move(Inner);
-  return compileHybrid(P, R);
+  return compileHybrid(P, R, Config);
 }
 
 /// The snapshot subject mirrors CudaEmitterGoldenTest: jacobi 1D, h=1,
-/// w0=2, hybrid flavor.
-std::string emitSnapshotSubject() {
+/// w0=2, hybrid flavor, rendered at ladder rung \p Level.
+std::string emitSnapshotSubject(char Level) {
   TileSizeRequest R;
   R.H = 1;
   R.W0 = 2;
-  CompiledHybrid C = compileHybrid(ir::makeJacobi1D(32, 8), R);
+  CompiledHybrid C = compileHybrid(ir::makeJacobi1D(32, 8), R,
+                                   OptimizationConfig::level(Level));
   return emitHost(C);
 }
 
-constexpr const char *GoldenHost = R"golden(// jacobi1d: hybrid tiling, host (CPU shim) rendering
+/// Ladder rung (a): global-direct, no staging.
+constexpr const char *GoldenHostBaseline = R"golden(// jacobi1d: hybrid tiling, host (CPU shim) rendering
 // tile: h=1, w0=2, delta0=1, delta1=1
-// memory strategy modeled for the GPU: shared memory + interleaved copy-out + aligned loads + dynamic reuse
-// (the host rendering addresses the global rotating buffers directly)
+// memory strategy (Sec. 4.2 ladder): global-memory only
+// (global-direct: kernels address the rotating buffers directly)
 #include "cuda_shim.h"
 
 // Hexagon row b-ranges per local time a (empty rows have lo > hi).
@@ -118,17 +133,168 @@ extern "C" void jacobi1d_run(float **ht_fields) {
 }
 )golden";
 
+/// Ladder rung (b): shared-memory staging window, cooperative load phase,
+/// separate copy-out.
+constexpr const char *GoldenHostStaged = R"golden(// jacobi1d: hybrid tiling, host (CPU shim) rendering
+// tile: h=1, w0=2, delta0=1, delta1=1
+// memory strategy (Sec. 4.2 ladder): shared memory
+// (staged: cooperative load into a per-tile window, separate copy-out)
+#include "cuda_shim.h"
+
+// Hexagon row b-ranges per local time a (empty rows have lo > hi).
+HT_TABLE ht_row_lo[4] = {1, 0, 0, 1};
+HT_TABLE ht_row_hi[4] = {3, 4, 4, 3};
+
+__global__ void jacobi1d_phase0(ht_int ht_block, float *g_A, ht_int TT, ht_int S0lo) {
+  const ht_int S0 = S0lo + ht_block;
+  // Sec. 4.2 staging: per-tile 7 window per rotating copy.
+  HT_SHARED(ht_s_A, 14);
+  const ht_int t0 = TT * 4 + (-2);
+  const ht_int s0_0 = S0 * 8 - TT * (0) + (-4);
+  const ht_int ht_wb0 = s0_0 + (-1);
+  // Cooperative load phase: global -> staging window.
+  HT_FOR_THREADS(ht_ld, 14) {
+    ht_int ht_r = ht_ld;
+    const ht_int ht_w0 = ht_r % 7; ht_r /= 7;
+    const ht_int ht_g0 = ht_wb0 + ht_w0;
+    if (ht_g0 >= 0 && ht_g0 < 32) {
+      HT_AT(ht_s_A, ht_r * 7 + ht_w0, 14) = HT_AT(g_A, ht_r * 32 + ht_g0, 64);
+    }
+  }
+  __syncthreads();
+  for (ht_int a = 0; a < 4; ++a) {
+    const ht_int t = t0 + a;
+    const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;
+    if (t >= 0 && t < 8 && ht_nb > 0) {
+      HT_FOR_THREADS(ht_tid, ht_nb) {
+        const ht_int s0 = s0_0 + ht_row_lo[a] + ht_tid;
+        if (s0 >= 1 && s0 < 31) {
+          const ht_int ht_step = t;
+          // jacobi
+          const float ht_v0 = HT_AT(ht_s_A, ht_emod(ht_step + (-1), 2) * 7 + (s0 + (-1) - ht_wb0), 14);
+          const float ht_v1 = HT_AT(ht_s_A, ht_emod(ht_step + (-1), 2) * 7 + (s0 - ht_wb0), 14);
+          const float ht_v2 = HT_AT(ht_s_A, ht_emod(ht_step + (-1), 2) * 7 + (s0 + (1) - ht_wb0), 14);
+          const float ht_out = (0x1.555556p-2f * ((ht_v0 + ht_v1) + ht_v2));
+          HT_AT(ht_s_A, ht_emod(ht_step, 2) * 7 + (s0 - ht_wb0), 14) = ht_out;
+        }
+      }
+    }
+    __syncthreads();
+  }
+  // Separate copy-out: staged results -> global (interleaving off).
+  for (ht_int a = 0; a < 4; ++a) {
+    const ht_int t = t0 + a;
+    const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;
+    if (t >= 0 && t < 8 && ht_nb > 0) {
+      HT_FOR_THREADS(ht_tid, ht_nb) {
+        const ht_int s0 = s0_0 + ht_row_lo[a] + ht_tid;
+        if (s0 >= 1 && s0 < 31) {
+          const ht_int ht_step = t;
+          // jacobi
+          HT_AT(g_A, ht_emod(ht_step, 2) * 32 + s0, 64) = HT_AT(ht_s_A, ht_emod(ht_step, 2) * 7 + (s0 - ht_wb0), 14);
+        }
+      }
+    }
+    __syncthreads();
+  }
+}
+
+__global__ void jacobi1d_phase1(ht_int ht_block, float *g_A, ht_int TT, ht_int S0lo) {
+  const ht_int S0 = S0lo + ht_block;
+  // Sec. 4.2 staging: per-tile 7 window per rotating copy.
+  HT_SHARED(ht_s_A, 14);
+  const ht_int t0 = TT * 4 + (0);
+  const ht_int s0_0 = S0 * 8 - TT * (0) + (0);
+  const ht_int ht_wb0 = s0_0 + (-1);
+  // Cooperative load phase: global -> staging window.
+  HT_FOR_THREADS(ht_ld, 14) {
+    ht_int ht_r = ht_ld;
+    const ht_int ht_w0 = ht_r % 7; ht_r /= 7;
+    const ht_int ht_g0 = ht_wb0 + ht_w0;
+    if (ht_g0 >= 0 && ht_g0 < 32) {
+      HT_AT(ht_s_A, ht_r * 7 + ht_w0, 14) = HT_AT(g_A, ht_r * 32 + ht_g0, 64);
+    }
+  }
+  __syncthreads();
+  for (ht_int a = 0; a < 4; ++a) {
+    const ht_int t = t0 + a;
+    const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;
+    if (t >= 0 && t < 8 && ht_nb > 0) {
+      HT_FOR_THREADS(ht_tid, ht_nb) {
+        const ht_int s0 = s0_0 + ht_row_lo[a] + ht_tid;
+        if (s0 >= 1 && s0 < 31) {
+          const ht_int ht_step = t;
+          // jacobi
+          const float ht_v0 = HT_AT(ht_s_A, ht_emod(ht_step + (-1), 2) * 7 + (s0 + (-1) - ht_wb0), 14);
+          const float ht_v1 = HT_AT(ht_s_A, ht_emod(ht_step + (-1), 2) * 7 + (s0 - ht_wb0), 14);
+          const float ht_v2 = HT_AT(ht_s_A, ht_emod(ht_step + (-1), 2) * 7 + (s0 + (1) - ht_wb0), 14);
+          const float ht_out = (0x1.555556p-2f * ((ht_v0 + ht_v1) + ht_v2));
+          HT_AT(ht_s_A, ht_emod(ht_step, 2) * 7 + (s0 - ht_wb0), 14) = ht_out;
+        }
+      }
+    }
+    __syncthreads();
+  }
+  // Separate copy-out: staged results -> global (interleaving off).
+  for (ht_int a = 0; a < 4; ++a) {
+    const ht_int t = t0 + a;
+    const ht_int ht_nb = ht_row_hi[a] - ht_row_lo[a] + 1;
+    if (t >= 0 && t < 8 && ht_nb > 0) {
+      HT_FOR_THREADS(ht_tid, ht_nb) {
+        const ht_int s0 = s0_0 + ht_row_lo[a] + ht_tid;
+        if (s0 >= 1 && s0 < 31) {
+          const ht_int ht_step = t;
+          // jacobi
+          HT_AT(g_A, ht_emod(ht_step, 2) * 32 + s0, 64) = HT_AT(ht_s_A, ht_emod(ht_step, 2) * 7 + (s0 - ht_wb0), 14);
+        }
+      }
+    }
+    __syncthreads();
+  }
+}
+
+static void jacobi1d_host(float *g_A) {
+  for (ht_int TT = 0; TT <= 2; ++TT) {
+    if (TT >= 0 && TT <= 2) {
+      const ht_int ht_s0lo = ht_fdiv(8 + TT * (0), 8);
+      const ht_int ht_s0hi = ht_fdiv(34 + TT * (0), 8);
+      if (ht_s0hi >= ht_s0lo) {
+        HT_LAUNCH_1D(jacobi1d_phase0, ht_s0hi - ht_s0lo + 1, g_A, TT, ht_s0lo);
+      }
+    }
+    if (TT >= 0 && TT <= 1) {
+      const ht_int ht_s0lo = ht_fdiv(4 + TT * (0), 8);
+      const ht_int ht_s0hi = ht_fdiv(30 + TT * (0), 8);
+      if (ht_s0hi >= ht_s0lo) {
+        HT_LAUNCH_1D(jacobi1d_phase1, ht_s0hi - ht_s0lo + 1, g_A, TT, ht_s0lo);
+      }
+    }
+  }
+}
+
+extern "C" void jacobi1d_run(float **ht_fields) {
+  jacobi1d_host(ht_fields[0]);
+}
+)golden";
+
 } // namespace
 
-TEST(HostEmitterGoldenTest, Jacobi1DSnapshotIsStable) {
-  EXPECT_EQ(emitSnapshotSubject(), GoldenHost)
+TEST(HostEmitterGoldenTest, Jacobi1DBaselineSnapshotIsStable) {
+  EXPECT_EQ(emitSnapshotSubject('a'), GoldenHostBaseline)
       << "Emitted host C++ drifted from the golden snapshot. If the change "
-         "is intended, replace the GoldenHost literal with the actual text "
-         "above.";
+         "is intended, replace the GoldenHostBaseline literal with the "
+         "actual text above.";
+}
+
+TEST(HostEmitterGoldenTest, Jacobi1DStagedSnapshotIsStable) {
+  EXPECT_EQ(emitSnapshotSubject('b'), GoldenHostStaged)
+      << "Emitted staged host C++ drifted from the golden snapshot. If the "
+         "change is intended, replace the GoldenHostStaged literal with "
+         "the actual text above.";
 }
 
 TEST(HostEmitterGoldenTest, EmissionIsDeterministic) {
-  EXPECT_EQ(emitSnapshotSubject(), emitSnapshotSubject());
+  EXPECT_EQ(emitSnapshotSubject('d'), emitSnapshotSubject('d'));
 }
 
 TEST(HostEmitterTest, UnitIncludesShimAndExportsEntry) {
@@ -145,9 +311,11 @@ TEST(HostEmitterTest, EveryAccessIsBoundsChecked) {
   CompiledHybrid C = compile(ir::makeHeat2D(32, 6), 2, 3, {6});
   std::string Src = emitHost(C);
   // No raw buffer indexing escapes the shim's checked accessor: every
-  // g_<field> subscript goes through HT_AT.
+  // global g_<field> and staged ht_s_<field> subscript goes through HT_AT.
   EXPECT_EQ(Src.find("g_A["), std::string::npos);
+  EXPECT_EQ(Src.find("ht_s_A["), std::string::npos);
   EXPECT_NE(Src.find("HT_AT(g_A, "), std::string::npos);
+  EXPECT_NE(Src.find("HT_AT(ht_s_A, "), std::string::npos);
 }
 
 TEST(HostEmitterTest, ShimDefinesTheExecutionModel) {
@@ -155,6 +323,7 @@ TEST(HostEmitterTest, ShimDefinesTheExecutionModel) {
   // The CUDA surface the emitted units rely on.
   EXPECT_NE(Shim.find("#define HT_LAUNCH_1D"), std::string::npos);
   EXPECT_NE(Shim.find("#define HT_FOR_THREADS"), std::string::npos);
+  EXPECT_NE(Shim.find("#define HT_SHARED"), std::string::npos);
   EXPECT_NE(Shim.find("void __syncthreads"), std::string::npos);
   EXPECT_NE(Shim.find("ht_at"), std::string::npos);
   EXPECT_NE(Shim.find("abort()"), std::string::npos);
@@ -171,6 +340,79 @@ TEST(HostEmitterTest, FlavorsRenderDistinctSchedules) {
   // Hybrid tiles the inner dimension classically; hex leaves it untiled.
   EXPECT_NE(Hybrid.find("ht_skew1"), std::string::npos);
   EXPECT_EQ(Hex.find("ht_skew1"), std::string::npos);
+}
+
+/// The staged kernel structure the Sec. 4.2 ladder rungs must render: a
+/// staging declaration, the cooperative load phase with its barrier
+/// *before* the first compute access, and the separate-vs-interleaved
+/// copy-out shapes.
+TEST(HostEmitterTest, StagedKernelHasLoadPhaseBarrierBeforeCompute) {
+  CompiledHybrid C = compile(ir::makeJacobi2D(48, 6), 2, 3, {6},
+                             OptimizationConfig::level('b'));
+  std::string Src = emitHost(C);
+  size_t Decl = Src.find("HT_SHARED(ht_s_A, ");
+  size_t Load = Src.find("// Cooperative load phase");
+  size_t Barrier = Src.find("__syncthreads();", Load);
+  size_t Compute = Src.find("const float ht_v0 = HT_AT(ht_s_A, ");
+  ASSERT_NE(Decl, std::string::npos);
+  ASSERT_NE(Load, std::string::npos);
+  ASSERT_NE(Barrier, std::string::npos);
+  ASSERT_NE(Compute, std::string::npos);
+  EXPECT_LT(Decl, Load);
+  EXPECT_LT(Load, Barrier);
+  EXPECT_LT(Barrier, Compute);
+}
+
+TEST(HostEmitterTest, SeparateVersusInterleavedCopyOutShapes) {
+  ir::StencilProgram P = ir::makeJacobi2D(48, 6);
+  std::string Separate =
+      emitHost(compile(P, 2, 3, {6}, OptimizationConfig::level('b')));
+  std::string Interleaved =
+      emitHost(compile(P, 2, 3, {6}, OptimizationConfig::level('c')));
+  // Separate copy-out: each phase kernel gets a second guarded time loop
+  // moving staged results out, and the compute stores only to staging
+  // (one "= ht_out;" per phase).
+  EXPECT_EQ(countOf(Separate, "// Separate copy-out"), 2u);
+  EXPECT_EQ(countOf(Separate, "= ht_out;"), 2u);
+  // Interleaved copy-out: no second loop; every compute stores to both
+  // staging and global (two "= ht_out;" per phase).
+  EXPECT_EQ(countOf(Interleaved, "// Separate copy-out"), 0u);
+  EXPECT_EQ(countOf(Interleaved, "= ht_out;"), 4u);
+}
+
+TEST(HostEmitterTest, AlignedLoadsTranslateTheWindowBase) {
+  ir::StencilProgram P = ir::makeJacobi2D(48, 6);
+  std::string Aligned =
+      emitHost(compile(P, 2, 3, {6}, OptimizationConfig::level('d')));
+  std::string Natural =
+      emitHost(compile(P, 2, 3, {6}, OptimizationConfig::level('c')));
+  // Sec. 4.2.3: the innermost window base is rounded down to the 128-byte
+  // (32-float) quantum; the natural placement is not.
+  EXPECT_NE(Aligned.find(", 32) * 32;"), std::string::npos);
+  EXPECT_EQ(Natural.find(", 32) * 32;"), std::string::npos);
+}
+
+TEST(HostEmitterTest, StaticReusePlacementIsGated) {
+  ir::StencilProgram P = ir::makeJacobi1D(40, 8);
+  OptimizationConfig Static = OptimizationConfig::level('e');
+  std::string Windowed = emitHost(compile(P, 2, 3, {}, Static));
+  Static.EmitStaticReuse = true;
+  std::string Placed = emitHost(compile(P, 2, 3, {}, Static));
+  // Without the gate, Reuse=Static only affects the cost model: staged
+  // addressing stays window-relative. With the gate, the fixed
+  // s mod extent placement appears in the staged indices.
+  EXPECT_NE(Windowed.find(" - ht_wb0)"), std::string::npos);
+  EXPECT_EQ(Windowed.find("+ ht_emod(s0, "), std::string::npos);
+  EXPECT_NE(Placed.find("+ ht_emod(s0, "), std::string::npos);
+}
+
+TEST(HostEmitterTest, GlobalDirectConfigStillAddressesGlobalBuffers) {
+  CompiledHybrid C = compile(ir::makeJacobi2D(48, 6), 2, 3, {6},
+                             OptimizationConfig::level('a'));
+  std::string Src = emitHost(C);
+  EXPECT_EQ(Src.find("HT_SHARED"), std::string::npos);
+  EXPECT_EQ(Src.find("// Cooperative load phase"), std::string::npos);
+  EXPECT_NE(Src.find("const float ht_v0 = HT_AT(g_A, "), std::string::npos);
 }
 
 /// Regression: the first differential run of the emitted classical flavor

@@ -100,12 +100,25 @@ TEST(RoundTripTest, SkewedDepth2Reads) {
   expectRoundTrips(ir::makeSkewedExample1D(32, 4));
 }
 
+TEST(RoundTripTest, Wave2DTwoTimeDepths) {
+  // Second order in time: u[t] and u[t-1] source reads of one field in a
+  // single statement.
+  expectRoundTrips(ir::makeWave2D(12, 3));
+}
+
+TEST(RoundTripTest, VarHeat2DReadOnlyCoefficientField) {
+  // K is declared and read but never written: the printer must still
+  // declare the grid and the parser must accept a writer-less field.
+  expectRoundTrips(ir::makeVarHeat2D(12, 3));
+}
+
 TEST(RoundTripTest, WholeGalleryParses) {
   // Weaker sweep over everything makeByName knows: rendering must at least
   // re-parse and re-verify, so new gallery entries cannot drift silently.
   for (const char *Name :
        {"jacobi1d", "jacobi2d", "laplacian2d", "heat2d", "gradient2d",
-        "fdtd2d", "laplacian3d", "heat3d", "gradient3d", "skewed1d"}) {
+        "fdtd2d", "laplacian3d", "heat3d", "gradient3d", "skewed1d",
+        "wave2d", "varheat2d"}) {
     ir::StencilProgram P = ir::makeByName(Name);
     frontend::ParseResult R =
         frontend::parseStencilProgram(P.str(), P.name());

@@ -18,6 +18,22 @@
 using namespace hextile;
 using namespace hextile::harness;
 
+// When the harness itself runs under AddressSanitizer, build the JIT
+// units with ASan too: the emitted kernels (staging windows included) are
+// then memory-checked with shadow tracking, not just by the shim's HT_AT
+// range trap, and the instrumented .so loads cleanly into the
+// instrumented process.
+#if defined(__SANITIZE_ADDRESS__)
+#define HEXTILE_JIT_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define HEXTILE_JIT_ASAN 1
+#endif
+#endif
+#ifndef HEXTILE_JIT_ASAN
+#define HEXTILE_JIT_ASAN 0
+#endif
+
 namespace {
 
 /// Runs a shell command, returning its exit code (-1 on spawn failure).
@@ -98,8 +114,9 @@ std::string JitUnit::build(const std::string &Source) {
   }
 
   std::string Cmd = shellQuote(systemCompiler()) +
-                    " -std=c++17 -O1 -fPIC -shared -o " +
-                    shellQuote(Lib.string()) + " " +
+                    " -std=c++17 -O1 -fPIC -shared" +
+                    (HEXTILE_JIT_ASAN ? " -fsanitize=address" : "") +
+                    " -o " + shellQuote(Lib.string()) + " " +
                     shellQuote(Src.string()) + " > " +
                     shellQuote(Log.string()) + " 2>&1";
   if (runCommand(Cmd) != 0) {

@@ -20,6 +20,9 @@
 /// the scratch directory (kernel.cpp, cuda_shim.h, compile log, .so) is
 /// kept and named in the diagnostic so a failing seed reproduces offline:
 ///   c++ -std=c++17 -O1 -fPIC -shared -o kernel.so kernel.cpp
+/// When the harness itself is an AddressSanitizer build
+/// (HEXTILE_SANITIZE=address), the JIT compile adds -fsanitize=address so
+/// the emitted kernels run shadow-checked too.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -114,6 +114,29 @@ TEST(HostKernelRunnerDeathTest, ShimTrapsOutOfBoundsAccess) {
   EXPECT_DEATH(Oob(Buf), "out-of-bounds access to g_buf");
 }
 
+TEST(HostKernelRunnerDeathTest, ShimTrapsStagedWindowEscape) {
+  SKIP_WITHOUT_COMPILER();
+  // The staged mirror of the global-buffer OOB test: a kernel whose
+  // staged HT_AT access escapes its HT_SHARED staging window must abort
+  // with a diagnostic naming the *staging* buffer -- never spill into
+  // whatever sits next to the arena.
+  JitUnit Unit;
+  ASSERT_EQ(Unit.build("#include \"cuda_shim.h\"\n"
+                       "extern \"C\" float ht_stage_oob(ht_int idx) {\n"
+                       "  HT_SHARED(ht_s_A, 14);\n"
+                       "  for (ht_int i = 0; i < 14; ++i)\n"
+                       "    HT_AT(ht_s_A, i, 14) = (float)i;\n"
+                       "  return HT_AT(ht_s_A, idx, 14);\n"
+                       "}\n"),
+            "");
+  using StageFn = float (*)(long long);
+  auto Stage = reinterpret_cast<StageFn>(Unit.symbol("ht_stage_oob"));
+  ASSERT_NE(Stage, nullptr);
+  EXPECT_EQ(Stage(3), 3.0f); // In-window staged access works.
+  EXPECT_DEATH(Stage(14), "out-of-bounds access to ht_s_A");
+  EXPECT_DEATH(Stage(-1), "out-of-bounds access to ht_s_A");
+}
+
 TEST(HostKernelRunnerTest, ShimCheckedAccessReadsInBounds) {
   SKIP_WITHOUT_COMPILER();
   JitUnit Unit;

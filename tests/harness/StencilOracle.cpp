@@ -288,9 +288,11 @@ std::string runEmittedMechanism(const ir::StencilProgram &P, ScheduleKind K,
   Sizes.H = Prm.H;
   Sizes.W0 = Prm.W0;
   Sizes.InnerWidths = innerWidthsFor(T, P.spaceRank());
-  codegen::CompiledHybrid C = codegen::compileHybrid(P, Sizes);
+  codegen::CompiledHybrid C =
+      codegen::compileHybrid(P, Sizes, Opts.EmitConfig);
   std::ostringstream Ctx;
-  Ctx << "tiling{" << T.str() << "} seed=0x" << std::hex << Opts.Seed;
+  Ctx << "tiling{" << T.str() << "} config{" << Opts.EmitConfig.str()
+      << "} seed=0x" << std::hex << Opts.Seed;
   EmittedDiff D = runEmittedDifferential(P, C, *ES, Init, Ctx.str());
   return D.Message;
 }

@@ -34,6 +34,7 @@
 #ifndef HEXTILE_TESTS_HARNESS_STENCILORACLE_H
 #define HEXTILE_TESTS_HARNESS_STENCILORACLE_H
 
+#include "codegen/OptimizationConfig.h"
 #include "exec/Executor.h"
 #include "ir/StencilProgram.h"
 
@@ -92,6 +93,12 @@ struct OracleOptions {
   /// Hex/Hybrid/Classical (Diamond has no emitter); machines without a
   /// system compiler skip it cleanly (see emittedMechanismAvailable).
   bool RunEmitted = false;
+  /// Memory-strategy rung (Sec. 4.2 ladder) the RunEmitted mechanism
+  /// compiles with: shared-memory staging, copy-out style and load
+  /// alignment all change the emitted code shape, so sweeping this field
+  /// differential-tests every rung of the ladder. The default is the full
+  /// default configuration (staged + interleaved + aligned).
+  codegen::OptimizationConfig EmitConfig;
 };
 
 /// True when the RunEmitted mechanism can actually run here (a system C++
