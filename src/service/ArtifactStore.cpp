@@ -1,0 +1,189 @@
+//===- ArtifactStore.cpp - Key-named on-disk compiled artifacts -----------===//
+
+#include "service/ArtifactStore.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <unistd.h>
+
+using namespace hextile;
+using namespace hextile::service;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Source-file extension per target ("cpp" compiles against cuda_shim.h,
+/// "cu" is the real CUDA unit).
+const char *sourceExt(TargetKind T) {
+  return T == TargetKind::Host ? "cpp" : "cu";
+}
+
+std::string stem(const CompileKey &Key, TargetKind Target) {
+  return Key.hex() + "." + targetKindName(Target);
+}
+
+/// A name no other writer (thread or process) is using: pid + a
+/// process-wide monotonic counter.
+std::string uniqueSuffix() {
+  static std::atomic<uint64_t> Counter{0};
+  return "." + std::to_string(::getpid()) + "." +
+         std::to_string(Counter.fetch_add(1, std::memory_order_relaxed)) +
+         ".tmp";
+}
+
+/// Writes \p Content to \p Final atomically: temp name in the same
+/// directory, flushed close, then rename. Returns "" or a diagnostic.
+std::string atomicWrite(const fs::path &Final, const std::string &Content) {
+  fs::path Tmp = Final;
+  Tmp += uniqueSuffix();
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    Out.write(Content.data(),
+              static_cast<std::streamsize>(Content.size()));
+    Out.flush();
+    if (!Out) {
+      std::error_code EC;
+      fs::remove(Tmp, EC);
+      return "cannot write " + Tmp.string();
+    }
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Final, EC);
+  if (EC) {
+    fs::remove(Tmp, EC);
+    return "cannot rename " + Tmp.string() + " into place: " +
+           EC.message();
+  }
+  return "";
+}
+
+std::string readFileOr(const fs::path &P, std::string &Out) {
+  std::ifstream In(P, std::ios::binary);
+  if (!In)
+    return "cannot read " + P.string();
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return "";
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(std::string Dir) : Root(std::move(Dir)) {
+  std::error_code EC;
+  fs::create_directories(Root, EC);
+  if (EC || !fs::is_directory(Root))
+    throw std::runtime_error("artifact store: cannot create directory " +
+                             Root + (EC ? ": " + EC.message() : ""));
+}
+
+std::string ArtifactStore::put(const CompileKey &Key, TargetKind Target,
+                               const std::string &Source,
+                               const std::string &SoPath) {
+  fs::path Base = fs::path(Root) / stem(Key, Target);
+  // Publish the .so first, source last: scan()/lookup() key off the
+  // source file, so a unit only becomes visible once every part of it is
+  // in place.
+  if (Target == TargetKind::Host) {
+    if (SoPath.empty())
+      return "artifact store: host unit for " + Key.hex() +
+             " has no shared object";
+    std::string SoBytes;
+    if (std::string Err = readFileOr(SoPath, SoBytes); !Err.empty())
+      return "artifact store: " + Err;
+    fs::path SoFinal = Base;
+    SoFinal += ".so";
+    if (std::string Err = atomicWrite(SoFinal, SoBytes); !Err.empty())
+      return "artifact store: " + Err;
+  }
+  fs::path SrcFinal = Base;
+  SrcFinal += std::string(".") + sourceExt(Target);
+  if (std::string Err = atomicWrite(SrcFinal, Source); !Err.empty())
+    return "artifact store: " + Err;
+  return "";
+}
+
+std::optional<StoredUnit> ArtifactStore::lookup(const CompileKey &Key,
+                                                TargetKind Target) const {
+  fs::path Base = fs::path(Root) / stem(Key, Target);
+  StoredUnit U;
+  U.Key = Key;
+  U.Target = Target;
+  fs::path Src = Base;
+  Src += std::string(".") + sourceExt(Target);
+  std::error_code EC;
+  if (!fs::is_regular_file(Src, EC))
+    return std::nullopt;
+  U.SourcePath = Src.string();
+  if (Target == TargetKind::Host) {
+    fs::path So = Base;
+    So += ".so";
+    if (!fs::is_regular_file(So, EC))
+      return std::nullopt;
+    U.SoPath = So.string();
+  }
+  return U;
+}
+
+std::vector<StoredUnit> ArtifactStore::scan() const {
+  std::vector<StoredUnit> Units;
+  std::error_code EC;
+  for (const fs::directory_entry &E :
+       fs::directory_iterator(Root, EC)) {
+    if (!E.is_regular_file())
+      continue;
+    std::string Name = E.path().filename().string();
+    // Unit stems are "<32 hex>.<target>"; key off the source file.
+    for (TargetKind T : {TargetKind::Host, TargetKind::Cuda}) {
+      std::string Suffix =
+          std::string(".") + targetKindName(T) + "." + sourceExt(T);
+      if (Name.size() != 32 + Suffix.size() ||
+          Name.compare(32, Suffix.size(), Suffix) != 0)
+        continue;
+      CompileKey Key;
+      if (!CompileKey::fromHex(Name.substr(0, 32), Key))
+        continue;
+      if (std::optional<StoredUnit> U = lookup(Key, T))
+        Units.push_back(*U);
+    }
+  }
+  return Units;
+}
+
+std::vector<std::string> ArtifactStore::quarantine(const CompileKey &Key,
+                                                   TargetKind Target) {
+  std::vector<std::string> Moved;
+  std::optional<StoredUnit> U = lookup(Key, Target);
+  if (!U)
+    return Moved;
+  fs::path QDir = fs::path(Root) / "quarantine";
+  std::error_code EC;
+  fs::create_directories(QDir, EC);
+  for (const std::string &P : {U->SourcePath, U->SoPath}) {
+    if (P.empty())
+      continue;
+    fs::path From(P);
+    fs::path To = QDir / (From.filename().string() + uniqueSuffix());
+    fs::rename(From, To, EC);
+    if (!EC)
+      Moved.push_back(To.string());
+    else
+      fs::remove(From, EC); // At minimum get it out of the lookup path.
+  }
+  return Moved;
+}
+
+size_t ArtifactStore::unitBytes(const StoredUnit &U) {
+  size_t Bytes = 0;
+  std::error_code EC;
+  for (const std::string &P : {U.SourcePath, U.SoPath}) {
+    if (P.empty())
+      continue;
+    uintmax_t Sz = fs::file_size(P, EC);
+    if (!EC)
+      Bytes += static_cast<size_t>(Sz);
+  }
+  return Bytes;
+}

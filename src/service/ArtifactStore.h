@@ -1,0 +1,93 @@
+//===- ArtifactStore.h - Key-named on-disk compiled artifacts --*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durable half of the compile service: a directory of key-named
+/// artifact units. A Host unit is `<keyhex>.host.cpp` (the emitted
+/// source) plus `<keyhex>.host.so` (the JIT-built shared object); a Cuda
+/// unit is `<keyhex>.cuda.cu` (source only -- no nvcc in the loop).
+///
+/// Every write is atomic: content goes to a unique temp name in the same
+/// directory first (pid + monotonic counter in the name, so two *processes*
+/// racing the same key never interleave), then rename() publishes it --
+/// readers see the old unit, the new unit, never a torn one. This is the
+/// fix for the latent cross-process collision: the mkdtemp scratch dirs
+/// were already private per compile, but the shared store was not.
+///
+/// A unit that fails to load back (truncated .so, bit rot, a crashed
+/// writer from a pre-atomic world) is quarantined -- moved into
+/// `quarantine/` under a unique name -- and the caller recompiles; the bad
+/// bytes stay inspectable instead of poisoning every future warm start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_SERVICE_ARTIFACTSTORE_H
+#define HEXTILE_SERVICE_ARTIFACTSTORE_H
+
+#include "service/CompileKey.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace service {
+
+/// Paths of one stored unit (empty SoPath for source-only targets).
+struct StoredUnit {
+  CompileKey Key;
+  TargetKind Target = TargetKind::Host;
+  std::string SourcePath;
+  std::string SoPath;
+};
+
+/// Directory of key-named compiled artifacts with atomic publication.
+/// Thread-safe and (by construction: write-to-temp + rename) safe against
+/// concurrent writers in other processes sharing the directory.
+class ArtifactStore {
+public:
+  /// Binds (and creates, if needed) \p Dir. Throws std::runtime_error
+  /// when the directory cannot be created.
+  explicit ArtifactStore(std::string Dir);
+
+  const std::string &dir() const { return Root; }
+
+  /// Atomically publishes the unit for \p Key: writes \p Source (and for
+  /// Host targets copies the shared object at \p SoPath) under temp
+  /// names, then renames into place. Returns an empty string on success,
+  /// else a diagnostic. Last writer wins on a same-key race; both writers
+  /// publish complete units.
+  std::string put(const CompileKey &Key, TargetKind Target,
+                  const std::string &Source, const std::string &SoPath);
+
+  /// The stored unit for \p Key, or nullopt when absent (a unit missing
+  /// its source or -- for Host -- its .so counts as absent).
+  std::optional<StoredUnit> lookup(const CompileKey &Key,
+                                   TargetKind Target) const;
+
+  /// Warm-start scan: every complete unit currently in the directory.
+  /// Unrecognized file names are ignored (they may be another writer's
+  /// in-flight temp files).
+  std::vector<StoredUnit> scan() const;
+
+  /// Moves the unit for \p Key into quarantine/ under a unique name and
+  /// returns the quarantine paths (for the log). Used when a stored unit
+  /// failed to load back.
+  std::vector<std::string> quarantine(const CompileKey &Key,
+                                      TargetKind Target);
+
+  /// Bytes of the unit's files (0 when absent); the cache charges disk
+  /// hits by this.
+  static size_t unitBytes(const StoredUnit &U);
+
+private:
+  std::string Root;
+};
+
+} // namespace service
+} // namespace hextile
+
+#endif // HEXTILE_SERVICE_ARTIFACTSTORE_H

@@ -1,0 +1,75 @@
+//===- CompileCache.cpp - LRU artifact cache with a byte budget -----------===//
+
+#include "service/CompileCache.h"
+
+using namespace hextile;
+using namespace hextile::service;
+
+std::shared_ptr<const CompiledArtifact>
+CompileCache::get(const CompileKey &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return nullptr;
+  Lru.splice(Lru.begin(), Lru, It->second); // Bump to MRU.
+  return It->second->Artifact;
+}
+
+bool CompileCache::put(std::shared_ptr<const CompiledArtifact> Artifact) {
+  if (!Artifact)
+    return false;
+  std::lock_guard<std::mutex> Lock(M);
+  if (Artifact->bytes() > Budget) {
+    ++Evictions;
+    return false;
+  }
+  auto It = Index.find(Artifact->key());
+  if (It != Index.end()) {
+    // Same-key replace (e.g. a recompile after quarantine): swap the
+    // payload in place and bump.
+    Resident -= It->second->Artifact->bytes();
+    It->second->Artifact = std::move(Artifact);
+    Resident += It->second->Artifact->bytes();
+    Lru.splice(Lru.begin(), Lru, It->second);
+  } else {
+    Lru.push_front(Entry{std::move(Artifact)});
+    Index.emplace(Lru.front().Artifact->key(), Lru.begin());
+    Resident += Lru.front().Artifact->bytes();
+  }
+  evictToBudgetLocked();
+  return true;
+}
+
+void CompileCache::evictToBudgetLocked() {
+  while (Resident > Budget && !Lru.empty()) {
+    Entry &Victim = Lru.back();
+    Resident -= Victim.Artifact->bytes();
+    Index.erase(Victim.Artifact->key());
+    Lru.pop_back();
+    ++Evictions;
+  }
+}
+
+size_t CompileCache::bytesResident() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Resident;
+}
+
+size_t CompileCache::entries() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Lru.size();
+}
+
+uint64_t CompileCache::evictions() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Evictions;
+}
+
+std::vector<CompileKey> CompileCache::keysMruFirst() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<CompileKey> Keys;
+  Keys.reserve(Lru.size());
+  for (const Entry &E : Lru)
+    Keys.push_back(E.Artifact->key());
+  return Keys;
+}

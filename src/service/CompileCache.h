@@ -1,0 +1,77 @@
+//===- CompileCache.h - LRU artifact cache with a byte budget --*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory tier of the compile service: CompileKey -> resident
+/// CompiledArtifact, least-recently-used eviction under a byte budget
+/// (artifact bytes = emitted source + shared object). Eviction drops the
+/// cache's reference only; clients still holding the shared_ptr keep a
+/// valid, runnable artifact. An artifact larger than the whole budget is
+/// not admitted at all (callers still get it -- it just will not be
+/// resident for the next request). Thread-safe; every operation is O(1)
+/// amortized under one small mutex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_SERVICE_COMPILECACHE_H
+#define HEXTILE_SERVICE_COMPILECACHE_H
+
+#include "service/Artifact.h"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace hextile {
+namespace service {
+
+class CompileCache {
+public:
+  /// \p ByteBudget bounds the summed bytes() of resident artifacts.
+  explicit CompileCache(size_t ByteBudget) : Budget(ByteBudget) {}
+
+  /// The resident artifact for \p Key (marked most-recently-used), or
+  /// null on a miss.
+  std::shared_ptr<const CompiledArtifact> get(const CompileKey &Key);
+
+  /// Admits \p Artifact as most-recently-used (replacing any previous
+  /// entry for the key), then evicts least-recently-used entries until
+  /// the budget holds. Oversized artifacts (bytes() > budget) are
+  /// rejected: returns false and counts one eviction.
+  bool put(std::shared_ptr<const CompiledArtifact> Artifact);
+
+  size_t byteBudget() const { return Budget; }
+  size_t bytesResident() const;
+  size_t entries() const;
+  /// Artifacts dropped (budget evictions + oversized rejections) so far.
+  uint64_t evictions() const;
+
+  /// Keys most-recently-used first -- the exact eviction order, exposed
+  /// for the cache-semantics tests.
+  std::vector<CompileKey> keysMruFirst() const;
+
+private:
+  struct Entry {
+    std::shared_ptr<const CompiledArtifact> Artifact;
+  };
+
+  void evictToBudgetLocked();
+
+  mutable std::mutex M;
+  size_t Budget;
+  size_t Resident = 0;
+  uint64_t Evictions = 0;
+  /// MRU at front, LRU at back.
+  std::list<Entry> Lru;
+  std::unordered_map<CompileKey, std::list<Entry>::iterator,
+                     CompileKeyHash>
+      Index;
+};
+
+} // namespace service
+} // namespace hextile
+
+#endif // HEXTILE_SERVICE_COMPILECACHE_H

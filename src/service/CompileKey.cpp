@@ -1,0 +1,132 @@
+//===- CompileKey.cpp - Content-hash identity of one compile --------------===//
+
+#include "service/CompileKey.h"
+
+#include "codegen/EmissionCore.h"
+
+#include <cstdio>
+
+using namespace hextile;
+using namespace hextile::service;
+
+const char *service::targetKindName(TargetKind T) {
+  switch (T) {
+  case TargetKind::Host:
+    return "host";
+  case TargetKind::Cuda:
+    return "cuda";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One 64-bit FNV-1a stream.
+struct Fnv64 {
+  uint64_t State;
+  explicit Fnv64(uint64_t Basis) : State(Basis) {}
+  void mix(const std::string &S) {
+    for (unsigned char C : S) {
+      State ^= C;
+      State *= 0x100000001b3ull;
+    }
+    // Terminate every field so "ab"+"c" and "a"+"bc" diverge.
+    State ^= 0xff;
+    State *= 0x100000001b3ull;
+  }
+};
+
+void field(std::string &Out, const char *Tag, const std::string &Value) {
+  Out += Tag;
+  Out += '=';
+  Out += Value;
+  Out += '\x1f'; // Unit separator: values cannot contain it.
+}
+
+std::string intList(const std::vector<int64_t> &Vs) {
+  std::string S = "[";
+  for (int64_t V : Vs)
+    S += std::to_string(V) + ",";
+  S += "]";
+  return S;
+}
+
+} // namespace
+
+std::string CompileKey::hex() const {
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+bool CompileKey::fromHex(const std::string &S, CompileKey &Out) {
+  if (S.size() != 32)
+    return false;
+  uint64_t Parts[2] = {0, 0};
+  for (unsigned Half = 0; Half < 2; ++Half)
+    for (unsigned I = 0; I < 16; ++I) {
+      char C = S[Half * 16 + I];
+      uint64_t Digit;
+      if (C >= '0' && C <= '9')
+        Digit = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        Digit = 10 + (C - 'a');
+      else
+        return false;
+      Parts[Half] = (Parts[Half] << 4) | Digit;
+    }
+  Out.Hi = Parts[0];
+  Out.Lo = Parts[1];
+  return true;
+}
+
+std::string service::canonicalRequestString(const CompileRequest &R) {
+  std::string S;
+  field(S, "name", R.Program.name());
+  // The printed program carries fields, statements, expressions, grid
+  // sizes and time steps in one parser-normalized rendering; hashing it
+  // (rather than whatever text the client sent) is what makes the key
+  // whitespace-insensitive.
+  field(S, "program", R.Program.str());
+
+  field(S, "tiling.h",
+        R.Tiling.H ? std::to_string(*R.Tiling.H) : "auto");
+  field(S, "tiling.w0",
+        R.Tiling.W0 ? std::to_string(*R.Tiling.W0) : "auto");
+  field(S, "tiling.inner", intList(R.Tiling.InnerWidths));
+  const core::TileSizeConstraints &C = R.Tiling.Constraints;
+  field(S, "tiling.shmem", std::to_string(C.SharedMemBytes));
+  field(S, "tiling.warp", std::to_string(C.WarpSize));
+  field(S, "tiling.maxh", std::to_string(C.MaxH));
+  field(S, "tiling.maxw0", std::to_string(C.MaxW0));
+  field(S, "tiling.middle", intList(C.MiddleWidths));
+  field(S, "tiling.innermost", intList(C.InnermostWidths));
+  field(S, "tiling.w0widths", intList(C.W0Widths));
+
+  const codegen::OptimizationConfig &O = R.Config;
+  field(S, "config.shared", O.UseSharedMemory ? "1" : "0");
+  field(S, "config.interleave", O.InterleaveCopyOut ? "1" : "0");
+  field(S, "config.align", O.AlignLoads ? "1" : "0");
+  field(S, "config.reuse", std::to_string(static_cast<int>(O.Reuse)));
+  field(S, "config.unroll", O.UnrollCore ? "1" : "0");
+  field(S, "config.regtile", std::to_string(O.RegisterTile));
+  field(S, "config.staticreuse", O.EmitStaticReuse ? "1" : "0");
+
+  field(S, "flavor", codegen::emitScheduleName(R.Flavor));
+  field(S, "target", targetKindName(R.Target));
+  return S;
+}
+
+CompileKey service::makeCompileKey(const CompileRequest &R) {
+  std::string S = canonicalRequestString(R);
+  // Two independent streams: different bases, and the Hi stream salts in
+  // the length so the halves do not cancel identically.
+  Fnv64 Lo(0xcbf29ce484222325ull);
+  Lo.mix(S);
+  Fnv64 Hi(0x6c62272e07bb0142ull);
+  Hi.mix(std::to_string(S.size()));
+  Hi.mix(S);
+  return CompileKey{Hi.State, Lo.State};
+}

@@ -1,0 +1,349 @@
+//===- CompileService.cpp - The hextiled compile service ------------------===//
+
+#include "service/CompileService.h"
+
+#include "codegen/CudaEmitter.h"
+#include "codegen/HostEmitter.h"
+#include "exec/ThreadPool.h"
+
+#include <chrono>
+
+using namespace hextile;
+using namespace hextile::service;
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double msSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - T0)
+      .count();
+}
+
+} // namespace
+
+const char *service::requestOutcomeName(RequestOutcome O) {
+  switch (O) {
+  case RequestOutcome::MemoryHit:
+    return "memory-hit";
+  case RequestOutcome::DiskHit:
+    return "disk-hit";
+  case RequestOutcome::Compiled:
+    return "compiled";
+  case RequestOutcome::JoinedInflight:
+    return "inflight-join";
+  case RequestOutcome::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+/// One in-flight compile: the leader's request plus every waiter promise
+/// accrued while it runs. Waiters is guarded by the service mutex; the
+/// request itself is immutable once enqueued.
+struct CompileService::Inflight {
+  struct Waiter {
+    std::promise<CompileResult> Promise;
+    Clock::time_point Arrived;
+    bool Leader = false;
+  };
+
+  CompileKey Key;
+  CompileRequest Req;
+  Clock::time_point Enqueued;
+  std::vector<Waiter> Waiters;
+};
+
+CompileService::CompileService(CompileServiceOptions Options)
+    : Opts(std::move(Options)), Cache(Opts.CacheBytes) {
+  if (!Opts.HostSourceFn)
+    Opts.HostSourceFn = [](const codegen::CompiledHybrid &C,
+                           codegen::EmitSchedule S) {
+      return codegen::emitHost(C, S);
+    };
+  if (!Opts.StoreDir.empty()) {
+    Store = std::make_unique<ArtifactStore>(Opts.StoreDir);
+    Counts.WarmUnitsAtStart = Store->scan().size();
+  }
+  Pool = std::make_unique<exec::ThreadPool>(
+      exec::resolveNumThreads(Opts.NumThreads));
+  Dispatcher = std::thread([this] { dispatcherMain(); });
+}
+
+CompileService::~CompileService() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  QueueCv.notify_all();
+  Dispatcher.join();
+}
+
+const std::string &CompileService::storeDir() const {
+  static const std::string Empty;
+  return Store ? Store->dir() : Empty;
+}
+
+ServiceCounters CompileService::counters() const {
+  std::lock_guard<std::mutex> Lock(CountersM);
+  ServiceCounters C = Counts;
+  C.Evictions = Cache.evictions();
+  C.BytesResident = Cache.bytesResident();
+  C.EntriesResident = Cache.entries();
+  return C;
+}
+
+CompileResult CompileService::compile(const CompileRequest &R) {
+  std::optional<CompileResult> Ready;
+  std::future<CompileResult> Pending;
+  admit(R, Ready, Pending);
+  if (Ready)
+    return std::move(*Ready);
+  return Pending.get();
+}
+
+std::future<CompileResult>
+CompileService::compileAsync(const CompileRequest &R) {
+  std::optional<CompileResult> Ready;
+  std::future<CompileResult> Pending;
+  admit(R, Ready, Pending);
+  if (!Ready)
+    return Pending;
+  std::promise<CompileResult> P;
+  std::future<CompileResult> F = P.get_future();
+  P.set_value(std::move(*Ready));
+  return F;
+}
+
+std::shared_ptr<const CompiledArtifact>
+CompileService::loadFromStore(const CompileKey &Key,
+                              const CompileRequest &R) {
+  if (!Store)
+    return nullptr;
+  std::optional<StoredUnit> U = Store->lookup(Key, R.Target);
+  if (!U)
+    return nullptr;
+  std::string Err;
+  std::shared_ptr<const CompiledArtifact> A = CompiledArtifact::fromStore(
+      *U, codegen::hostEntryName(R.Program), &Err);
+  if (A)
+    return A;
+  // Corrupt unit (truncated .so, missing entry, bit rot): move it aside
+  // so the next warm start is clean, and recompile.
+  Store->quarantine(Key, R.Target);
+  std::lock_guard<std::mutex> Lock(CountersM);
+  ++Counts.Quarantined;
+  return nullptr;
+}
+
+void CompileService::admit(const CompileRequest &R,
+                           std::optional<CompileResult> &Ready,
+                           std::future<CompileResult> &Pending) {
+  Clock::time_point T0 = Clock::now();
+  {
+    std::lock_guard<std::mutex> Lock(CountersM);
+    ++Counts.Requests;
+  }
+  CompileKey Key = makeCompileKey(R);
+
+  if (std::shared_ptr<const CompiledArtifact> A = Cache.get(Key)) {
+    CompileResult Res;
+    Res.Artifact = std::move(A);
+    Res.Stats.How = RequestOutcome::MemoryHit;
+    Res.Stats.TotalMs = msSince(T0);
+    std::lock_guard<std::mutex> Lock(CountersM);
+    ++Counts.MemoryHits;
+    Ready = std::move(Res);
+    return;
+  }
+
+  // Single-flight admission: the first thread to miss becomes the
+  // leader; everyone else joins its in-flight entry.
+  std::shared_ptr<Inflight> Job;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Inflights.find(Key);
+    if (It != Inflights.end()) {
+      Job = It->second;
+    } else {
+      Job = std::make_shared<Inflight>();
+      Job->Key = Key;
+      Job->Req = R;
+      Job->Enqueued = T0;
+      Inflights.emplace(Key, Job);
+      Leader = true;
+    }
+    Job->Waiters.push_back({std::promise<CompileResult>(), T0, Leader});
+    Pending = Job->Waiters.back().Promise.get_future();
+  }
+  if (!Leader) {
+    std::lock_guard<std::mutex> Lock(CountersM);
+    ++Counts.InflightJoins;
+    return;
+  }
+
+  // Leader: probe the artifact store before paying for a compile. Any
+  // waiter that joined while we probed is fulfilled along with us.
+  if (std::shared_ptr<const CompiledArtifact> A = loadFromStore(Key, R)) {
+    Cache.put(A);
+    {
+      std::lock_guard<std::mutex> Lock(CountersM);
+      ++Counts.DiskHits;
+    }
+    CompileResult Res;
+    Res.Artifact = std::move(A);
+    Res.Stats.How = RequestOutcome::DiskHit;
+    finishJob(Job, std::move(Res));
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Queue.push_back(Job);
+  }
+  QueueCv.notify_one();
+}
+
+void CompileService::dispatcherMain() {
+  std::unique_lock<std::mutex> Lock(M);
+  while (true) {
+    QueueCv.wait(Lock, [this] { return Stop || !Queue.empty(); });
+    if (Queue.empty() && Stop)
+      return;
+    // Batch: everything pending compiles concurrently on the pool, so a
+    // burst of distinct keys costs max(compile) wall time, not sum.
+    std::vector<std::shared_ptr<Inflight>> Batch(Queue.begin(),
+                                                 Queue.end());
+    Queue.clear();
+    Lock.unlock();
+    Pool->parallelFor(Batch.size(),
+                      [&](size_t I) { runJob(Batch[I]); });
+    Lock.lock();
+  }
+}
+
+void CompileService::runJob(const std::shared_ptr<Inflight> &Job) {
+  CompileResult Res = buildArtifact(Job->Req, Job->Key);
+  Res.Stats.QueueMs = 0; // Set per-waiter in finishJob for the leader.
+  finishJob(Job, std::move(Res));
+}
+
+CompileResult CompileService::buildArtifact(const CompileRequest &R,
+                                            const CompileKey &Key) {
+  CompileResult Res;
+  Clock::time_point T0 = Clock::now();
+  try {
+    codegen::CompiledHybrid C =
+        codegen::compileHybrid(R.Program, R.Tiling, R.Config);
+
+    if (R.Target == TargetKind::Cuda) {
+      // Source-only target: the artifact is the emitted .cu unit.
+      std::string Source = codegen::emitCuda(C, R.Flavor);
+      Res.Artifact =
+          CompiledArtifact::fromSource(Key, TargetKind::Cuda, Source);
+      if (Store)
+        Store->put(Key, TargetKind::Cuda, Source, "");
+      Res.Stats.How = RequestOutcome::Compiled;
+      Res.Stats.CompileMs = msSince(T0);
+      return Res;
+    }
+
+    if (!JitUnit::available()) {
+      Res.Error = "no system C++ compiler available for host JIT builds";
+      Res.Stats.How = RequestOutcome::Failed;
+      return Res;
+    }
+    std::string Source = Opts.HostSourceFn(C, R.Flavor);
+    auto Unit = std::make_unique<JitUnit>();
+    if (std::string Err = Unit->build(Source); !Err.empty()) {
+      // The scratch dir (kernel.cpp, compile.log) is kept for repro --
+      // the JitUnit contract -- and named in both the error and the
+      // stats. The failure is NOT cached: the next request retries.
+      Res.Error = Err;
+      Res.Stats.How = RequestOutcome::Failed;
+      Res.Stats.ScratchDir = Unit->workDir();
+      Res.Stats.CompileMs = msSince(T0);
+      return Res;
+    }
+
+    std::string EntryName = codegen::hostEntryName(R.Program);
+    if (Store) {
+      // Publish to the store, reload from the durable copy, and clean
+      // the scratch dir right away: success leaves no temp state behind.
+      std::string PutErr =
+          Store->put(Key, TargetKind::Host, Source,
+                     Unit->sharedObjectPath());
+      if (PutErr.empty()) {
+        if (std::optional<StoredUnit> U = Store->lookup(Key, R.Target)) {
+          std::string LoadErr;
+          Res.Artifact =
+              CompiledArtifact::fromStore(*U, EntryName, &LoadErr);
+        }
+      }
+    }
+    if (!Res.Artifact) {
+      // Memory-only service (or a store hiccup): the artifact keeps the
+      // JIT unit -- and with it the scratch dir -- alive until evicted.
+      std::string Err;
+      Res.Artifact = CompiledArtifact::fromJit(Key, std::move(Unit),
+                                               Source, EntryName, &Err);
+      if (!Res.Artifact) {
+        Res.Error = Err;
+        Res.Stats.How = RequestOutcome::Failed;
+        Res.Stats.CompileMs = msSince(T0);
+        return Res;
+      }
+    }
+    Res.Stats.How = RequestOutcome::Compiled;
+    Res.Stats.CompileMs = msSince(T0);
+    return Res;
+  } catch (const std::exception &E) {
+    Res.Artifact = nullptr;
+    Res.Error = std::string("compile raised: ") + E.what();
+    Res.Stats.How = RequestOutcome::Failed;
+    Res.Stats.CompileMs = msSince(T0);
+    return Res;
+  }
+}
+
+void CompileService::finishJob(const std::shared_ptr<Inflight> &Job,
+                               CompileResult Result) {
+  bool Compiled = Result.Stats.How == RequestOutcome::Compiled;
+  bool Failed = Result.Stats.How == RequestOutcome::Failed;
+  if (Compiled)
+    Cache.put(Result.Artifact);
+  {
+    std::lock_guard<std::mutex> Lock(CountersM);
+    if (Compiled) {
+      ++Counts.Compiles;
+    } else if (Failed) {
+      ++Counts.Compiles;
+      ++Counts.CompileFailures;
+    }
+  }
+
+  // Cache (on success) is populated BEFORE the in-flight entry is
+  // erased, so no request can slip between the two and recompile.
+  std::vector<Inflight::Waiter> Waiters;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Waiters = std::move(Job->Waiters);
+    Job->Waiters.clear();
+    Inflights.erase(Job->Key);
+  }
+
+  for (Inflight::Waiter &W : Waiters) {
+    CompileResult R;
+    R.Artifact = Result.Artifact;
+    R.Error = Result.Error;
+    R.Stats = Result.Stats;
+    if (!W.Leader && !Failed)
+      R.Stats.How = RequestOutcome::JoinedInflight;
+    if (W.Leader && Compiled)
+      R.Stats.QueueMs =
+          std::max(0.0, msSince(Job->Enqueued) - Result.Stats.CompileMs);
+    R.Stats.TotalMs = msSince(W.Arrived);
+    W.Promise.set_value(std::move(R));
+  }
+}

@@ -1,0 +1,208 @@
+//===- CompileService.h - The hextiled compile service ---------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running compile service: BENCH_codegen.json shows one JIT
+/// compile (~170-240 ms) costs five orders of magnitude more than one
+/// emitted-kernel run (~4-120 us), so at "millions of users" scale the
+/// product is the compile pipeline. This layer amortizes it three ways:
+///
+///   request -> CompileKey (content hash)
+///           -> in-memory LRU cache of loaded artifacts   (CompileCache)
+///           -> single-flight dedup of identical in-flight compiles
+///           -> batch compile on the exec::ThreadPool
+///           -> key-named on-disk artifact store           (ArtifactStore)
+///
+/// Single-flight: N concurrent requests for one key trigger exactly one
+/// compile; every other request blocks on the shared result and is
+/// reported as JoinedInflight. A dispatcher thread drains the pending
+/// queue in batches through ThreadPool::parallelFor, so distinct keys
+/// compile concurrently while the request threads stay unblocked
+/// (compileAsync) or block only on their own result (compile).
+///
+/// Failures are returned to every deduped waiter and are NOT cached
+/// (pinned policy: immediate retry -- the next request for the key starts
+/// a fresh compile; a transient failure therefore cannot poison the key).
+/// Compile scratch directories are cleaned on success and kept on failure
+/// -- the JitUnit repro contract, surfaced per request via
+/// CompileStats::ScratchDir.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_SERVICE_COMPILESERVICE_H
+#define HEXTILE_SERVICE_COMPILESERVICE_H
+
+#include "service/ArtifactStore.h"
+#include "service/CompileCache.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+namespace hextile {
+namespace exec {
+class ThreadPool;
+} // namespace exec
+
+namespace service {
+
+/// How one request was satisfied.
+enum class RequestOutcome {
+  MemoryHit,     ///< Served from the LRU cache.
+  DiskHit,       ///< Loaded back from the artifact store.
+  Compiled,      ///< This request triggered (and led) the compile.
+  JoinedInflight,///< Deduped onto another request's in-flight compile.
+  Failed,        ///< Compile failed; Error has the diagnostic.
+};
+
+const char *requestOutcomeName(RequestOutcome O);
+
+/// Per-request latency breakdown and outcome.
+struct CompileStats {
+  RequestOutcome How = RequestOutcome::Failed;
+  /// Miss enqueue -> compile start on a pool worker (0 for hits).
+  double QueueMs = 0;
+  /// Emit + JIT build wall time of the underlying compile (leader's
+  /// value, also reported to joined waiters; 0 for hits).
+  double CompileMs = 0;
+  /// Request arrival -> result available, measured per request.
+  double TotalMs = 0;
+  /// The kept scratch directory after a failed JIT build (empty when the
+  /// compile succeeded and the scratch was cleaned).
+  std::string ScratchDir;
+};
+
+struct CompileResult {
+  std::shared_ptr<const CompiledArtifact> Artifact; ///< Null on failure.
+  std::string Error;
+  CompileStats Stats;
+
+  bool ok() const { return Artifact != nullptr; }
+};
+
+/// Monotonic service-wide counters (snapshot).
+struct ServiceCounters {
+  uint64_t Requests = 0;
+  uint64_t MemoryHits = 0;
+  uint64_t DiskHits = 0;
+  uint64_t InflightJoins = 0;
+  uint64_t Compiles = 0;        ///< Compile jobs executed (failures included).
+  uint64_t CompileFailures = 0; ///< The subset of Compiles that failed.
+  uint64_t Evictions = 0;       ///< Cache evictions + oversize rejections.
+  uint64_t Quarantined = 0;     ///< Corrupt stored units moved aside.
+  uint64_t WarmUnitsAtStart = 0;///< Complete units found by the warm scan.
+  uint64_t BytesResident = 0;
+  uint64_t EntriesResident = 0;
+
+  /// Requests that could not be served straight from memory.
+  uint64_t misses() const { return Requests - MemoryHits; }
+  /// Deduplication leverage: compile-path requests per actual compile
+  /// (> 1 whenever single-flight or the disk store absorbed anything).
+  double dedupRatio() const {
+    return Compiles ? static_cast<double>(misses()) / Compiles : 0.0;
+  }
+  /// Fraction of requests served without running a compile (memory hits
+  /// + disk hits + in-flight joins).
+  double hitRate() const {
+    return Requests
+               ? static_cast<double>(Requests -
+                                     std::min(Requests, Compiles)) /
+                     Requests
+               : 0.0;
+  }
+};
+
+struct CompileServiceOptions {
+  /// LRU budget over resident artifact bytes (source + shared object).
+  size_t CacheBytes = 256u << 20;
+  /// Artifact-store directory; empty runs the service memory-only.
+  std::string StoreDir;
+  /// Compile-pool width, exec::resolveNumThreads semantics (0 = all
+  /// hardware threads; negative throws).
+  int NumThreads = 0;
+  /// Test seam: renders the host translation unit for a compiled
+  /// program. Defaults to codegen::emitHost; the failure-path tests
+  /// inject a non-compiling source here.
+  std::function<std::string(const codegen::CompiledHybrid &,
+                            codegen::EmitSchedule)>
+      HostSourceFn;
+};
+
+class CompileService {
+public:
+  explicit CompileService(CompileServiceOptions Opts = {});
+  /// Drains every pending compile (fulfilling all waiters), then stops
+  /// the dispatcher and the pool.
+  ~CompileService();
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Synchronous lookup-or-compile: returns when the artifact (or the
+  /// failure) is available.
+  CompileResult compile(const CompileRequest &R);
+
+  /// Asynchronous lookup-or-compile. Cache hits complete the future
+  /// immediately; misses complete when the (possibly shared) compile
+  /// does. The future is never abandoned: service shutdown fulfills it.
+  std::future<CompileResult> compileAsync(const CompileRequest &R);
+
+  ServiceCounters counters() const;
+
+  /// The store directory ("" when memory-only).
+  const std::string &storeDir() const;
+
+private:
+  struct Inflight;
+
+  /// Fast path + single-flight admission. Exactly one of the two return
+  /// slots is set.
+  void admit(const CompileRequest &R,
+             std::optional<CompileResult> &Ready,
+             std::future<CompileResult> &Pending);
+
+  /// Tries to serve \p Key from the artifact store (quarantining corrupt
+  /// units). Returns the loaded artifact or null.
+  std::shared_ptr<const CompiledArtifact>
+  loadFromStore(const CompileKey &Key, const CompileRequest &R);
+
+  void dispatcherMain();
+  void runJob(const std::shared_ptr<Inflight> &Job);
+  /// Executes the emit + build; never throws.
+  CompileResult buildArtifact(const CompileRequest &R,
+                              const CompileKey &Key);
+  void finishJob(const std::shared_ptr<Inflight> &Job,
+                 CompileResult Result);
+
+  CompileServiceOptions Opts;
+  CompileCache Cache;
+  std::unique_ptr<ArtifactStore> Store;
+  std::unique_ptr<exec::ThreadPool> Pool;
+
+  mutable std::mutex M; ///< Guards Inflights, Queue and Stop.
+  std::condition_variable QueueCv;
+  std::unordered_map<CompileKey, std::shared_ptr<Inflight>,
+                     CompileKeyHash>
+      Inflights;
+  std::deque<std::shared_ptr<Inflight>> Queue;
+  bool Stop = false;
+  std::thread Dispatcher;
+
+  // Monotonic counters (BytesResident/Entries come from the cache).
+  mutable std::mutex CountersM;
+  ServiceCounters Counts;
+};
+
+} // namespace service
+} // namespace hextile
+
+#endif // HEXTILE_SERVICE_COMPILESERVICE_H

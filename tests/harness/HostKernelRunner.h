@@ -6,14 +6,21 @@
 ///
 /// \file
 /// The test-time JIT behind the oracle's fourth mechanism: takes the C++
-/// translation unit HostEmitter produces, writes it (next to cuda_shim.h)
-/// into a fresh scratch directory, compiles it with the system C++
+/// translation unit HostEmitter produces, compiles it with the system C++
 /// compiler into a shared object, dlopens the result and drives the
 /// emitted `<name>_run` entry point over GridStorage-layout rotating
 /// buffers. runEmittedDifferential then compares the final fields
 /// bit-exactly against the naive reference executor -- so every loop
 /// bound, guard, skew table and buffer index the emitter produces is
 /// *executed*, not just snapshot-compared.
+///
+/// The compile/load core (JitUnit) now lives in src/service -- it doubles
+/// as the compile backend of service::CompileService -- and is re-exported
+/// here under its historical harness name. This header adds the
+/// differential drivers on top: runEmittedDifferential (emit + build +
+/// run + compare in one call) and runEntryDifferential (compare an
+/// already-loaded entry point, e.g. an artifact served by the compile
+/// service, against the reference executor).
 ///
 /// Machines without a usable compiler skip cleanly: available() is false,
 /// runEmittedDifferential reports Skipped and runs nothing. On a mismatch
@@ -33,48 +40,16 @@
 #include "codegen/HybridCompiler.h"
 #include "exec/FieldStorage.h"
 #include "ir/StencilProgram.h"
+#include "service/JitUnit.h"
 
 #include <string>
 
 namespace hextile {
 namespace harness {
 
-/// One compiled-and-loaded emitted translation unit. Owns the scratch
-/// directory and the dlopen handle; both are released on destruction
-/// unless keepArtifacts() was called.
-class JitUnit {
-public:
-  JitUnit() = default;
-  ~JitUnit();
-  JitUnit(const JitUnit &) = delete;
-  JitUnit &operator=(const JitUnit &) = delete;
-
-  /// The discovered system C++ compiler ($CXX, c++, g++ or clang++;
-  /// empty when none works). Cached across calls.
-  static const std::string &systemCompiler();
-  /// True when a system compiler is available, i.e. emitted kernels can
-  /// actually be built and run on this machine.
-  static bool available() { return !systemCompiler().empty(); }
-
-  /// Writes \p Source as kernel.cpp (with cuda_shim.h beside it),
-  /// compiles it into kernel.so and loads it. Returns an empty string on
-  /// success, else a diagnostic including the compiler output. Asserts
-  /// that available() held and that no unit was built before.
-  std::string build(const std::string &Source);
-
-  /// Looks up \p Name in the loaded unit (null when absent or not built).
-  void *symbol(const std::string &Name) const;
-
-  /// Scratch directory holding kernel.cpp / cuda_shim.h / kernel.so.
-  const std::string &workDir() const { return Dir; }
-  /// Keeps the scratch directory on destruction (failure forensics).
-  void keepArtifacts() { Keep = true; }
-
-private:
-  std::string Dir;
-  void *Handle = nullptr;
-  bool Keep = false;
-};
+/// Historical name of the JIT compile/load core, now the service's
+/// compile backend (see service/JitUnit.h for the full contract).
+using JitUnit = service::JitUnit;
 
 /// Outcome of one emitted-kernel differential run.
 struct EmittedDiff {
@@ -97,6 +72,17 @@ EmittedDiff runEmittedDifferential(const ir::StencilProgram &P,
                                    codegen::EmitSchedule S,
                                    const exec::Initializer &Init,
                                    const std::string &Context = "");
+
+/// Differential-tests an already-compiled entry point (signature
+/// `void(float **)`, GridStorage layout) for \p P against the naive
+/// reference executor -- the check the service stress tests apply to
+/// cached/deduped artifacts without paying for a second JIT build.
+/// Returns "" on bit-exact agreement, else a diagnostic prefixed with
+/// \p Context.
+std::string runEntryDifferential(const ir::StencilProgram &P,
+                                 void (*Entry)(float **),
+                                 const exec::Initializer &Init,
+                                 const std::string &Context = "");
 
 } // namespace harness
 } // namespace hextile

@@ -1,0 +1,105 @@
+//===- CompileCacheTest.cpp - LRU semantics under a byte budget -----------===//
+//
+// The in-memory tier in isolation: least-recently-used eviction order
+// under a tight byte budget, get() recency bumps, same-key replacement,
+// oversized-artifact rejection, and the guarantee that eviction never
+// invalidates an artifact a client still holds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::service;
+
+namespace {
+
+CompileKey key(uint64_t N) { return CompileKey{N, ~N}; }
+
+/// A source-only artifact of exactly \p Bytes resident bytes.
+std::shared_ptr<const CompiledArtifact> artifact(uint64_t N, size_t Bytes) {
+  return CompiledArtifact::fromSource(key(N), TargetKind::Cuda,
+                                      std::string(Bytes, 'k'));
+}
+
+} // namespace
+
+TEST(CompileCacheTest, HitMissAndRecencyBump) {
+  CompileCache Cache(1000);
+  EXPECT_EQ(Cache.get(key(1)), nullptr);
+  EXPECT_TRUE(Cache.put(artifact(1, 100)));
+  EXPECT_TRUE(Cache.put(artifact(2, 100)));
+  ASSERT_NE(Cache.get(key(1)), nullptr); // Bumps 1 to MRU.
+
+  std::vector<CompileKey> Order = Cache.keysMruFirst();
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[0], key(1));
+  EXPECT_EQ(Order[1], key(2));
+  EXPECT_EQ(Cache.bytesResident(), 200u);
+  EXPECT_EQ(Cache.entries(), 2u);
+}
+
+TEST(CompileCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  CompileCache Cache(250);
+  EXPECT_TRUE(Cache.put(artifact(1, 100)));
+  EXPECT_TRUE(Cache.put(artifact(2, 100)));
+  ASSERT_NE(Cache.get(key(1)), nullptr); // LRU order now: 2, then 1.
+
+  // Admitting 3 (100 bytes) exceeds 250: the LRU victim must be 2, not
+  // the more recently touched 1.
+  EXPECT_TRUE(Cache.put(artifact(3, 100)));
+  EXPECT_EQ(Cache.get(key(2)), nullptr);
+  EXPECT_NE(Cache.get(key(1)), nullptr);
+  EXPECT_NE(Cache.get(key(3)), nullptr);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_LE(Cache.bytesResident(), Cache.byteBudget());
+}
+
+TEST(CompileCacheTest, EvictionCascadesUntilBudgetHolds) {
+  CompileCache Cache(300);
+  for (uint64_t N = 1; N <= 3; ++N)
+    EXPECT_TRUE(Cache.put(artifact(N, 100)));
+  // One 150-byte artifact forces out two LRU entries (1 and 2): one
+  // eviction is not enough (350 > 300), two bring residency to 250.
+  EXPECT_TRUE(Cache.put(artifact(4, 150)));
+  EXPECT_EQ(Cache.get(key(1)), nullptr);
+  EXPECT_EQ(Cache.get(key(2)), nullptr);
+  EXPECT_EQ(Cache.evictions(), 2u);
+  std::vector<CompileKey> Order = Cache.keysMruFirst();
+  ASSERT_EQ(Order.size(), 2u);
+  EXPECT_EQ(Order[1], key(3));
+}
+
+TEST(CompileCacheTest, SameKeyReplaceKeepsOneEntry) {
+  CompileCache Cache(1000);
+  EXPECT_TRUE(Cache.put(artifact(7, 100)));
+  EXPECT_TRUE(Cache.put(artifact(7, 150)));
+  EXPECT_EQ(Cache.entries(), 1u);
+  EXPECT_EQ(Cache.bytesResident(), 150u);
+  ASSERT_NE(Cache.get(key(7)), nullptr);
+  EXPECT_EQ(Cache.get(key(7))->bytes(), 150u);
+}
+
+TEST(CompileCacheTest, OversizedArtifactIsRejectedNotAdmitted) {
+  CompileCache Cache(200);
+  EXPECT_TRUE(Cache.put(artifact(1, 100)));
+  EXPECT_FALSE(Cache.put(artifact(2, 300)));
+  // The resident entry survives; the oversize rejection is counted.
+  EXPECT_NE(Cache.get(key(1)), nullptr);
+  EXPECT_EQ(Cache.get(key(2)), nullptr);
+  EXPECT_EQ(Cache.evictions(), 1u);
+  EXPECT_EQ(Cache.bytesResident(), 100u);
+}
+
+TEST(CompileCacheTest, EvictionDoesNotInvalidateHeldArtifacts) {
+  CompileCache Cache(100);
+  std::shared_ptr<const CompiledArtifact> Held = artifact(1, 100);
+  EXPECT_TRUE(Cache.put(Held));
+  EXPECT_TRUE(Cache.put(artifact(2, 100))); // Evicts 1.
+  EXPECT_EQ(Cache.get(key(1)), nullptr);
+  // The client's reference is still fully usable.
+  EXPECT_EQ(Held->source().size(), 100u);
+  EXPECT_EQ(Held->key(), key(1));
+}

@@ -1,0 +1,187 @@
+//===- CompileKeyTest.cpp - Content-hash key sensitivity ------------------===//
+//
+// The cache-correctness contract of the compile key: every input that
+// changes the compiled artifact (program semantics, grid sizes, tiling,
+// ladder rung, flavor, target) must change the key, and inputs that do
+// not (source-text whitespace -- the key hashes the *parsed* program)
+// must not. A key collision here would serve one user another user's
+// kernel; a spurious difference would fragment the cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/CompileKey.h"
+
+#include "frontend/Parser.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace hextile;
+using namespace hextile::service;
+
+namespace {
+
+CompileRequest baseRequest() {
+  CompileRequest R;
+  R.Program = ir::makeJacobi2D(24, 6);
+  R.Tiling.H = 2;
+  R.Tiling.W0 = 3;
+  R.Tiling.InnerWidths = {6};
+  R.Config = codegen::OptimizationConfig::level('d');
+  R.Flavor = codegen::EmitSchedule::Hybrid;
+  R.Target = TargetKind::Host;
+  return R;
+}
+
+const char *JacobiSrc = "grid A[64];\n"
+                        "for (t = 0; t < 8; t++) {\n"
+                        "  for (s0 = 1; s0 < 64 - 1; s0++)\n"
+                        "    A[t+1][s0] = 0.25f * (A[t][s0-1] + A[t][s0] "
+                        "+ A[t][s0+1]);\n"
+                        "}\n";
+
+// Same program, re-formatted only: extra blanks, newlines, indentation.
+const char *JacobiSrcReformatted =
+    "grid   A[64];\n\n"
+    "for (t = 0; t < 8;  t++)  {\n"
+    "  for (s0 = 1;\n"
+    "       s0 < 64 - 1; s0++)\n"
+    "      A[t+1][s0]   =   0.25f * (A[t][s0-1]+A[t][s0]+A[t][s0+1]);\n"
+    "}\n";
+
+} // namespace
+
+TEST(CompileKeyTest, DeterministicAndStable) {
+  CompileRequest R = baseRequest();
+  CompileKey K1 = makeCompileKey(R);
+  CompileKey K2 = makeCompileKey(R);
+  EXPECT_EQ(K1, K2);
+  EXPECT_EQ(canonicalRequestString(R), canonicalRequestString(R));
+  EXPECT_FALSE(K1 == CompileKey{});
+}
+
+TEST(CompileKeyTest, WhitespaceOnlySourceChangesHashIdentically) {
+  frontend::ParseResult A = frontend::parseStencilProgram(JacobiSrc, "p");
+  frontend::ParseResult B =
+      frontend::parseStencilProgram(JacobiSrcReformatted, "p");
+  ASSERT_TRUE(A.ok()) << A.Error;
+  ASSERT_TRUE(B.ok()) << B.Error;
+  CompileRequest RA = baseRequest();
+  RA.Program = A.Program;
+  RA.Tiling.InnerWidths = {};
+  CompileRequest RB = RA;
+  RB.Program = B.Program;
+  EXPECT_EQ(makeCompileKey(RA), makeCompileKey(RB))
+      << "whitespace-only reformat changed the key";
+}
+
+TEST(CompileKeyTest, ProgramTextChangeChangesKey) {
+  frontend::ParseResult A = frontend::parseStencilProgram(JacobiSrc, "p");
+  std::string Changed = JacobiSrc;
+  Changed.replace(Changed.find("0.25f"), 5, "0.50f");
+  frontend::ParseResult B = frontend::parseStencilProgram(Changed, "p");
+  ASSERT_TRUE(A.ok() && B.ok());
+  CompileRequest RA = baseRequest();
+  RA.Program = A.Program;
+  RA.Tiling.InnerWidths = {};
+  CompileRequest RB = RA;
+  RB.Program = B.Program;
+  EXPECT_NE(makeCompileKey(RA), makeCompileKey(RB));
+}
+
+TEST(CompileKeyTest, GridSizeAndStepsChangeKey) {
+  CompileRequest R = baseRequest();
+  CompileKey Base = makeCompileKey(R);
+
+  CompileRequest Sized = R;
+  Sized.Program = ir::makeJacobi2D(32, 6);
+  EXPECT_NE(makeCompileKey(Sized), Base);
+
+  CompileRequest Stepped = R;
+  Stepped.Program = ir::makeJacobi2D(24, 8);
+  EXPECT_NE(makeCompileKey(Stepped), Base);
+}
+
+TEST(CompileKeyTest, TilingChangesKey) {
+  CompileRequest R = baseRequest();
+  CompileKey Base = makeCompileKey(R);
+
+  CompileRequest H = R;
+  H.Tiling.H = 3;
+  EXPECT_NE(makeCompileKey(H), Base);
+
+  CompileRequest W = R;
+  W.Tiling.W0 = 5;
+  EXPECT_NE(makeCompileKey(W), Base);
+
+  CompileRequest Inner = R;
+  Inner.Tiling.InnerWidths = {8};
+  EXPECT_NE(makeCompileKey(Inner), Base);
+
+  // Model-driven selection (unset H) differs from any explicit height,
+  // and the constraints that steer it are part of the identity.
+  CompileRequest Auto = R;
+  Auto.Tiling.H.reset();
+  EXPECT_NE(makeCompileKey(Auto), Base);
+  CompileRequest Constrained = Auto;
+  Constrained.Tiling.Constraints.MaxH = 2;
+  EXPECT_NE(makeCompileKey(Constrained), makeCompileKey(Auto));
+}
+
+TEST(CompileKeyTest, ConfigRungFlavorAndTargetChangeKey) {
+  CompileRequest R = baseRequest();
+  CompileKey Base = makeCompileKey(R);
+
+  for (char Rung : {'a', 'b', 'c'}) {
+    CompileRequest C = R;
+    C.Config = codegen::OptimizationConfig::level(Rung);
+    EXPECT_NE(makeCompileKey(C), Base) << "rung " << Rung;
+  }
+  CompileRequest Gated = R;
+  Gated.Config.EmitStaticReuse = true;
+  EXPECT_NE(makeCompileKey(Gated), Base);
+
+  CompileRequest F = R;
+  F.Flavor = codegen::EmitSchedule::Classical;
+  EXPECT_NE(makeCompileKey(F), Base);
+
+  CompileRequest T = R;
+  T.Target = TargetKind::Cuda;
+  EXPECT_NE(makeCompileKey(T), Base);
+}
+
+TEST(CompileKeyTest, GalleryProgramsAllDistinct) {
+  // All 12 gallery programs x 4 rungs land on 48 distinct keys -- the
+  // exact key population the stress test and loadtest replay.
+  std::vector<CompileKey> Keys;
+  for (const char *Name :
+       {"jacobi1d", "skewed1d", "jacobi2d", "laplacian2d", "heat2d",
+        "gradient2d", "fdtd2d", "wave2d", "varheat2d", "laplacian3d",
+        "heat3d", "gradient3d"})
+    for (char Rung : {'a', 'b', 'c', 'd'}) {
+      CompileRequest R;
+      R.Program = ir::makeByName(Name);
+      R.Config = codegen::OptimizationConfig::level(Rung);
+      Keys.push_back(makeCompileKey(R));
+    }
+  std::sort(Keys.begin(), Keys.end());
+  EXPECT_EQ(std::adjacent_find(Keys.begin(), Keys.end()), Keys.end())
+      << "two gallery requests collided";
+}
+
+TEST(CompileKeyTest, HexRoundTripAndRejection) {
+  CompileKey K = makeCompileKey(baseRequest());
+  std::string Hex = K.hex();
+  EXPECT_EQ(Hex.size(), 32u);
+  CompileKey Back;
+  ASSERT_TRUE(CompileKey::fromHex(Hex, Back));
+  EXPECT_EQ(Back, K);
+
+  CompileKey Junk;
+  EXPECT_FALSE(CompileKey::fromHex("short", Junk));
+  EXPECT_FALSE(CompileKey::fromHex(std::string(32, 'z'), Junk));
+  EXPECT_FALSE(
+      CompileKey::fromHex(Hex.substr(0, 31) + "G", Junk));
+}
