@@ -13,11 +13,24 @@
 // the OptimizationConfig rungs ('a' global-direct, 'b' staged + separate
 // copy-out, 'c' + interleaved copy-out, 'd' + aligned loads); the default
 // sweeps abcd ("acd" in --smoke), so BENCH_codegen.json records the
-// ladder's cost/benefit per commit in its "config" column. Each run is
-// also differential-verified against the reference executor, so the bench
-// doubles as an end-to-end smoke of the oracle's fourth mechanism.
-// Machines without a system compiler emit-only (compile_ms/run_ms = -1)
-// and still exit 0: the bench degrades, it does not fail.
+// ladder's cost/benefit per commit in its "config" column.
+//
+// Every emitted configuration is measured twice -- the serial shim
+// (mode=emitted-serial) and the parallel shim (mode=emitted-parallel,
+// HT_LAUNCH_1D dispatching blocks across worker teams of --shim-threads
+// threads, default 4) -- and each (program, flavor) additionally gets an
+// interpreted row (mode=interpreted): the devirtualized executor
+// replaying the same schedule key, so the json tracks the
+// serial-vs-parallel-vs-interpreted trajectory per commit. Each emitted
+// run is differential-verified against the reference executor, so the
+// bench doubles as an end-to-end smoke of the oracle's fourth mechanism.
+//
+// On a multi-core full-size run the bench *fails itself* unless at least
+// one parallel row beats its serial counterpart; on a single-core box
+// the gate is vacuous (a note is printed) because parallel dispatch
+// cannot beat serial with one hardware thread. Machines without a system
+// compiler emit-only (compile_ms/run_ms = -1) and still exit 0: the
+// bench degrades, it does not fail.
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,10 +39,14 @@
 #include "codegen/CudaEmitter.h"
 #include "codegen/HostEmitter.h"
 #include "core/IterationDomain.h"
+#include "exec/Executor.h"
 #include "harness/HostKernelRunner.h"
+#include "harness/StencilOracle.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 using namespace hextile;
 using namespace hextile::bench;
@@ -80,12 +97,47 @@ std::string configsArg(int argc, char **argv, const char *Fallback) {
   return Fallback;
 }
 
+/// Parallel-shim team size given with --shim-threads <n>; default 4.
+int shimThreadsArg(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::string(argv[I]) != "--shim-threads")
+      continue;
+    if (I + 1 >= argc) {
+      std::fprintf(stderr,
+                   "error: --shim-threads needs a thread count\n");
+      std::exit(2);
+    }
+    int N = std::atoi(argv[I + 1]);
+    if (N < 1 || N > 256) {
+      std::fprintf(stderr,
+                   "error: --shim-threads wants 1..256, got '%s'\n",
+                   argv[I + 1]);
+      std::exit(2);
+    }
+    return N;
+  }
+  return 4;
+}
+
+harness::ScheduleKind kindOf(codegen::EmitSchedule S) {
+  switch (S) {
+  case codegen::EmitSchedule::Hex:
+    return harness::ScheduleKind::Hex;
+  case codegen::EmitSchedule::Hybrid:
+    return harness::ScheduleKind::Hybrid;
+  default:
+    return harness::ScheduleKind::Classical;
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   bool Smoke = smokeMode(argc, argv);
   const char *JsonPath = jsonPathArg(argc, argv);
   std::string Configs = configsArg(argc, argv, Smoke ? "acd" : "abcd");
+  int ShimThreads = shimThreadsArg(argc, argv);
+  unsigned Cores = std::thread::hardware_concurrency();
 
   std::vector<EmitCase> Cases = {
       {"jacobi1d", 512, 64, 3, 4, {}},
@@ -109,12 +161,17 @@ int main(int argc, char **argv) {
       .str("compiler",
            Compiler ? harness::JitUnit::systemCompiler() : "none")
       .str("configs", Configs)
+      .num("shim_threads", static_cast<int64_t>(ShimThreads))
+      .num("cores", static_cast<int64_t>(Cores))
       .num("smoke", static_cast<int64_t>(Smoke));
 
-  std::printf("%-12s %-10s %-7s %9s %9s %9s %9s %10s\n", "program",
-              "flavor", "config", "emit_ms", "cuda_ms", "compile",
+  std::printf("%-12s %-10s %-7s %-17s %9s %9s %9s %9s %10s\n", "program",
+              "flavor", "config", "mode", "emit_ms", "cuda_ms", "compile",
               "run_ms", "mpoints/s");
   int Failures = 0;
+  // The full-size gate: did any parallel row beat its serial counterpart?
+  bool AnyParallelWin = false;
+  bool AnyParallelRow = false;
   for (const EmitCase &Cs : Cases) {
     ir::StencilProgram P = ir::makeByName(Cs.Name);
     P.setSpaceSizes(std::vector<int64_t>(P.spaceRank(), Cs.N));
@@ -123,90 +180,176 @@ int main(int argc, char **argv) {
     R.H = Cs.H;
     R.W0 = Cs.W0;
     R.InnerWidths = Cs.Inner;
-    int64_t Instances = core::IterationDomain::forProgram(P).numPoints();
+    core::IterationDomain Domain = core::IterationDomain::forProgram(P);
+    int64_t Instances = Domain.numPoints();
 
     for (char Level : Configs) {
-      codegen::CompiledHybrid C = codegen::compileHybrid(
-          P, R, codegen::OptimizationConfig::level(Level));
       for (codegen::EmitSchedule S :
            {codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
             codegen::EmitSchedule::Classical}) {
-        auto T0 = std::chrono::steady_clock::now();
-        std::string HostSrc = codegen::emitHost(C, S);
-        double EmitMs = msSince(T0);
-        T0 = std::chrono::steady_clock::now();
-        std::string CudaSrc = codegen::emitCuda(C, S);
-        double CudaMs = msSince(T0);
+        double SerialM = -1;
+        for (const char *Mode : {"emitted-serial", "emitted-parallel"}) {
+          bool Parallel = Mode[8] == 'p';
+          codegen::OptimizationConfig Config =
+              codegen::OptimizationConfig::level(Level);
+          if (Parallel)
+            Config.ShimThreads = ShimThreads;
+          codegen::CompiledHybrid C =
+              codegen::compileHybrid(P, R, Config);
+          auto T0 = std::chrono::steady_clock::now();
+          std::string HostSrc = codegen::emitHost(C, S);
+          double EmitMs = msSince(T0);
+          T0 = std::chrono::steady_clock::now();
+          std::string CudaSrc = codegen::emitCuda(C, S);
+          double CudaMs = msSince(T0);
 
-        double CompileMs = -1, RunMs = -1, MPointsPerSec = -1;
-        if (Compiler) {
-          // Build once for timing; the verified run below re-does the whole
-          // compile+execute round trip through the oracle mechanism.
-          harness::JitUnit Unit;
-          T0 = std::chrono::steady_clock::now();
-          std::string Err = Unit.build(HostSrc);
-          CompileMs = msSince(T0);
-          if (!Err.empty()) {
-            std::fprintf(stderr, "compile failed: %s\n", Err.c_str());
-            ++Failures;
-            continue;
+          double CompileMs = -1, RunMs = -1, MPointsPerSec = -1;
+          if (Compiler) {
+            // Build once for timing; the verified run below re-does the
+            // whole compile+execute round trip through the oracle
+            // mechanism.
+            harness::JitUnit Unit;
+            T0 = std::chrono::steady_clock::now();
+            std::string Err = Unit.build(HostSrc);
+            CompileMs = msSince(T0);
+            if (!Err.empty()) {
+              std::fprintf(stderr, "compile failed: %s\n", Err.c_str());
+              ++Failures;
+              continue;
+            }
+            using EntryFn = void (*)(float **);
+            auto Entry = reinterpret_cast<EntryFn>(
+                Unit.symbol(codegen::hostEntryName(P)));
+            if (!Entry) {
+              std::fprintf(stderr, "entry point missing for %s\n",
+                           Cs.Name);
+              ++Failures;
+              continue;
+            }
+            // Time one bare execution over GridStorage-layout buffers.
+            int64_t PointsPerCopy = 1;
+            for (int64_t Sz : P.spaceSizes())
+              PointsPerCopy *= Sz;
+            std::vector<std::vector<float>> Buffers;
+            std::vector<float *> Ptrs;
+            for (unsigned F = 0; F < P.fields().size(); ++F) {
+              Buffers.emplace_back(
+                  static_cast<size_t>(P.bufferDepth(F)) * PointsPerCopy,
+                  0.25f);
+              Ptrs.push_back(Buffers.back().data());
+            }
+            T0 = std::chrono::steady_clock::now();
+            Entry(Ptrs.data());
+            RunMs = msSince(T0);
+            if (RunMs > 0)
+              MPointsPerSec =
+                  static_cast<double>(Instances) / (RunMs / 1000.0) / 1e6;
+            if (!Parallel)
+              SerialM = MPointsPerSec;
+            else {
+              AnyParallelRow = true;
+              if (SerialM > 0 && MPointsPerSec > SerialM)
+                AnyParallelWin = true;
+            }
+            // Untimed: full differential verification of the same
+            // rendering (the parallel unit replays through its worker
+            // pool at the baked-in team size).
+            harness::EmittedDiff D = harness::runEmittedDifferential(
+                P, C, S, exec::defaultInit, Mode);
+            if (!D.agreed()) {
+              std::fprintf(stderr, "verification failed: %s\n",
+                           D.Message.c_str());
+              ++Failures;
+              continue;
+            }
           }
-          using EntryFn = void (*)(float **);
-          auto Entry = reinterpret_cast<EntryFn>(
-              Unit.symbol(codegen::hostEntryName(P)));
-          if (!Entry) {
-            std::fprintf(stderr, "entry point missing for %s\n", Cs.Name);
-            ++Failures;
-            continue;
-          }
-          // Time one bare execution over GridStorage-layout buffers.
-          int64_t PointsPerCopy = 1;
-          for (int64_t Sz : P.spaceSizes())
-            PointsPerCopy *= Sz;
-          std::vector<std::vector<float>> Buffers;
-          std::vector<float *> Ptrs;
-          for (unsigned F = 0; F < P.fields().size(); ++F) {
-            Buffers.emplace_back(
-                static_cast<size_t>(P.bufferDepth(F)) * PointsPerCopy,
-                0.25f);
-            Ptrs.push_back(Buffers.back().data());
-          }
-          T0 = std::chrono::steady_clock::now();
-          Entry(Ptrs.data());
-          RunMs = msSince(T0);
-          if (RunMs > 0)
-            MPointsPerSec =
-                static_cast<double>(Instances) / (RunMs / 1000.0) / 1e6;
-          // Untimed: full differential verification of the same rendering.
-          harness::EmittedDiff D = harness::runEmittedDifferential(
-              P, C, S, exec::defaultInit, "bench");
-          if (!D.agreed()) {
-            std::fprintf(stderr, "verification failed: %s\n",
-                         D.Message.c_str());
-            ++Failures;
-            continue;
-          }
+
+          std::printf(
+              "%-12s %-10s %-7c %-17s %9.2f %9.2f %9.2f %9.2f %10.2f\n",
+              Cs.Name, codegen::emitScheduleName(S), Level, Mode, EmitMs,
+              CudaMs, CompileMs, RunMs, MPointsPerSec);
+          JsonRow Row;
+          Row.str("program", Cs.Name)
+              .str("flavor", codegen::emitScheduleName(S))
+              .str("config", std::string(1, Level))
+              .str("mode", Mode)
+              .num("shim_threads", static_cast<int64_t>(Parallel ? ShimThreads : 0))
+              .num("n", Cs.N)
+              .num("steps", Cs.Steps)
+              .num("instances", Instances)
+              .num("host_bytes", static_cast<int64_t>(HostSrc.size()))
+              .num("cuda_bytes", static_cast<int64_t>(CudaSrc.size()))
+              .num("emit_ms", EmitMs)
+              .num("cuda_emit_ms", CudaMs)
+              .num("compile_ms", CompileMs)
+              .num("run_ms", RunMs)
+              .num("mpoints_s", MPointsPerSec);
+          Report.add(Row);
         }
-
-        std::printf("%-12s %-10s %-7c %9.2f %9.2f %9.2f %9.2f %10.2f\n",
-                    Cs.Name, codegen::emitScheduleName(S), Level, EmitMs,
-                    CudaMs, CompileMs, RunMs, MPointsPerSec);
-        JsonRow Row;
-        Row.str("program", Cs.Name)
-            .str("flavor", codegen::emitScheduleName(S))
-            .str("config", std::string(1, Level))
-            .num("n", Cs.N)
-            .num("steps", Cs.Steps)
-            .num("instances", Instances)
-            .num("host_bytes", static_cast<int64_t>(HostSrc.size()))
-            .num("cuda_bytes", static_cast<int64_t>(CudaSrc.size()))
-            .num("emit_ms", EmitMs)
-            .num("cuda_emit_ms", CudaMs)
-            .num("compile_ms", CompileMs)
-            .num("run_ms", RunMs)
-            .num("mpoints_s", MPointsPerSec);
-        Report.add(Row);
       }
+    }
+
+    // The interpreted baseline, once per (program, flavor): the
+    // devirtualized executor replaying the same schedule key the emitted
+    // kernels render, serially over GridStorage. The memory-strategy
+    // rung does not exist for the interpreter, so config is "-".
+    for (codegen::EmitSchedule S :
+         {codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
+          codegen::EmitSchedule::Classical}) {
+      harness::OracleTiling OT;
+      OT.H = Cs.H;
+      OT.W0 = Cs.W0;
+      OT.InnerWidths = Cs.Inner;
+      harness::OracleSchedule OS =
+          harness::makeOracleSchedule(P, kindOf(S), OT);
+      if (!OS.Key)
+        continue;
+      exec::ScheduleRunOptions RunOpts;
+      std::unique_ptr<exec::FieldStorage> Storage =
+          exec::makeStorage(P, RunOpts);
+      auto T0 = std::chrono::steady_clock::now();
+      exec::runSchedule(P, *Storage, Domain, OS.Key, RunOpts);
+      double RunMs = msSince(T0);
+      double MPointsPerSec =
+          RunMs > 0
+              ? static_cast<double>(Instances) / (RunMs / 1000.0) / 1e6
+              : -1;
+      std::printf(
+          "%-12s %-10s %-7c %-17s %9.2f %9.2f %9.2f %9.2f %10.2f\n",
+          Cs.Name, codegen::emitScheduleName(S), '-', "interpreted", -1.0,
+          -1.0, -1.0, RunMs, MPointsPerSec);
+      JsonRow Row;
+      Row.str("program", Cs.Name)
+          .str("flavor", codegen::emitScheduleName(S))
+          .str("config", "-")
+          .str("mode", "interpreted")
+          .num("shim_threads", static_cast<int64_t>(0))
+          .num("n", Cs.N)
+          .num("steps", Cs.Steps)
+          .num("instances", Instances)
+          .num("host_bytes", static_cast<int64_t>(-1))
+          .num("cuda_bytes", static_cast<int64_t>(-1))
+          .num("emit_ms", -1.0)
+          .num("cuda_emit_ms", -1.0)
+          .num("compile_ms", -1.0)
+          .num("run_ms", RunMs)
+          .num("mpoints_s", MPointsPerSec);
+      Report.add(Row);
+    }
+  }
+
+  // The acceptance gate: on a full-size multi-core run, parallel dispatch
+  // must pay for its barriers somewhere.
+  if (!Smoke && Compiler && AnyParallelRow) {
+    if (Cores < 2)
+      std::printf("note: single hardware thread; the parallel>serial "
+                  "gate is vacuous here\n");
+    else if (!AnyParallelWin) {
+      std::fprintf(stderr,
+                   "FAIL: no emitted-parallel row beat its serial "
+                   "counterpart on a %u-core machine\n",
+                   Cores);
+      ++Failures;
     }
   }
 

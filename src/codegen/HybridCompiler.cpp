@@ -11,8 +11,13 @@ using namespace hextile;
 using namespace hextile::codegen;
 
 std::string OptimizationConfig::str() const {
-  if (!UseSharedMemory)
-    return "global-memory only";
+  if (!UseSharedMemory) {
+    std::string S = "global-memory only";
+    if (ShimThreads > 0)
+      S += " + parallel shim (" + std::to_string(ShimThreads) +
+           " threads/block)";
+    return S;
+  }
   std::string S = "shared memory";
   if (InterleaveCopyOut)
     S += " + interleaved copy-out";
@@ -28,6 +33,9 @@ std::string OptimizationConfig::str() const {
     S += " + dynamic reuse";
     break;
   }
+  if (ShimThreads > 0)
+    S += " + parallel shim (" + std::to_string(ShimThreads) +
+         " threads/block)";
   return S;
 }
 

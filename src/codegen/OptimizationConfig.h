@@ -54,6 +54,18 @@ struct OptimizationConfig {
   /// concluding future-work item ("further reducing the number of shared
   /// memory loads through register tiling"); 1 disables it.
   int64_t RegisterTile = 1;
+  /// Host-shim execution model for the emitted unit: 0 renders a serial
+  /// unit (cuda_shim.h runs the block loop and thread loop sequentially);
+  /// N > 0 renders a parallel unit -- the shim dispatches blocks across
+  /// worker teams of N threads each, with a real barrier implementing
+  /// __syncthreads, so the emitted kernels' concurrency claims (block
+  /// independence within a launch, barrier-delimited staging phases) are
+  /// actually raced instead of serialized away. N is the *default* team
+  /// size baked into the unit; the HT_SHIM_THREADS / HT_SHIM_TEAMS
+  /// environment variables can re-shape the pool at run time without a
+  /// recompile. Serial and parallel units hash to distinct CompileKeys.
+  /// Ignored by the CUDA emitter (CUDA is parallel by construction).
+  int ShimThreads = 0;
   /// Stretch gate for the *executable* rendering of ReuseKind::Static:
   /// when set (and Reuse == Static), the emitted staging buffers use the
   /// Sec. 4.2.2 fixed global->shared placement (element (s) lives at slot

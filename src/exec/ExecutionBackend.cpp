@@ -12,6 +12,14 @@ using namespace hextile::exec;
 
 void SerialBackend::runWavefront(const ir::StencilProgram &P,
                                  FieldStorage &Storage, const Wavefront &W) {
+  // Flat storage takes the devirtualized instance path (GridStorage is
+  // final, so read/write inline); other storages go through the virtual
+  // interface.
+  if (auto *Flat = dynamic_cast<GridStorage *>(&Storage)) {
+    for (size_t I = 0, E = W.size(); I < E; ++I)
+      executeInstanceOn(P, *Flat, W.point(I));
+    return;
+  }
   for (size_t I = 0, E = W.size(); I < E; ++I)
     executeInstance(P, Storage, W.point(I));
 }
@@ -23,10 +31,20 @@ void ThreadPoolBackend::runWavefront(const ir::StencilProgram &P,
                                      FieldStorage &Storage,
                                      const Wavefront &W) {
   size_t N = W.size();
+  GridStorage *Flat = dynamic_cast<GridStorage *>(&Storage);
   // A one-instance wavefront has nothing to overlap; skip the pool handoff
   // (wavefront streams are dominated by small fronts at band edges).
   if (N == 1) {
-    executeInstance(P, Storage, W.point(0));
+    if (Flat)
+      executeInstanceOn(P, *Flat, W.point(0));
+    else
+      executeInstance(P, Storage, W.point(0));
+    return;
+  }
+  if (Flat) {
+    Pool.parallelFor(N, [&](size_t I) {
+      executeInstanceOn(P, *Flat, W.point(I));
+    });
     return;
   }
   Pool.parallelFor(N, [&](size_t I) {

@@ -13,47 +13,18 @@ using namespace hextile::exec;
 
 void exec::executeInstance(const ir::StencilProgram &P, FieldStorage &Storage,
                            std::span<const int64_t> Point) {
-  unsigned Rank = P.spaceRank();
-  assert(Point.size() == Rank + 1 && "point arity mismatch");
-  int64_t That = Point[0];
-  unsigned StmtIdx = euclidMod(That, P.numStmts());
-  int64_t Step = floorDiv(That, P.numStmts());
-  const ir::StencilStmt &S = P.stmts()[StmtIdx];
-
-  // Fixed-size stack buffers keep the hot path allocation-free for every
-  // stencil in the gallery; the heap fallback covers pathological shapes.
-  constexpr unsigned MaxInline = 16;
-  float ReadInline[MaxInline];
-  int64_t CoordInline[MaxInline];
-  std::vector<float> ReadHeap;
-  std::vector<int64_t> CoordHeap;
-  float *ReadValues = ReadInline;
-  int64_t *Coords = CoordInline;
-  if (S.Reads.size() > MaxInline) {
-    ReadHeap.resize(S.Reads.size());
-    ReadValues = ReadHeap.data();
-  }
-  if (Rank > MaxInline) {
-    CoordHeap.resize(Rank);
-    Coords = CoordHeap.data();
-  }
-
-  std::span<const int64_t> CoordSpan(Coords, Rank);
-  for (unsigned R = 0; R < S.Reads.size(); ++R) {
-    const ir::ReadAccess &A = S.Reads[R];
-    for (unsigned D = 0; D < Rank; ++D)
-      Coords[D] = Point[D + 1] + A.Offsets[D];
-    ReadValues[R] = Storage.read(A.Field, Step + A.TimeOffset, CoordSpan);
-  }
-  float Result = S.RHS.evaluate(std::span<const float>(ReadValues,
-                                                       S.Reads.size()));
-  for (unsigned D = 0; D < Rank; ++D)
-    Coords[D] = Point[D + 1];
-  Storage.write(S.WriteField, Step, CoordSpan, Result);
+  executeInstanceOn(P, Storage, Point);
 }
 
 void exec::runReference(const ir::StencilProgram &P, FieldStorage &Storage) {
   core::IterationDomain D = core::IterationDomain::forProgram(P);
+  // Same devirtualized fast path the replay backends take.
+  if (auto *Flat = dynamic_cast<GridStorage *>(&Storage)) {
+    D.forEachPoint([&](std::span<const int64_t> Point) {
+      executeInstanceOn(P, *Flat, Point);
+    });
+    return;
+  }
   D.forEachPoint([&](std::span<const int64_t> Point) {
     executeInstance(P, Storage, Point);
   });

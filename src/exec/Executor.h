@@ -31,7 +31,9 @@
 #include "exec/FieldStorage.h"
 #include "exec/GridStorage.h"
 #include "exec/Wavefront.h"
+#include "support/MathExt.h"
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <string>
@@ -41,7 +43,56 @@ namespace hextile {
 namespace exec {
 
 /// Executes the single statement instance at canonical point \p Point
-/// ([that, s...]) of \p P against \p Storage.
+/// ([that, s...]) of \p P against \p Storage. Templated over the concrete
+/// storage type: instantiated with a final class (GridStorage), the
+/// read/write calls devirtualize and inline, which is the interpreter's
+/// hot path -- the serial and thread-pool backends dispatch to
+/// executeInstanceOn<GridStorage> whenever the replay runs on flat
+/// storage, so the emitted-parallel vs interpreted-replay benchmark
+/// compares optimized code on both sides.
+template <class StorageT>
+inline void executeInstanceOn(const ir::StencilProgram &P, StorageT &Storage,
+                              std::span<const int64_t> Point) {
+  unsigned Rank = P.spaceRank();
+  assert(Point.size() == Rank + 1 && "point arity mismatch");
+  int64_t That = Point[0];
+  unsigned StmtIdx = euclidMod(That, P.numStmts());
+  int64_t Step = floorDiv(That, P.numStmts());
+  const ir::StencilStmt &S = P.stmts()[StmtIdx];
+
+  // Fixed-size stack buffers keep the hot path allocation-free for every
+  // stencil in the gallery; the heap fallback covers pathological shapes.
+  constexpr unsigned MaxInline = 16;
+  float ReadInline[MaxInline];
+  int64_t CoordInline[MaxInline];
+  std::vector<float> ReadHeap;
+  std::vector<int64_t> CoordHeap;
+  float *ReadValues = ReadInline;
+  int64_t *Coords = CoordInline;
+  if (S.Reads.size() > MaxInline) {
+    ReadHeap.resize(S.Reads.size());
+    ReadValues = ReadHeap.data();
+  }
+  if (Rank > MaxInline) {
+    CoordHeap.resize(Rank);
+    Coords = CoordHeap.data();
+  }
+
+  std::span<const int64_t> CoordSpan(Coords, Rank);
+  for (unsigned R = 0; R < S.Reads.size(); ++R) {
+    const ir::ReadAccess &A = S.Reads[R];
+    for (unsigned D = 0; D < Rank; ++D)
+      Coords[D] = Point[D + 1] + A.Offsets[D];
+    ReadValues[R] = Storage.read(A.Field, Step + A.TimeOffset, CoordSpan);
+  }
+  float Result = S.RHS.evaluate(std::span<const float>(ReadValues,
+                                                       S.Reads.size()));
+  for (unsigned D = 0; D < Rank; ++D)
+    Coords[D] = Point[D + 1];
+  Storage.write(S.WriteField, Step, CoordSpan, Result);
+}
+
+/// Type-erased form: executes through the virtual FieldStorage interface.
 void executeInstance(const ir::StencilProgram &P, FieldStorage &Storage,
                      std::span<const int64_t> Point);
 

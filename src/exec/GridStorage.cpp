@@ -49,25 +49,5 @@ GridStorage::GridStorage(const ir::StencilProgram &P,
   Fill(0);
 }
 
-int64_t GridStorage::linearIndex(unsigned Field, int64_t T,
-                                 std::span<const int64_t> Coords) const {
-  assert(Field < Depth.size() && "field out of range");
-  assert(Coords.size() == Sizes.size() && "coordinate arity mismatch");
-  int64_t Slot = euclidMod(T, Depth[Field]);
-  int64_t Linear = 0;
-  for (unsigned D = 0; D < Sizes.size(); ++D) {
-    assert(Coords[D] >= 0 && Coords[D] < Sizes[D] && "out of bounds");
-    Linear = Linear * Sizes[D] + Coords[D];
-  }
-  return FieldOffset[Field] + Slot * PointsPerCopy + Linear;
-}
-
-float &GridStorage::at(unsigned Field, int64_t T,
-                       std::span<const int64_t> Coords) {
-  return Data[linearIndex(Field, T, Coords)];
-}
-
-float GridStorage::at(unsigned Field, int64_t T,
-                      std::span<const int64_t> Coords) const {
-  return Data[linearIndex(Field, T, Coords)];
-}
+// linearIndex and at() live in the header now: they are the devirtualized
+// interpreter hot path and must inline into executeInstanceOn's loops.

@@ -18,7 +18,9 @@
 
 #include "exec/FieldStorage.h"
 #include "ir/StencilProgram.h"
+#include "support/MathExt.h"
 
+#include <cassert>
 #include <vector>
 
 namespace hextile {
@@ -37,9 +39,17 @@ public:
   const std::vector<int64_t> &sizes() const override { return Sizes; }
 
   /// Value of \p Field at time step \p T (any T; slot T mod depth).
-  /// Non-virtual direct accessors for callers that hold the concrete type.
-  float &at(unsigned Field, int64_t T, std::span<const int64_t> Coords);
-  float at(unsigned Field, int64_t T, std::span<const int64_t> Coords) const;
+  /// Non-virtual direct accessors for callers that hold the concrete
+  /// type; defined inline so the devirtualized interpreter hot path
+  /// (executeInstanceOn<GridStorage>, Executor.h) flattens the address
+  /// computation into the instance loop instead of paying two virtual
+  /// calls per access.
+  float &at(unsigned Field, int64_t T, std::span<const int64_t> Coords) {
+    return Data[linearIndex(Field, T, Coords)];
+  }
+  float at(unsigned Field, int64_t T, std::span<const int64_t> Coords) const {
+    return Data[linearIndex(Field, T, Coords)];
+  }
 
   float read(unsigned Field, int64_t T,
              std::span<const int64_t> Coords) const override {
@@ -59,7 +69,17 @@ public:
 
 private:
   int64_t linearIndex(unsigned Field, int64_t T,
-                      std::span<const int64_t> Coords) const;
+                      std::span<const int64_t> Coords) const {
+    assert(Field < Depth.size() && "field out of range");
+    assert(Coords.size() == Sizes.size() && "coordinate arity mismatch");
+    int64_t Slot = euclidMod(T, Depth[Field]);
+    int64_t Linear = 0;
+    for (unsigned D = 0; D < Sizes.size(); ++D) {
+      assert(Coords[D] >= 0 && Coords[D] < Sizes[D] && "out of bounds");
+      Linear = Linear * Sizes[D] + Coords[D];
+    }
+    return FieldOffset[Field] + Slot * PointsPerCopy + Linear;
+  }
 
   std::vector<int64_t> Sizes;       ///< Spatial sizes (shared by fields).
   std::vector<unsigned> Depth;      ///< Rotating depth per field.

@@ -113,6 +113,9 @@ std::string service::canonicalRequestString(const CompileRequest &R) {
   field(S, "config.unroll", O.UnrollCore ? "1" : "0");
   field(S, "config.regtile", std::to_string(O.RegisterTile));
   field(S, "config.staticreuse", O.EmitStaticReuse ? "1" : "0");
+  // Serial (0) and parallel (N > 0) shim renderings are different source
+  // texts, so they must never share a cached artifact.
+  field(S, "config.shimthreads", std::to_string(O.ShimThreads));
 
   field(S, "flavor", codegen::emitScheduleName(R.Flavor));
   field(S, "target", targetKindName(R.Target));

@@ -32,6 +32,22 @@ using namespace hextile::service;
 #define HEXTILE_JIT_ASAN 0
 #endif
 
+// Same plumbing for ThreadSanitizer: under a TSan harness the JIT units
+// compile with -fsanitize=thread, so the *parallel* shim's worker teams,
+// block hand-off and __syncthreads barriers are raced under the same tool
+// that checks ThreadPoolBackend -- the emitted kernels' block-independence
+// claims become TSan-checkable instead of trusted.
+#if defined(__SANITIZE_THREAD__)
+#define HEXTILE_JIT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HEXTILE_JIT_TSAN 1
+#endif
+#endif
+#ifndef HEXTILE_JIT_TSAN
+#define HEXTILE_JIT_TSAN 0
+#endif
+
 namespace {
 
 /// Runs a shell command, returning its exit code (-1 on spawn failure).
@@ -117,9 +133,12 @@ std::string JitUnit::build(const std::string &Source) {
     std::ofstream(Src) << Source;
   }
 
+  // -pthread is unconditional: serial units ignore it, parallel-shim
+  // units (HT_SHIM_THREADS > 0) need it for their worker teams.
   std::string Cmd = shellQuote(systemCompiler()) +
-                    " -std=c++17 -O1 -fPIC -shared" +
+                    " -std=c++17 -O1 -fPIC -shared -pthread" +
                     (HEXTILE_JIT_ASAN ? " -fsanitize=address" : "") +
+                    (HEXTILE_JIT_TSAN ? " -fsanitize=thread" : "") +
                     " -o " + shellQuote(Lib.string()) + " " +
                     shellQuote(Src.string()) + " > " +
                     shellQuote(Log.string()) + " 2>&1";

@@ -329,6 +329,41 @@ TEST(HostEmitterTest, ShimDefinesTheExecutionModel) {
   EXPECT_NE(Shim.find("abort()"), std::string::npos);
 }
 
+TEST(HostEmitterTest, ParallelShimSelectionIsEmittedPerUnit) {
+  // The shim ships both execution models; a unit selects the parallel one
+  // by defining HT_SHIM_THREADS before the include. Serial units must not
+  // define it (their text -- and compile key -- stays byte-identical to
+  // the pre-parallel renderer; the goldens above pin that), and staged
+  // parallel units must additionally pin the single-team rule, because
+  // cooperative loads of neighboring blocks overlap in their halos.
+  std::string Shim = hostShimSource();
+  EXPECT_NE(Shim.find("namespace ht_shim"), std::string::npos);
+  EXPECT_NE(Shim.find("HT_SHIM_TEAMS"), std::string::npos);
+  EXPECT_NE(Shim.find("barrier()"), std::string::npos);
+
+  ir::StencilProgram P = ir::makeJacobi2D(48, 6);
+  std::string Serial =
+      emitHost(compile(P, 2, 3, {6}, OptimizationConfig::level('d')));
+  EXPECT_EQ(Serial.find("HT_SHIM_THREADS"), std::string::npos);
+
+  OptimizationConfig Par = OptimizationConfig::level('a');
+  Par.ShimThreads = 4;
+  std::string ParallelUnstaged =
+      emitHost(compile(P, 2, 3, {6}, Par));
+  EXPECT_NE(ParallelUnstaged.find("#define HT_SHIM_THREADS 4"),
+            std::string::npos);
+  EXPECT_EQ(ParallelUnstaged.find("HT_SHIM_SINGLE_TEAM"),
+            std::string::npos);
+
+  Par = OptimizationConfig::level('d');
+  Par.ShimThreads = 2;
+  std::string ParallelStaged = emitHost(compile(P, 2, 3, {6}, Par));
+  EXPECT_NE(ParallelStaged.find("#define HT_SHIM_THREADS 2"),
+            std::string::npos);
+  EXPECT_NE(ParallelStaged.find("#define HT_SHIM_SINGLE_TEAM 1"),
+            std::string::npos);
+}
+
 TEST(HostEmitterTest, FlavorsRenderDistinctSchedules) {
   CompiledHybrid C = compile(ir::makeJacobi2D(48, 6), 2, 3, {6});
   std::string Hybrid = emitHost(C, EmitSchedule::Hybrid);

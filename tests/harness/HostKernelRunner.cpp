@@ -5,7 +5,9 @@
 #include "exec/Executor.h"
 #include "exec/GridStorage.h"
 
+#include <cstdlib>
 #include <functional>
+#include <string>
 #include <vector>
 
 using namespace hextile;
@@ -87,6 +89,30 @@ private:
   std::vector<std::vector<float>> Buffers;
 };
 
+/// Scoped environment override, restoring the previous value (or the
+/// unset state) on destruction.
+class EnvGuard {
+public:
+  EnvGuard(const char *Name, const std::string &Value) : Name(Name) {
+    if (const char *Old = getenv(Name)) {
+      HadOld = true;
+      OldValue = Old;
+    }
+    setenv(Name, Value.c_str(), 1);
+  }
+  ~EnvGuard() {
+    if (HadOld)
+      setenv(Name, OldValue.c_str(), 1);
+    else
+      unsetenv(Name);
+  }
+
+private:
+  const char *Name;
+  bool HadOld = false;
+  std::string OldValue;
+};
+
 } // namespace
 
 std::string harness::runEntryDifferential(const ir::StencilProgram &P,
@@ -147,4 +173,45 @@ EmittedDiff harness::runEmittedDifferential(const ir::StencilProgram &P,
                      " (emitted sources kept in " + Unit.workDir() + ")";
   }
   return Result;
+}
+
+std::string harness::EmittedUnit::build(const ir::StencilProgram &P,
+                                        const codegen::CompiledHybrid &C,
+                                        codegen::EmitSchedule S) {
+  Program = P;
+  if (!JitUnit::available()) {
+    Skipped = true;
+    return "no system C++ compiler";
+  }
+  if (std::string Err = Unit.build(codegen::emitHost(C, S)); !Err.empty())
+    return "[emitted " + std::string(codegen::emitScheduleName(S)) +
+           "] program=" + P.name() + ": " + Err;
+  Entry = reinterpret_cast<void (*)(float **)>(
+      Unit.symbol(codegen::hostEntryName(P)));
+  if (!Entry) {
+    Unit.keepArtifacts();
+    return "entry point " + codegen::hostEntryName(P) +
+           " missing from the emitted unit (artifacts kept in " +
+           Unit.workDir() + ")";
+  }
+  return "";
+}
+
+std::string harness::EmittedUnit::runDifferential(
+    const exec::Initializer &Init, const std::string &Context,
+    int ShimThreads) {
+  if (Skipped || !Entry)
+    return "EmittedUnit::build did not produce a runnable entry";
+  std::string Diff;
+  if (ShimThreads > 0) {
+    EnvGuard Guard("HT_SHIM_THREADS", std::to_string(ShimThreads));
+    Diff = runEntryDifferential(Program, Entry, Init, Context);
+  } else {
+    Diff = runEntryDifferential(Program, Entry, Init, Context);
+  }
+  if (!Diff.empty()) {
+    Unit.keepArtifacts();
+    Diff += " (emitted sources kept in " + Unit.workDir() + ")";
+  }
+  return Diff;
 }

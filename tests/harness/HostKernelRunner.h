@@ -26,10 +26,17 @@
 /// runEmittedDifferential reports Skipped and runs nothing. On a mismatch
 /// the scratch directory (kernel.cpp, cuda_shim.h, compile log, .so) is
 /// kept and named in the diagnostic so a failing seed reproduces offline:
-///   c++ -std=c++17 -O1 -fPIC -shared -o kernel.so kernel.cpp
-/// When the harness itself is an AddressSanitizer build
-/// (HEXTILE_SANITIZE=address), the JIT compile adds -fsanitize=address so
-/// the emitted kernels run shadow-checked too.
+///   c++ -std=c++17 -O1 -fPIC -shared -pthread -o kernel.so kernel.cpp
+/// When the harness itself is a sanitizer build, the JIT compile matches
+/// it: -fsanitize=address under HEXTILE_SANITIZE=address (the emitted
+/// kernels run shadow-checked), -fsanitize=thread under
+/// HEXTILE_SANITIZE=thread (the parallel shim's worker teams and barriers
+/// are raced under TSan).
+///
+/// EmittedUnit is the multi-run form: build once, differential-run many
+/// times -- the parallel shim-thread sweep replays one compiled unit at
+/// several HT_SHIM_THREADS environment overrides instead of paying one
+/// JIT compile per thread count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -83,6 +90,36 @@ std::string runEntryDifferential(const ir::StencilProgram &P,
                                  void (*Entry)(float **),
                                  const exec::Initializer &Init,
                                  const std::string &Context = "");
+
+/// A JIT-built emitted unit that can be differential-run repeatedly.
+/// Parallel units (Config.ShimThreads > 0) re-read the HT_SHIM_THREADS /
+/// HT_SHIM_TEAMS environment at every launch, so one compiled unit can be
+/// raced at several pool geometries; runDifferential sets the override
+/// for the duration of one run.
+class EmittedUnit {
+public:
+  /// Emits \p C as flavor \p S and JIT-builds it. Returns "" on success,
+  /// "skip" reason or compile diagnostic otherwise; Skipped distinguishes
+  /// the no-compiler case.
+  std::string build(const ir::StencilProgram &P,
+                    const codegen::CompiledHybrid &C, codegen::EmitSchedule S);
+  bool skipped() const { return Skipped; }
+
+  /// One differential run against the naive reference executor.
+  /// \p ShimThreads > 0 exports HT_SHIM_THREADS for this run (the
+  /// parallel pool re-shapes to that team size); 0 leaves the unit's
+  /// baked-in default. Returns "" on bit-exact agreement; on mismatch the
+  /// scratch directory is kept and named.
+  std::string runDifferential(const exec::Initializer &Init,
+                              const std::string &Context,
+                              int ShimThreads = 0);
+
+private:
+  JitUnit Unit;
+  ir::StencilProgram Program;
+  void (*Entry)(float **) = nullptr;
+  bool Skipped = false;
+};
 
 } // namespace harness
 } // namespace hextile

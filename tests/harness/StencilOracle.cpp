@@ -210,9 +210,9 @@ OracleSchedule makeDiamondKey(const ir::StencilProgram &P,
   return S;
 }
 
-/// Deterministic seeded initializer: well-conditioned values in [-1, 1),
-/// distinct per (seed, field, coords) -- boundary cells included.
-exec::Initializer seededInit(uint64_t Seed) {
+} // namespace
+
+exec::Initializer harness::seededInit(uint64_t Seed) {
   return [Seed](unsigned Field, std::span<const int64_t> Coords) {
     uint64_t H = mix64(Seed ^ (0xa076'1d64'78bd'642full + Field));
     for (int64_t C : Coords)
@@ -221,8 +221,6 @@ exec::Initializer seededInit(uint64_t Seed) {
            1.0f;
   };
 }
-
-} // namespace
 
 namespace {
 
@@ -288,11 +286,13 @@ std::string runEmittedMechanism(const ir::StencilProgram &P, ScheduleKind K,
   Sizes.H = Prm.H;
   Sizes.W0 = Prm.W0;
   Sizes.InnerWidths = innerWidthsFor(T, P.spaceRank());
-  codegen::CompiledHybrid C =
-      codegen::compileHybrid(P, Sizes, Opts.EmitConfig);
+  codegen::OptimizationConfig EC = Opts.EmitConfig;
+  if (Opts.ShimThreads >= 0)
+    EC.ShimThreads = Opts.ShimThreads;
+  codegen::CompiledHybrid C = codegen::compileHybrid(P, Sizes, EC);
   std::ostringstream Ctx;
-  Ctx << "tiling{" << T.str() << "} config{" << Opts.EmitConfig.str()
-      << "} seed=0x" << std::hex << Opts.Seed;
+  Ctx << "tiling{" << T.str() << "} config{" << EC.str() << "} seed=0x"
+      << std::hex << Opts.Seed;
   EmittedDiff D = runEmittedDifferential(P, C, *ES, Init, Ctx.str());
   return D.Message;
 }
@@ -300,6 +300,21 @@ std::string runEmittedMechanism(const ir::StencilProgram &P, ScheduleKind K,
 } // namespace
 
 bool harness::emittedMechanismAvailable() { return JitUnit::available(); }
+
+codegen::CompiledHybrid
+harness::compileOracleHybrid(const ir::StencilProgram &P,
+                             const OracleTiling &T,
+                             const codegen::OptimizationConfig &Config) {
+  deps::DependenceInfo Deps = deps::analyzeDependences(P);
+  std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
+  core::HexTileParams Prm =
+      legalizedHexParams(T, Cones[0].Delta0, Cones[0].Delta1);
+  codegen::TileSizeRequest Sizes;
+  Sizes.H = Prm.H;
+  Sizes.W0 = Prm.W0;
+  Sizes.InnerWidths = innerWidthsFor(T, P.spaceRank());
+  return codegen::compileHybrid(P, Sizes, Config);
+}
 
 OracleSchedule harness::makeOracleSchedule(const ir::StencilProgram &P,
                                            ScheduleKind K,

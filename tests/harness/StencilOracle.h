@@ -34,6 +34,7 @@
 #ifndef HEXTILE_TESTS_HARNESS_STENCILORACLE_H
 #define HEXTILE_TESTS_HARNESS_STENCILORACLE_H
 
+#include "codegen/HybridCompiler.h"
 #include "codegen/OptimizationConfig.h"
 #include "exec/Executor.h"
 #include "ir/StencilProgram.h"
@@ -99,12 +100,35 @@ struct OracleOptions {
   /// differential-tests every rung of the ladder. The default is the full
   /// default configuration (staged + interleaved + aligned).
   codegen::OptimizationConfig EmitConfig;
+  /// Shim-thread axis of the RunEmitted mechanism: -1 keeps whatever
+  /// EmitConfig.ShimThreads says; >= 0 overrides it, so sweeps can cross
+  /// the memory-strategy ladder with the execution model (0 = serial
+  /// shim, N > 0 = parallel shim with N-thread teams; see
+  /// OptimizationConfig::ShimThreads). Named in every diagnostic via the
+  /// config string.
+  int ShimThreads = -1;
 };
 
 /// True when the RunEmitted mechanism can actually run here (a system C++
 /// compiler was found). Tests should skip -- not silently pass -- when
 /// this is false.
 bool emittedMechanismAvailable();
+
+/// The oracle's deterministic seeded initializer: well-conditioned values
+/// in [-1, 1), distinct per (seed, field, coords) -- boundary cells
+/// included. Exposed so direct emitted-unit sweeps seed their buffers the
+/// same way the oracle mechanisms do.
+exec::Initializer seededInit(uint64_t Seed);
+
+/// Compiles \p P for the oracle's tiling exactly as the RunEmitted
+/// mechanism does -- same legalization, same inner-width extension -- so
+/// tests that drive the emitted unit directly (e.g. the parallel
+/// shim-thread sweep, which builds one unit per ladder rung and replays
+/// it at several thread counts) replay the identical tiling the oracle
+/// diagnostics would name.
+codegen::CompiledHybrid
+compileOracleHybrid(const ir::StencilProgram &P, const OracleTiling &T,
+                    const codegen::OptimizationConfig &Config);
 
 /// A schedule key plus the index of its first thread-parallel component.
 struct OracleSchedule {

@@ -243,3 +243,23 @@ TEST(StencilOracleTest, SeedVariationStaysBitExact) {
         << "seed=0x" << std::hex << Seed;
   }
 }
+
+/// The OracleOptions::ShimThreads override: the fourth mechanism compiles
+/// a *parallel* unit (HT_LAUNCH_1D dispatching blocks across worker
+/// teams) when the axis is set, without touching EmitConfig -- and the
+/// result stays bit-exact against the reference.
+TEST(StencilOracleTest, ShimThreadsOverrideRunsParallelEmittedUnit) {
+  if (!emittedMechanismAvailable())
+    GTEST_SKIP() << "no system C++ compiler; emitted mechanism not run";
+  ir::StencilProgram P = ir::makeJacobi2D(16, 5);
+  OracleTiling T;
+  T.H = 1;
+  T.W0 = 2;
+  T.InnerWidths = {5};
+  OracleOptions Opts;
+  Opts.RunEmitted = true;
+  Opts.NumShuffles = 1;
+  Opts.ShimThreads = 2; // Overrides EmitConfig.ShimThreads (still 0).
+  EXPECT_EQ(Opts.EmitConfig.ShimThreads, 0);
+  EXPECT_EQ(runDifferential(P, ScheduleKind::Hybrid, T, Opts), "");
+}

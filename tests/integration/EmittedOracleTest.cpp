@@ -87,6 +87,46 @@ TEST_P(EmittedOracleSweep, EmittedKernelsBitExactAllKindsAllRungs) {
   }
 }
 
+/// The shim-thread axis: the same 12 stencils x 3 flavors x 4 rungs, as
+/// *parallel* units -- HT_LAUNCH_1D dispatches blocks across worker teams
+/// with a real __syncthreads barrier -- each compiled once and replayed
+/// at 1, 2 and 4 shim threads (the pool re-shapes from the environment,
+/// so the axis costs one JIT build per rung, not three). Unstaged rung
+/// (a) units run blocks genuinely concurrently, racing the paper's
+/// phase-independence claim; staged rungs (b)-(d) keep blocks serial
+/// (single team) while the staging-ladder barriers are crossed by real
+/// threads. Everything must stay bit-exact against the naive executor --
+/// and under the TSan CI job the emitted barrier handshakes are raced
+/// with the same tool that checks ThreadPoolBackend.
+TEST_P(EmittedOracleSweep, ParallelShimBitExactAllRungsAllThreadCounts) {
+  if (!emittedMechanismAvailable())
+    GTEST_SKIP() << "no system C++ compiler; emitted kernels not run";
+  ir::StencilProgram P = program();
+  exec::Initializer Init = seededInit(0x9e3779b97f4a7c15ull);
+  for (const LadderRung &R : Rungs) {
+    codegen::OptimizationConfig Config =
+        codegen::OptimizationConfig::level(R.Level);
+    Config.ShimThreads = 4; // Baked default; each run overrides below.
+    codegen::CompiledHybrid C =
+        compileOracleHybrid(P, GetParam().Tiling, Config);
+    for (codegen::EmitSchedule S :
+         {codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
+          codegen::EmitSchedule::Classical}) {
+      EmittedUnit Unit;
+      ASSERT_EQ(Unit.build(P, C, S), "")
+          << "rung=" << R.Name << " flavor=" << codegen::emitScheduleName(S);
+      for (int Threads : {1, 2, 4})
+        EXPECT_EQ(Unit.runDifferential(
+                      Init,
+                      std::string("[parallel shim] flavor=") +
+                          codegen::emitScheduleName(S) + " rung=" + R.Name +
+                          " threads=" + std::to_string(Threads),
+                      Threads),
+                  "");
+    }
+  }
+}
+
 // The full Table 3 gallery plus the beyond-the-paper entries (1D extras,
 // the depth-3 wave equation, the read-only-coefficient heat), at
 // sweep-friendly sizes, each against all three emitted flavors and all

@@ -152,6 +152,27 @@ TEST(CompileKeyTest, ConfigRungFlavorAndTargetChangeKey) {
   EXPECT_NE(makeCompileKey(T), Base);
 }
 
+TEST(CompileKeyTest, ShimThreadsChangesKey) {
+  // Serial (ShimThreads = 0) and parallel (N > 0) renderings of the same
+  // request are different source texts -- the parallel unit bakes in
+  // #define HT_SHIM_THREADS N and the pool/barrier runtime -- so every
+  // distinct thread count must land on its own key. A collision here
+  // would serve a serial artifact to a parallel caller (or vice versa).
+  CompileRequest Serial = baseRequest();
+  ASSERT_EQ(Serial.Config.ShimThreads, 0);
+  CompileRequest Par2 = Serial;
+  Par2.Config.ShimThreads = 2;
+  CompileRequest Par4 = Serial;
+  Par4.Config.ShimThreads = 4;
+
+  CompileKey KSerial = makeCompileKey(Serial);
+  CompileKey K2 = makeCompileKey(Par2);
+  CompileKey K4 = makeCompileKey(Par4);
+  EXPECT_NE(KSerial, K2);
+  EXPECT_NE(KSerial, K4);
+  EXPECT_NE(K2, K4);
+}
+
 TEST(CompileKeyTest, GalleryProgramsAllDistinct) {
   // All 12 gallery programs x 4 rungs land on 48 distinct keys -- the
   // exact key population the stress test and loadtest replay.

@@ -423,6 +423,58 @@ TEST(CompileServiceTest, WarmStartServesFromDiskAfterRestart) {
   fs::remove_all(StoreDir);
 }
 
+TEST(CompileServiceTest, SerialAndParallelShimUnitsCoexistAndWarmStart) {
+  if (!JitUnit::available())
+    GTEST_SKIP() << "no system C++ compiler; service compiles skip";
+
+  // The same program/tiling/rung as a serial unit and as a parallel-shim
+  // unit: distinct keys, two real compiles, both served bit-exact from
+  // one service -- and a warm start restores each under its own key with
+  // zero recompiles. A key collision would hand the serial rendering to
+  // the parallel caller (or vice versa) and this test would catch it as
+  // a wrong ShimThreads key or a shared artifact.
+  std::string StoreDir = freshDir("shim");
+  CompileRequest Serial = makeRequest(gallery()[2], 'd');
+  ASSERT_EQ(Serial.Config.ShimThreads, 0);
+  CompileRequest Parallel = Serial;
+  Parallel.Config.ShimThreads = 2;
+  ASSERT_FALSE(makeCompileKey(Serial) == makeCompileKey(Parallel));
+
+  {
+    CompileServiceOptions Opts;
+    Opts.StoreDir = StoreDir;
+    CompileService First(Opts);
+    for (const CompileRequest *R : {&Serial, &Parallel}) {
+      CompileResult Res = First.compile(*R);
+      ASSERT_TRUE(Res.ok()) << Res.Error;
+      EXPECT_EQ(Res.Stats.How, RequestOutcome::Compiled);
+      EXPECT_EQ(Res.Artifact->key(), makeCompileKey(*R));
+      EXPECT_EQ(harness::runEntryDifferential(
+                    R->Program, Res.Artifact->entry(), exec::defaultInit,
+                    R->Config.str()),
+                "");
+    }
+    EXPECT_EQ(First.counters().Compiles, 2u);
+  } // Simulated restart.
+
+  CompileServiceOptions Opts;
+  Opts.StoreDir = StoreDir;
+  CompileService Second(Opts);
+  EXPECT_GE(Second.counters().WarmUnitsAtStart, 2u);
+  for (const CompileRequest *R : {&Serial, &Parallel}) {
+    CompileResult Res = Second.compile(*R);
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    EXPECT_EQ(Res.Stats.How, RequestOutcome::DiskHit);
+    EXPECT_EQ(Res.Artifact->key(), makeCompileKey(*R));
+    EXPECT_EQ(harness::runEntryDifferential(
+                  R->Program, Res.Artifact->entry(), exec::defaultInit,
+                  R->Config.str()),
+              "");
+  }
+  EXPECT_EQ(Second.counters().Compiles, 0u);
+  fs::remove_all(StoreDir);
+}
+
 TEST(CompileServiceTest, CorruptedStoredUnitIsQuarantinedAndRecompiled) {
   if (!JitUnit::available())
     GTEST_SKIP() << "no system C++ compiler; service compiles skip";
