@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Fold the repo's BENCH_*.json artifacts into one trend report.
+
+Every bench harness mirrors its results as machine-readable JSON
+({"harness": ..., "config": {...}, "results": [{...}, ...]}); this script
+collects any number of those files (or directories to glob for
+BENCH_*.json) and renders a per-harness markdown table plus a one-line
+summary per harness, so a CI run -- or a local sweep -- ends with a single
+human-scannable trend document instead of a pile of JSON blobs.
+
+Standard library only, by design: the container bakes in no Python
+packages and the script must run anywhere ctest does.
+
+Usage:
+    chart_bench.py [paths...] [--out BENCH_trend.md]
+
+with no paths, the current directory is globbed. Exit status is nonzero
+when a named file is missing or unparseable; an empty glob is a warning,
+not an error (bench artifacts are optional on compiler-less machines).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Column preference when summarizing one harness: the first key present in
+# the harness's rows is the headline metric for the summary line. Higher
+# is better for throughput metrics; the *_ms metrics are latencies.
+METRIC_PREFERENCE = [
+    "measured_gstencils",
+    "gstencils_per_s",
+    "hybrid_gstencils_per_s",
+    "mean_gstencils_per_s",
+    "p50_ms",
+    "mean_ms",
+    "elapsed_ms",
+]
+
+# Keys that identify a row (used as the first column, never summarized).
+LABEL_KEYS = ["program", "name", "benchmark", "key", "case", "phase"]
+
+
+def load_report(path):
+    """Parses one harness report; raises ValueError on shape mismatch."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "harness" not in doc:
+        raise ValueError(f"{path}: not a bench report (no 'harness' key)")
+    doc.setdefault("config", {})
+    doc.setdefault("results", [])
+    doc["_path"] = path
+    return doc
+
+
+def collect_paths(args_paths):
+    """Expands files/directories into a sorted, de-duplicated file list."""
+    paths, missing = [], []
+    for p in args_paths or ["."]:
+        if os.path.isdir(p):
+            paths.extend(sorted(glob.glob(os.path.join(p, "BENCH_*.json"))))
+        elif os.path.isfile(p):
+            paths.append(p)
+        else:
+            missing.append(p)
+    seen, unique = set(), []
+    for p in paths:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique, missing
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def label_key(rows):
+    for key in LABEL_KEYS:
+        if rows and key in rows[0]:
+            return key
+    return None
+
+
+def numeric_columns(rows):
+    """Columns that are numeric in every row that has them, first-row order."""
+    cols = []
+    for key in rows[0]:
+        vals = [r[key] for r in rows if key in r]
+        if vals and all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                        for v in vals):
+            cols.append(key)
+    return cols
+
+
+def markdown_table(rows):
+    lbl = label_key(rows)
+    cols = numeric_columns(rows)
+    header = ([lbl] if lbl else []) + cols
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for r in rows:
+        cells = ([str(r.get(lbl, ""))] if lbl else [])
+        cells += [fmt(r[c]) if c in r else "" for c in cols]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def summary_line(doc):
+    rows = doc["results"]
+    if not rows:
+        return f"- **{doc['harness']}**: no result rows"
+    metric = next((m for m in METRIC_PREFERENCE if m in rows[0]), None)
+    if metric is None:
+        return f"- **{doc['harness']}**: {len(rows)} rows"
+    vals = sorted(r[metric] for r in rows if metric in r)
+    mid = vals[len(vals) // 2]
+    return (f"- **{doc['harness']}**: {len(rows)} rows, {metric} "
+            f"min {fmt(vals[0])} / median {fmt(mid)} / max {fmt(vals[-1])}")
+
+
+def render(docs):
+    out = ["# Bench trend", ""]
+    out.append("Folded from "
+               + ", ".join(f"`{os.path.basename(d['_path'])}`" for d in docs)
+               + ".")
+    out.append("")
+    for doc in docs:
+        out.append(summary_line(doc))
+    for doc in docs:
+        out.append("")
+        out.append(f"## {doc['harness']}")
+        out.append("")
+        if doc["config"]:
+            cfg = ", ".join(f"{k}={fmt(v)}" for k, v in doc["config"].items())
+            out.append(f"config: {cfg}")
+            out.append("")
+        if doc["results"]:
+            out.append(markdown_table(doc["results"]))
+        else:
+            out.append("(no result rows)")
+    out.append("")
+    return "\n".join(out)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*",
+                    help="BENCH_*.json files or directories to glob")
+    ap.add_argument("--out", metavar="FILE",
+                    help="write the markdown here instead of stdout")
+    args = ap.parse_args(argv)
+
+    paths, missing = collect_paths(args.paths)
+    for p in missing:
+        print(f"error: no such file or directory: {p}", file=sys.stderr)
+    if missing:
+        return 1
+    if not paths:
+        print("warning: no BENCH_*.json artifacts found; nothing to fold",
+              file=sys.stderr)
+        return 0
+
+    docs, bad = [], 0
+    for p in paths:
+        try:
+            docs.append(load_report(p))
+        except (ValueError, json.JSONDecodeError) as e:
+            print(f"error: {p}: {e}", file=sys.stderr)
+            bad += 1
+    if bad:
+        return 1
+
+    text = render(docs)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"trend report ({len(docs)} harnesses) written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

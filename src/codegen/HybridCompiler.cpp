@@ -214,6 +214,15 @@ double codegen::sharedLoadsPerPointRegisterTiled(
   return Loads;
 }
 
+CompiledHybrid codegen::compileHybridTuned(const ir::StencilProgram &P,
+                                           const TunedSizes &T) {
+  TileSizeRequest Sizes;
+  Sizes.H = T.H;
+  Sizes.W0 = T.W0;
+  Sizes.InnerWidths = T.InnerWidths;
+  return compileHybrid(P, Sizes, T.Config);
+}
+
 CompiledHybrid codegen::compileHybrid(const ir::StencilProgram &P,
                                       const TileSizeRequest &Sizes,
                                       const OptimizationConfig &Config) {

@@ -85,6 +85,25 @@ CompiledHybrid compileHybrid(const ir::StencilProgram &P,
                              const TileSizeRequest &Sizes = {},
                              const OptimizationConfig &Config = {});
 
+/// Empirically tuned sizes, fed back from the measurement-driven autotuner
+/// (src/tune): the winning geometry and ladder configuration of a measured
+/// sweep, replacing the Sec. 3.7 analytic pick. The schedule flavor of the
+/// winner lives one layer up (tune::TunedEntry) because EmissionCore.h --
+/// where EmitSchedule is declared -- includes this header.
+struct TunedSizes {
+  int64_t H = 1;
+  int64_t W0 = 1;
+  std::vector<int64_t> InnerWidths; ///< Classical w_i (empty at rank 1).
+  OptimizationConfig Config;        ///< The winning ladder rung + shim.
+};
+
+/// The "use tuned sizes" path: compiles \p P with the measured winner's
+/// exact geometry and configuration, bypassing the analytic model
+/// entirely. Equivalent to compileHybrid with an explicit TileSizeRequest
+/// built from \p T.
+CompiledHybrid compileHybridTuned(const ir::StencilProgram &P,
+                                  const TunedSizes &T);
+
 /// Shared-memory loads per point of statement \p StmtIdx when each thread
 /// register-tiles \p RegisterTile consecutive s1 points (Sec. 6.2's
 /// future-work extension). RegisterTile = 1 gives the Sec. 4.3.2

@@ -5,6 +5,7 @@
 #include "deps/DeltaBounds.h"
 
 #include <cassert>
+#include <functional>
 
 using namespace hextile;
 using namespace hextile::core;
@@ -47,6 +48,103 @@ int64_t estimateSharedBytes(const ir::StencilProgram &P,
 
 } // namespace
 
+std::string TileGeometry::str() const {
+  std::string S = "h=" + std::to_string(H) + " w0=" + std::to_string(W0);
+  if (!InnerWidths.empty()) {
+    S += " w=(";
+    for (unsigned I = 0; I < InnerWidths.size(); ++I)
+      S += (I ? "," : "") + std::to_string(InnerWidths[I]);
+    S += ")";
+  }
+  return S;
+}
+
+std::vector<TileGeometry>
+core::enumerateTileGeometries(unsigned Rank, const TileSizeConstraints &C) {
+  // Inner-width combinations: middle dims from MiddleWidths, the innermost
+  // from InnermostWidths (warp multiples, Sec. 4.2.3). For 1D programs
+  // there are no inner dims.
+  std::vector<std::vector<int64_t>> InnerCombos;
+  if (Rank == 1) {
+    InnerCombos.push_back({});
+  } else {
+    std::vector<int64_t> Cur(Rank - 1);
+    std::function<void(unsigned)> Gen = [&](unsigned I) {
+      if (I + 1 == Rank - 1) {
+        for (int64_t W : C.InnermostWidths) {
+          Cur[Rank - 2] = W;
+          InnerCombos.push_back(Cur);
+        }
+        return;
+      }
+      for (int64_t W : C.MiddleWidths) {
+        Cur[I] = W;
+        Gen(I + 1);
+      }
+    };
+    Gen(0);
+  }
+
+  std::vector<TileGeometry> Out;
+  for (int64_t H = 1; H <= C.MaxH; ++H)
+    for (int64_t W0 : C.W0Widths) {
+      if (W0 > C.MaxW0)
+        continue;
+      for (const std::vector<int64_t> &InnerW : InnerCombos)
+        Out.push_back({H, W0, InnerW});
+    }
+  return Out;
+}
+
+std::optional<HybridSchedule>
+core::admissibleCandidate(const ir::StencilProgram &P,
+                          const std::vector<deps::ConeBounds> &Cones,
+                          const TileGeometry &G,
+                          const TileSizeConstraints &C) {
+  assert(Cones.size() == P.spaceRank() &&
+         "one cone per spatial dimension");
+  // Each tile must start with the same statement (Sec. 3.3.2).
+  if ((G.H + 1) % static_cast<int64_t>(P.numStmts()) != 0)
+    return std::nullopt;
+  // Full warps with stride-one accesses (Sec. 6.2).
+  if (!G.InnerWidths.empty() && G.InnerWidths.back() % C.WarpSize != 0)
+    return std::nullopt;
+  if (G.InnerWidths.size() + 1 != P.spaceRank())
+    return std::nullopt;
+  std::optional<HybridSchedule> Sched =
+      makeCandidate(Cones, G.H, G.W0, G.InnerWidths);
+  if (!Sched)
+    return std::nullopt;
+  if (estimateSharedBytes(P, *Sched) > C.SharedMemBytes)
+    return std::nullopt;
+  return Sched;
+}
+
+const SlabCosts &SlabCostCache::costs(const ir::StencilProgram &P,
+                                      const deps::DependenceInfo &Deps,
+                                      const HybridSchedule &Sched,
+                                      const TileGeometry &G) {
+  if (BoundProgram.empty())
+    BoundProgram = P.name();
+  assert(BoundProgram == P.name() &&
+         "one SlabCostCache serves one program");
+  auto It = Memo.find(G);
+  if (It != Memo.end()) {
+    ++Hits;
+    return It->second;
+  }
+  ++Misses;
+  return Memo.emplace(G, analyzeSlab(P, Deps, Sched)).first->second;
+}
+
+bool core::betterChoice(const TileSizeChoice &A, const TileSizeChoice &B) {
+  if (A.LoadToCompute != B.LoadToCompute)
+    return A.LoadToCompute < B.LoadToCompute;
+  TileGeometry GA{A.Params.H, A.Params.W0, A.InnerWidths};
+  TileGeometry GB{B.Params.H, B.Params.W0, B.InnerWidths};
+  return GA < GB;
+}
+
 TileSizeChoice core::evaluateTileSizes(
     const ir::StencilProgram &P, const deps::DependenceInfo &Deps,
     const std::vector<deps::ConeBounds> &Cones, int64_t H, int64_t W0,
@@ -66,66 +164,30 @@ std::optional<TileSizeChoice>
 core::selectTileSizes(const ir::StencilProgram &P,
                       const deps::DependenceInfo &Deps,
                       const std::vector<deps::ConeBounds> &Cones,
-                      const TileSizeConstraints &Constraints) {
-  unsigned Rank = P.spaceRank();
-  assert(Cones.size() == Rank && "one cone per spatial dimension");
-
-  // Enumerate inner-width combinations: middle dims from MiddleWidths, the
-  // innermost from InnermostWidths (warp multiples, Sec. 4.2.3). For 1D
-  // programs there are no inner dims.
-  std::vector<std::vector<int64_t>> InnerCombos;
-  if (Rank == 1) {
-    InnerCombos.push_back({});
-  } else {
-    std::vector<int64_t> Cur(Rank - 1);
-    std::function<void(unsigned)> Gen = [&](unsigned I) {
-      if (I + 1 == Rank - 1 || Rank == 1) {
-        for (int64_t W : Constraints.InnermostWidths) {
-          assert(W % Constraints.WarpSize == 0 &&
-                 "innermost width must be a warp multiple");
-          Cur[Rank - 2] = W;
-          InnerCombos.push_back(Cur);
-        }
-        return;
-      }
-      for (int64_t W : Constraints.MiddleWidths) {
-        Cur[I] = W;
-        Gen(I + 1);
-      }
-    };
-    Gen(0);
-  }
+                      const TileSizeConstraints &Constraints,
+                      SlabCostCache *Cache) {
+  assert(Cones.size() == P.spaceRank() &&
+         "one cone per spatial dimension");
+  SlabCostCache Local;
+  SlabCostCache &Memo = Cache ? *Cache : Local;
 
   std::optional<TileSizeChoice> Best;
-  int64_t K = P.numStmts();
-  for (int64_t H = 1; H <= Constraints.MaxH; ++H) {
-    // Each tile must start with the same statement (Sec. 3.3.2).
-    if ((H + 1) % K != 0)
+  for (const TileGeometry &G :
+       enumerateTileGeometries(P.spaceRank(), Constraints)) {
+    std::optional<HybridSchedule> Sched =
+        admissibleCandidate(P, Cones, G, Constraints);
+    if (!Sched)
       continue;
-    for (int64_t W0 : Constraints.W0Widths) {
-      if (W0 > Constraints.MaxW0)
-        continue;
-      for (const std::vector<int64_t> &InnerW : InnerCombos) {
-        std::optional<HybridSchedule> Sched =
-            makeCandidate(Cones, H, W0, InnerW);
-        if (!Sched)
-          continue;
-        if (estimateSharedBytes(P, *Sched) > Constraints.SharedMemBytes)
-          continue;
-        SlabCosts Costs = analyzeSlab(P, Deps, *Sched);
-        if (Costs.SharedBytes > Constraints.SharedMemBytes)
-          continue;
-        double Ratio = Costs.loadToCompute();
-        if (!Best || Ratio < Best->LoadToCompute) {
-          TileSizeChoice Choice;
-          Choice.Params = Sched->params();
-          Choice.InnerWidths = InnerW;
-          Choice.Costs = Costs;
-          Choice.LoadToCompute = Ratio;
-          Best = std::move(Choice);
-        }
-      }
-    }
+    const SlabCosts &Costs = Memo.costs(P, Deps, *Sched, G);
+    if (Costs.SharedBytes > Constraints.SharedMemBytes)
+      continue;
+    TileSizeChoice Choice;
+    Choice.Params = Sched->params();
+    Choice.InnerWidths = G.InnerWidths;
+    Choice.Costs = Costs;
+    Choice.LoadToCompute = Costs.loadToCompute();
+    if (!Best || betterChoice(Choice, *Best))
+      Best = std::move(Choice);
   }
   return Best;
 }

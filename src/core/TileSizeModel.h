@@ -12,6 +12,19 @@
 /// innermost width is constrained to a multiple of the warp size so full
 /// warps execute with stride-one, alignable accesses.
 ///
+/// The search is factored into separately callable stages so the empirical
+/// autotuner (src/tune) can drive the same space candidate by candidate:
+///
+///   enumerateTileGeometries  -- the raw (h, w0, inner widths) lattice;
+///   admissibleCandidate      -- the Sec. 3.3/3.7 feasibility filters
+///                               (cone width bound, statement divisibility,
+///                               warp multiple, shared-memory estimate);
+///   SlabCostCache            -- analyzeSlab results memoized per geometry,
+///                               shared across candidates and calls;
+///   betterChoice             -- the deterministic scoring order.
+///
+/// selectTileSizes is the composition of the four.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HEXTILE_CORE_TILESIZEMODEL_H
@@ -20,6 +33,7 @@
 #include "core/TileAnalysis.h"
 #include "deps/DeltaBounds.h"
 
+#include <map>
 #include <optional>
 
 namespace hextile {
@@ -37,6 +51,30 @@ struct TileSizeConstraints {
   std::vector<int64_t> W0Widths = {1, 2, 3, 5, 7, 9, 11, 15};
 };
 
+/// One point of the Sec. 3.7 search lattice before any feasibility check:
+/// the hexagon height/peak width and the classical inner-tile widths.
+struct TileGeometry {
+  int64_t H = 1;
+  int64_t W0 = 1;
+  std::vector<int64_t> InnerWidths;
+
+  bool operator==(const TileGeometry &O) const {
+    return H == O.H && W0 == O.W0 && InnerWidths == O.InnerWidths;
+  }
+  /// Enumeration (and tie-breaking) order: H, then W0, then the widths
+  /// lexicographically.
+  bool operator<(const TileGeometry &O) const {
+    if (H != O.H)
+      return H < O.H;
+    if (W0 != O.W0)
+      return W0 < O.W0;
+    return InnerWidths < O.InnerWidths;
+  }
+
+  /// "h=2 w0=3 w=(8,32)" -- diagnostics and tuning-table rows.
+  std::string str() const;
+};
+
 /// One evaluated candidate.
 struct TileSizeChoice {
   HexTileParams Params;
@@ -45,16 +83,70 @@ struct TileSizeChoice {
   double LoadToCompute = 0.0;
 };
 
+/// The raw candidate lattice for a rank-\p Rank program: every H in
+/// [1, MaxH] x every W0Widths entry <= MaxW0 x every middle/innermost
+/// width combination, in deterministic (H, W0, widths) order. No
+/// feasibility filtering happens here -- admissibleCandidate does that.
+std::vector<TileGeometry>
+enumerateTileGeometries(unsigned Rank, const TileSizeConstraints &C);
+
+/// Applies the feasibility filters of Secs. 3.3.2/3.7 to one geometry:
+///  * (h+1) divisible by the statement count, so every tile starts with
+///    the same statement (Sec. 3.3.2);
+///  * the innermost width a warp multiple (Sec. 6.2);
+///  * the hexagon width bound, eq. (1) (HexTileParams::isValid);
+///  * the cheap rotating-window shared-memory estimate under the bound.
+/// Returns the candidate schedule when admissible, nullopt otherwise. The
+/// exact SlabCosts::SharedBytes bound is re-checked by the caller after
+/// costing (the estimate is an upper bound, so nothing admissible is cut).
+std::optional<HybridSchedule>
+admissibleCandidate(const ir::StencilProgram &P,
+                    const std::vector<deps::ConeBounds> &Cones,
+                    const TileGeometry &G, const TileSizeConstraints &C);
+
+/// Memo of exact slab costs keyed on tile geometry. analyzeSlab enumerates
+/// the whole slab, which dominates the cost of a Sec. 3.7 sweep; the
+/// selection used to recompute it per selectTileSizes call, and the
+/// autotuner evaluates the same geometries once more per (rung, flavor)
+/// axis. One cache serves one program: the first costs() call binds the
+/// program, later calls assert it did not change.
+class SlabCostCache {
+public:
+  /// The exact costs of \p Sched (geometry \p G) on \p P, computed at most
+  /// once per geometry.
+  const SlabCosts &costs(const ir::StencilProgram &P,
+                         const deps::DependenceInfo &Deps,
+                         const HybridSchedule &Sched, const TileGeometry &G);
+
+  size_t hits() const { return Hits; }
+  size_t misses() const { return Misses; }
+  size_t size() const { return Memo.size(); }
+
+private:
+  std::map<TileGeometry, SlabCosts> Memo;
+  std::string BoundProgram; ///< name() of the program served, once known.
+  size_t Hits = 0;
+  size_t Misses = 0;
+};
+
+/// The deterministic scoring order of the Sec. 3.7 objective: \p A beats
+/// \p B on a strictly smaller load-to-compute ratio; exact ties break
+/// toward the smaller geometry (H, then W0, then widths lexicographic),
+/// so the selection does not depend on enumeration incidentals.
+bool betterChoice(const TileSizeChoice &A, const TileSizeChoice &B);
+
 /// Enumerates admissible tile sizes for \p P (slopes from \p Cones) and
 /// returns the candidate with the smallest load-to-compute ratio, or
-/// nullopt when nothing fits the shared-memory bound. Heights are
-/// restricted to h with (h+1) divisible by the statement count so every
-/// tile starts with the same statement (Sec. 3.3.2).
+/// nullopt when nothing fits the shared-memory bound. Passing \p Cache
+/// shares the analyzeSlab memo with other sweeps over the same program
+/// (repeat calls then cost a map lookup per geometry instead of a slab
+/// enumeration).
 std::optional<TileSizeChoice>
 selectTileSizes(const ir::StencilProgram &P,
                 const deps::DependenceInfo &Deps,
                 const std::vector<deps::ConeBounds> &Cones,
-                const TileSizeConstraints &Constraints = {});
+                const TileSizeConstraints &Constraints = {},
+                SlabCostCache *Cache = nullptr);
 
 /// Evaluates one specific size choice exactly (used by benches to report
 /// the Sec. 3.7 table for manual configurations).

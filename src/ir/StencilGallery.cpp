@@ -259,6 +259,28 @@ StencilProgram ir::makeWave2D(int64_t N, int64_t T) {
   return P;
 }
 
+StencilProgram ir::makeHeat2D4(int64_t N, int64_t T) {
+  StencilProgram P("heat2d4", 2);
+  unsigned A = P.addField("A");
+  ReadSet R(A, 2);
+  StencilExpr C = R.at({0, 0});
+  StencilExpr E = R.at({0, 1}), W = R.at({0, -1}), S = R.at({1, 0}),
+              Nn = R.at({-1, 0});
+  StencilExpr E2 = R.at({0, 2}), W2 = R.at({0, -2}), S2 = R.at({2, 0}),
+              Nn2 = R.at({-2, 0});
+  // 16*(e+w+s+n) - (e2+w2+s2+n2) - 60*c, scaled: 3 adds + 1 mul inside
+  // the near ring + 3 adds for the far ring + 1 sub + 1 mul + 1 sub
+  // + 1 mul + 1 add = 12 flops, 9 loads, halo 2.
+  StencilExpr Near = StencilExpr::constant(16.0f) * (((E + W) + S) + Nn);
+  StencilExpr Far = ((E2 + W2) + S2) + Nn2;
+  StencilExpr Lap = (Near - Far) - StencilExpr::constant(60.0f) * C;
+  StencilExpr RHS = C + StencilExpr::constant(0.05f / 12.0f) * Lap;
+  P.addStmt({"heat4", A, R.take(), RHS});
+  P.setSpaceSizes({N, N});
+  P.setTimeSteps(T);
+  return P;
+}
+
 StencilProgram ir::makeVarHeat2D(int64_t N, int64_t T) {
   StencilProgram P("varheat2d", 2);
   unsigned A = P.addField("A");
@@ -318,6 +340,8 @@ StencilProgram ir::makeByName(const std::string &Name) {
     return makeJacobi1D();
   if (Name == "wave2d")
     return makeWave2D();
+  if (Name == "heat2d4")
+    return makeHeat2D4();
   if (Name == "varheat2d")
     return makeVarHeat2D();
   return StencilProgram();

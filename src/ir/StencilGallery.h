@@ -66,6 +66,16 @@ StencilProgram makeJacobi1D(int64_t N = 4096, int64_t T = 256);
 /// 6 loads, 9 flops.
 StencilProgram makeWave2D(int64_t N = 3072, int64_t T = 512);
 
+/// 4th-order (in space) 2D heat equation (beyond Table 3): the five-point
+/// second-difference per axis is replaced by the five-point fourth-order
+/// one, reading offsets +-1 AND +-2 along each axis -- a halo of TWO, the
+/// widest footprint in the gallery and the one the analytic tile-size
+/// model handles worst (the load phase grows by the full double halo
+/// while the compute per point barely moves) --
+///   A[t+1] = A + c * (16 (e+w+s+n) - (e2+w2+s2+n2) - 60 A) / 12.
+/// 9 loads, 12 flops.
+StencilProgram makeHeat2D4(int64_t N = 3072, int64_t T = 512);
+
 /// Variable-coefficient 2D heat equation (beyond Table 3): the diffusivity
 /// is a second grid K that no statement writes -- a read-only coefficient
 /// field flowing through every storage/staging path --

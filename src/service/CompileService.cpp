@@ -115,6 +115,28 @@ CompileService::compileAsync(const CompileRequest &R) {
   return F;
 }
 
+std::vector<std::future<CompileResult>>
+CompileService::compileBatch(const std::vector<CompileRequest> &Requests) {
+  std::vector<std::future<CompileResult>> Futures;
+  Futures.reserve(Requests.size());
+  bool Enqueued = false;
+  for (const CompileRequest &R : Requests) {
+    std::optional<CompileResult> Ready;
+    std::future<CompileResult> Pending;
+    admit(R, Ready, Pending, &Enqueued);
+    if (Ready) {
+      std::promise<CompileResult> P;
+      Futures.push_back(P.get_future());
+      P.set_value(std::move(*Ready));
+    } else {
+      Futures.push_back(std::move(Pending));
+    }
+  }
+  if (Enqueued)
+    QueueCv.notify_one();
+  return Futures;
+}
+
 std::shared_ptr<const CompiledArtifact>
 CompileService::loadFromStore(const CompileKey &Key,
                               const CompileRequest &R) {
@@ -138,7 +160,8 @@ CompileService::loadFromStore(const CompileKey &Key,
 
 void CompileService::admit(const CompileRequest &R,
                            std::optional<CompileResult> &Ready,
-                           std::future<CompileResult> &Pending) {
+                           std::future<CompileResult> &Pending,
+                           bool *DeferredEnqueue) {
   Clock::time_point T0 = Clock::now();
   {
     std::lock_guard<std::mutex> Lock(CountersM);
@@ -202,7 +225,10 @@ void CompileService::admit(const CompileRequest &R,
     std::lock_guard<std::mutex> Lock(M);
     Queue.push_back(Job);
   }
-  QueueCv.notify_one();
+  if (DeferredEnqueue)
+    *DeferredEnqueue = true; // Caller notifies once for the whole batch.
+  else
+    QueueCv.notify_one();
 }
 
 void CompileService::dispatcherMain() {

@@ -156,6 +156,16 @@ public:
   /// does. The future is never abandoned: service shutdown fulfills it.
   std::future<CompileResult> compileAsync(const CompileRequest &R);
 
+  /// Batch admission for candidate sweeps (the autotuner's fleet): every
+  /// request is admitted before the dispatcher is woken ONCE, so all the
+  /// misses of the batch drain in a single ThreadPool::parallelFor round
+  /// -- max(compile) wall time across distinct keys instead of ragged
+  /// wakeups. Futures align positionally with \p Requests; hits complete
+  /// immediately, duplicate keys inside the batch single-flight onto one
+  /// compile like any other concurrent pair.
+  std::vector<std::future<CompileResult>>
+  compileBatch(const std::vector<CompileRequest> &Requests);
+
   ServiceCounters counters() const;
 
   /// The store directory ("" when memory-only).
@@ -165,10 +175,13 @@ private:
   struct Inflight;
 
   /// Fast path + single-flight admission. Exactly one of the two return
-  /// slots is set.
+  /// slots is set. When \p DeferredEnqueue is non-null a queue push does
+  /// NOT wake the dispatcher; it sets the flag instead and the caller
+  /// notifies once for the whole batch.
   void admit(const CompileRequest &R,
              std::optional<CompileResult> &Ready,
-             std::future<CompileResult> &Pending);
+             std::future<CompileResult> &Pending,
+             bool *DeferredEnqueue = nullptr);
 
   /// Tries to serve \p Key from the artifact store (quarantining corrupt
   /// units). Returns the loaded artifact or null.

@@ -1,0 +1,140 @@
+//===- AutoTuner.h - Measurement-driven tile-size search -------*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The empirical complement of the Sec. 3.7 analytic model: enumerate the
+/// same candidate lattice the model scores (tile heights and widths via
+/// core::enumerateTileGeometries / admissibleCandidate), cross it with the
+/// Sec. 4.2 ladder rungs, the three schedule flavors and the shim team
+/// sizes, compile every candidate through the hextiled CompileService in
+/// one batch (the fleet: distinct keys build concurrently on the pool,
+/// repeat tunes are pure cache hits), then *measure* each JIT'd unit --
+/// warmup runs, a trimmed mean over samples, serialized so measurements
+/// never contend with each other -- and pick the empirically fastest.
+///
+/// The analytic model stays in the loop twice: it prunes the geometry
+/// lattice before any compile is paid for (only geometries within
+/// ModelPruneRatio of the best model score are measured), and its own
+/// pick is always candidate #0 -- measured first, before any time-budget
+/// cutoff -- so every TuneResult carries the model-vs-measured story and
+/// the measured winner is >= the analytic pick by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_TUNE_AUTOTUNER_H
+#define HEXTILE_TUNE_AUTOTUNER_H
+
+#include "service/CompileService.h"
+#include "tune/TuningTable.h"
+
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace tune {
+
+/// Bounds of one tuning sweep.
+struct AutoTunerOptions {
+  /// The geometry lattice (Sec. 3.7 search space).
+  core::TileSizeConstraints Space;
+  /// Ladder rungs crossed with every geometry.
+  std::vector<char> Rungs = {'a', 'b', 'c', 'd'};
+  /// Schedule flavors crossed with every geometry.
+  std::vector<codegen::EmitSchedule> Flavors = {
+      codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
+      codegen::EmitSchedule::Classical};
+  /// Shim team sizes (0 = serial unit) crossed with every geometry.
+  std::vector<int> ShimThreads = {0, 2};
+  /// Untimed executions before sampling starts (JIT warmup, cache state).
+  int Warmups = 1;
+  /// Timed executions per candidate; the mean is trimmed (min and max
+  /// dropped) when Samples >= 3.
+  int Samples = 3;
+  /// Model pruning: only geometries whose analytic load-to-compute ratio
+  /// is within this factor of the best admissible ratio are compiled and
+  /// measured. <= 1 keeps only ties with the best; large values disable
+  /// pruning.
+  double ModelPruneRatio = 2.0;
+  /// Hard cap on measured geometries after pruning (0 = no cap). The
+  /// model-ranked best geometries survive.
+  size_t MaxGeometries = 4;
+  /// Wall-clock budget for the measurement phase in ms (0 = unlimited).
+  /// The analytic pick is always measured; remaining candidates are
+  /// skipped once the budget is spent, leaving a valid partial result.
+  double TimeBudgetMs = 0;
+};
+
+/// One point of the tuning sweep with everything known about it.
+struct TunedCandidate {
+  core::TileGeometry Geometry;
+  char Rung = 'd';
+  codegen::EmitSchedule Flavor = codegen::EmitSchedule::Hybrid;
+  int ShimThreads = 0;
+  /// The analytic model's score of this geometry (rung-independent).
+  double ModelLoadToCompute = 0;
+  /// True for the Sec. 3.7 pick at the default configuration.
+  bool IsAnalyticPick = false;
+  bool Measured = false;
+  bool SkippedByBudget = false;
+  /// Measured interior-updates throughput (GStencils/s); 0 if unmeasured.
+  double GStencilsPerSec = 0;
+  /// The underlying compile's wall time (leader's value; 0 on cache hit).
+  double CompileMs = 0;
+  service::RequestOutcome How = service::RequestOutcome::Failed;
+  std::string Error; ///< Compile failure diagnostic, if any.
+
+  std::string str() const;
+};
+
+/// The outcome of tuning one program.
+struct TuneResult {
+  std::string Program;
+  std::vector<TunedCandidate> Candidates;
+  size_t EnumeratedGeometries = 0;
+  size_t AdmissibleGeometries = 0;
+  /// Admissible geometries the model pruned away before compiling.
+  size_t PrunedGeometries = 0;
+  int AnalyticIndex = -1; ///< Candidate index of the analytic pick.
+  int WinnerIndex = -1;   ///< Fastest measured candidate.
+  bool BudgetExhausted = false;
+  /// Compiles the service actually ran for this tune (counter delta):
+  /// 0 on a re-tune of an already-tuned program -- the cache-leverage
+  /// claim, asserted by tests.
+  uint64_t NewCompiles = 0;
+  double ElapsedMs = 0;
+  std::string Error; ///< Sweep-level failure (no admissible geometry...).
+
+  bool ok() const { return Error.empty() && WinnerIndex >= 0; }
+  /// measured winner vs measured analytic pick, percent, >= 0.
+  double gapPct() const;
+  /// The winner as a durable TuningTable row (nullopt when !ok()).
+  std::optional<TunedEntry> entry() const;
+};
+
+/// The measurement-driven tuner. Holds a reference to the compile service
+/// (shared across programs and tunes, so its cache carries the fleet) and
+/// the sweep options.
+class AutoTuner {
+public:
+  explicit AutoTuner(service::CompileService &Service,
+                     AutoTunerOptions Options = {});
+
+  /// Tunes one program (sizes and steps frozen as in \p P). Measurements
+  /// run serialized on the calling thread; compiles run batched on the
+  /// service pool.
+  TuneResult tune(const ir::StencilProgram &P);
+
+  const AutoTunerOptions &options() const { return Opts; }
+
+private:
+  service::CompileService &Svc;
+  AutoTunerOptions Opts;
+};
+
+} // namespace tune
+} // namespace hextile
+
+#endif // HEXTILE_TUNE_AUTOTUNER_H

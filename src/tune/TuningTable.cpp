@@ -1,0 +1,364 @@
+//===- TuningTable.cpp - Per-device empirical tuning tables ---------------===//
+
+#include "tune/TuningTable.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace hextile;
+using namespace hextile::tune;
+
+codegen::TunedSizes TunedEntry::tunedSizes() const {
+  codegen::TunedSizes T;
+  T.H = H;
+  T.W0 = W0;
+  T.InnerWidths = InnerWidths;
+  T.Config = codegen::OptimizationConfig::level(Rung);
+  T.Config.ShimThreads = ShimThreads;
+  return T;
+}
+
+bool TunedEntry::operator==(const TunedEntry &O) const {
+  return Program == O.Program && H == O.H && W0 == O.W0 &&
+         InnerWidths == O.InnerWidths && Rung == O.Rung &&
+         Flavor == O.Flavor && ShimThreads == O.ShimThreads &&
+         MeasuredGStencils == O.MeasuredGStencils &&
+         AnalyticGStencils == O.AnalyticGStencils &&
+         ModelLoadToCompute == O.ModelLoadToCompute && GapPct == O.GapPct;
+}
+
+std::optional<codegen::EmitSchedule>
+tune::emitScheduleByName(const std::string &Name) {
+  for (codegen::EmitSchedule S :
+       {codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
+        codegen::EmitSchedule::Classical})
+    if (Name == codegen::emitScheduleName(S))
+      return S;
+  return std::nullopt;
+}
+
+void TuningTable::put(TunedEntry E) {
+  for (TunedEntry &Existing : Entries)
+    if (Existing.Program == E.Program) {
+      Existing = std::move(E);
+      return;
+    }
+  Entries.push_back(std::move(E));
+}
+
+const TunedEntry *TuningTable::lookup(const std::string &Program) const {
+  for (const TunedEntry &E : Entries)
+    if (E.Program == Program)
+      return &E;
+  return nullptr;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string numStr(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  return Buf;
+}
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON reader: just enough for the shape toJson emits. Values
+// are doubles, strings, arrays of values, or objects; parse errors carry
+// the byte offset.
+//===----------------------------------------------------------------------===//
+
+struct JsonValue {
+  enum Kind { Null, Num, Str, Arr, Obj } K = Null;
+  double Number = 0;
+  std::string String;
+  std::vector<JsonValue> Array;
+  std::vector<std::pair<std::string, JsonValue>> Object;
+
+  const JsonValue *field(const std::string &Name) const {
+    for (const auto &[Key, Val] : Object)
+      if (Key == Name)
+        return &Val;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : S(Text) {}
+
+  std::optional<JsonValue> parse(std::string *Err) {
+    std::optional<JsonValue> V = value();
+    skipWs();
+    if (V && Pos != S.size()) {
+      Error = "trailing characters at offset " + std::to_string(Pos);
+      V = std::nullopt;
+    }
+    if (!V && Err)
+      *Err = Error.empty() ? "malformed JSON" : Error;
+    return V;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> fail(const std::string &Why) {
+    if (Error.empty())
+      Error = Why + " at offset " + std::to_string(Pos);
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> value() {
+    skipWs();
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    char C = S[Pos];
+    if (C == '"')
+      return string();
+    if (C == '[')
+      return array();
+    if (C == '{')
+      return object();
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+      return number();
+    return fail(std::string("unexpected character '") + C + "'");
+  }
+
+  std::optional<JsonValue> string() {
+    ++Pos; // opening quote
+    JsonValue V;
+    V.K = JsonValue::Str;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\' && Pos + 1 < S.size())
+        ++Pos;
+      V.String += S[Pos++];
+    }
+    if (Pos >= S.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return V;
+  }
+
+  std::optional<JsonValue> number() {
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '-' || S[Pos] == '+' || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E'))
+      ++Pos;
+    JsonValue V;
+    V.K = JsonValue::Num;
+    try {
+      V.Number = std::stod(S.substr(Start, Pos - Start));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    return V;
+  }
+
+  std::optional<JsonValue> array() {
+    ++Pos; // '['
+    JsonValue V;
+    V.K = JsonValue::Arr;
+    if (eat(']'))
+      return V;
+    while (true) {
+      std::optional<JsonValue> Elem = value();
+      if (!Elem)
+        return std::nullopt;
+      V.Array.push_back(std::move(*Elem));
+      if (eat(']'))
+        return V;
+      if (!eat(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    ++Pos; // '{'
+    JsonValue V;
+    V.K = JsonValue::Obj;
+    if (eat('}'))
+      return V;
+    while (true) {
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != '"')
+        return fail("expected string key in object");
+      std::optional<JsonValue> Key = string();
+      if (!Key)
+        return std::nullopt;
+      if (!eat(':'))
+        return fail("expected ':' after object key");
+      std::optional<JsonValue> Val = value();
+      if (!Val)
+        return std::nullopt;
+      V.Object.emplace_back(std::move(Key->String), std::move(*Val));
+      if (eat('}'))
+        return V;
+      if (!eat(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+/// Reads one entries[] element back into a TunedEntry. Returns false (and
+/// fills Err) when a required field is missing or mistyped.
+bool entryFromJson(const JsonValue &V, TunedEntry &E, std::string *Err) {
+  auto Fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = Why;
+    return false;
+  };
+  if (V.K != JsonValue::Obj)
+    return Fail("entry is not an object");
+  const JsonValue *Program = V.field("program");
+  if (!Program || Program->K != JsonValue::Str || Program->String.empty())
+    return Fail("entry missing \"program\"");
+  E.Program = Program->String;
+
+  auto Num = [&](const char *Name, double &Out, bool Required) {
+    const JsonValue *F = V.field(Name);
+    if (!F || F->K != JsonValue::Num)
+      return !Required;
+    Out = F->Number;
+    return true;
+  };
+  double H = 1, W0 = 1, Shim = 0;
+  if (!Num("h", H, true) || !Num("w0", W0, true))
+    return Fail("entry for " + E.Program + " missing \"h\"/\"w0\"");
+  E.H = static_cast<int64_t>(H);
+  E.W0 = static_cast<int64_t>(W0);
+  Num("shim_threads", Shim, false);
+  E.ShimThreads = static_cast<int>(Shim);
+  Num("measured_gstencils", E.MeasuredGStencils, false);
+  Num("analytic_gstencils", E.AnalyticGStencils, false);
+  Num("model_load_to_compute", E.ModelLoadToCompute, false);
+  Num("gap_pct", E.GapPct, false);
+
+  if (const JsonValue *Inner = V.field("inner_widths")) {
+    if (Inner->K != JsonValue::Arr)
+      return Fail("\"inner_widths\" is not an array");
+    for (const JsonValue &W : Inner->Array) {
+      if (W.K != JsonValue::Num)
+        return Fail("\"inner_widths\" holds a non-number");
+      E.InnerWidths.push_back(static_cast<int64_t>(W.Number));
+    }
+  }
+  if (const JsonValue *Rung = V.field("rung")) {
+    if (Rung->K != JsonValue::Str || Rung->String.size() != 1 ||
+        Rung->String[0] < 'a' || Rung->String[0] > 'f')
+      return Fail("\"rung\" must be one letter 'a'..'f'");
+    E.Rung = Rung->String[0];
+  }
+  if (const JsonValue *Flavor = V.field("flavor")) {
+    if (Flavor->K != JsonValue::Str ||
+        !emitScheduleByName(Flavor->String))
+      return Fail("\"flavor\" must be hex/hybrid/classical");
+    E.Flavor = Flavor->String;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string TuningTable::toJson() const {
+  std::ostringstream Out;
+  Out << "{\n  \"device\": \"" << jsonEscape(Dev) << "\",\n"
+      << "  \"entries\": [\n";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const TunedEntry &E = Entries[I];
+    Out << "    {\"program\": \"" << jsonEscape(E.Program) << "\", "
+        << "\"h\": " << E.H << ", \"w0\": " << E.W0
+        << ", \"inner_widths\": [";
+    for (size_t W = 0; W < E.InnerWidths.size(); ++W)
+      Out << (W ? ", " : "") << E.InnerWidths[W];
+    Out << "], \"rung\": \"" << E.Rung << "\", \"flavor\": \""
+        << jsonEscape(E.Flavor)
+        << "\", \"shim_threads\": " << E.ShimThreads
+        << ", \"measured_gstencils\": " << numStr(E.MeasuredGStencils)
+        << ", \"analytic_gstencils\": " << numStr(E.AnalyticGStencils)
+        << ", \"model_load_to_compute\": " << numStr(E.ModelLoadToCompute)
+        << ", \"gap_pct\": " << numStr(E.GapPct) << "}"
+        << (I + 1 < Entries.size() ? "," : "") << "\n";
+  }
+  Out << "  ]\n}\n";
+  return Out.str();
+}
+
+std::optional<TuningTable> TuningTable::fromJson(const std::string &Json,
+                                                 std::string *Err) {
+  JsonParser Parser(Json);
+  std::optional<JsonValue> Root = Parser.parse(Err);
+  if (!Root)
+    return std::nullopt;
+  auto Fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = Why;
+    return std::nullopt;
+  };
+  if (Root->K != JsonValue::Obj)
+    return Fail("tuning table must be a JSON object");
+  TuningTable Table;
+  if (const JsonValue *Dev = Root->field("device");
+      Dev && Dev->K == JsonValue::Str)
+    Table.Dev = Dev->String;
+  const JsonValue *Entries = Root->field("entries");
+  if (!Entries || Entries->K != JsonValue::Arr)
+    return Fail("tuning table missing \"entries\" array");
+  for (const JsonValue &V : Entries->Array) {
+    TunedEntry E;
+    std::string EntryErr;
+    if (!entryFromJson(V, E, &EntryErr))
+      return Fail(EntryErr);
+    Table.put(std::move(E));
+  }
+  return Table;
+}
+
+bool TuningTable::writeFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << toJson();
+  return static_cast<bool>(Out.flush());
+}
+
+std::optional<TuningTable> TuningTable::fromFile(const std::string &Path,
+                                                  std::string *Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return std::nullopt;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return fromJson(Buf.str(), Err);
+}

@@ -1,0 +1,211 @@
+//===- TileSizeModelTest.cpp - The factored Sec. 3.7 selection ------------===//
+//
+// The tile-size search decomposed: enumeration produces the raw candidate
+// lattice in a deterministic order, admissibility applies exactly the
+// Sec. 3.3.2/3.7 feasibility rules, scoring is memoized per geometry
+// (SlabCostCache), ties break deterministically, and the composition
+// (selectTileSizes) still picks the same winners as the monolithic
+// implementation did -- now without re-running analyzeSlab per call.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TileSizeModel.h"
+
+#include "deps/DeltaBounds.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+using namespace hextile;
+using namespace hextile::core;
+
+namespace {
+
+struct Analyzed {
+  ir::StencilProgram P;
+  deps::DependenceInfo Deps;
+  std::vector<deps::ConeBounds> Cones;
+};
+
+Analyzed analyze(ir::StencilProgram P) {
+  deps::DependenceInfo Deps = deps::analyzeDependences(P);
+  std::vector<deps::ConeBounds> Cones = deps::computeAllConeBounds(Deps);
+  return {std::move(P), std::move(Deps), std::move(Cones)};
+}
+
+TileSizeConstraints smallSpace() {
+  TileSizeConstraints C;
+  C.MaxH = 3;
+  C.W0Widths = {2, 3, 5};
+  C.MiddleWidths = {6, 8};
+  C.InnermostWidths = {32};
+  return C;
+}
+
+} // namespace
+
+TEST(TileSizeModelTest, EnumerationIsTheFullLattice2D) {
+  TileSizeConstraints C = smallSpace();
+  std::vector<TileGeometry> Geos = enumerateTileGeometries(2, C);
+  // H in {1,2,3} x W0 in {2,3,5} x innermost in {32}: no middle dims at
+  // rank 2, so 9 geometries, in (H, W0, widths) order.
+  ASSERT_EQ(Geos.size(), 9u);
+  EXPECT_EQ(Geos.front().H, 1);
+  EXPECT_EQ(Geos.front().W0, 2);
+  EXPECT_EQ(Geos.front().InnerWidths, std::vector<int64_t>{32});
+  EXPECT_EQ(Geos.back().H, 3);
+  EXPECT_EQ(Geos.back().W0, 5);
+  EXPECT_TRUE(std::is_sorted(Geos.begin(), Geos.end()));
+}
+
+TEST(TileSizeModelTest, EnumerationCrossesMiddleWidthsAtRank3) {
+  TileSizeConstraints C = smallSpace();
+  std::vector<TileGeometry> Geos = enumerateTileGeometries(3, C);
+  // 3 H x 3 W0 x (2 middle x 1 innermost) = 18.
+  EXPECT_EQ(Geos.size(), 18u);
+  for (const TileGeometry &G : Geos) {
+    ASSERT_EQ(G.InnerWidths.size(), 2u);
+    EXPECT_EQ(G.InnerWidths.back(), 32);
+  }
+}
+
+TEST(TileSizeModelTest, MaxW0CutsEnumeration) {
+  TileSizeConstraints C = smallSpace();
+  C.MaxW0 = 2;
+  EXPECT_EQ(enumerateTileGeometries(2, C).size(), 3u);
+}
+
+TEST(TileSizeModelTest, AdmissibilityEnforcesStatementDivisibility) {
+  // fdtd2d has three statements, so only (h+1) % 3 == 0 survives.
+  Analyzed A = analyze(ir::makeFdtd2D(64, 16));
+  TileSizeConstraints C = smallSpace();
+  EXPECT_FALSE(admissibleCandidate(A.P, A.Cones, {1, 3, {32}}, C));
+  EXPECT_FALSE(admissibleCandidate(A.P, A.Cones, {3, 3, {32}}, C));
+  EXPECT_TRUE(admissibleCandidate(A.P, A.Cones, {2, 3, {32}}, C));
+}
+
+TEST(TileSizeModelTest, AdmissibilityEnforcesWarpMultiple) {
+  Analyzed A = analyze(ir::makeJacobi2D(64, 16));
+  TileSizeConstraints C = smallSpace();
+  EXPECT_FALSE(admissibleCandidate(A.P, A.Cones, {1, 3, {24}}, C));
+  EXPECT_TRUE(admissibleCandidate(A.P, A.Cones, {1, 3, {32}}, C));
+  // A non-default warp size moves the bar.
+  C.WarpSize = 24;
+  EXPECT_TRUE(admissibleCandidate(A.P, A.Cones, {1, 3, {24}}, C));
+}
+
+TEST(TileSizeModelTest, AdmissibilityEnforcesRankAndSharedBound) {
+  Analyzed A = analyze(ir::makeJacobi2D(64, 16));
+  TileSizeConstraints C = smallSpace();
+  // Wrong inner-width arity for the rank.
+  EXPECT_FALSE(admissibleCandidate(A.P, A.Cones, {1, 3, {}}, C));
+  EXPECT_FALSE(admissibleCandidate(A.P, A.Cones, {1, 3, {8, 32}}, C));
+  // A tiny shared-memory bound rejects everything.
+  C.SharedMemBytes = 64;
+  EXPECT_FALSE(admissibleCandidate(A.P, A.Cones, {1, 3, {32}}, C));
+}
+
+TEST(TileSizeModelTest, SlabCostCacheComputesOncePerGeometry) {
+  Analyzed A = analyze(ir::makeJacobi1D(512, 64));
+  TileSizeConstraints C = smallSpace();
+  SlabCostCache Cache;
+
+  std::optional<TileSizeChoice> First =
+      selectTileSizes(A.P, A.Deps, A.Cones, C, &Cache);
+  ASSERT_TRUE(First);
+  size_t MissesAfterFirst = Cache.misses();
+  EXPECT_GT(MissesAfterFirst, 0u);
+  EXPECT_EQ(Cache.hits(), 0u);
+
+  // The second sweep over the same space is pure memo hits -- the per-call
+  // analyzeSlab recomputation is gone.
+  std::optional<TileSizeChoice> Second =
+      selectTileSizes(A.P, A.Deps, A.Cones, C, &Cache);
+  ASSERT_TRUE(Second);
+  EXPECT_EQ(Cache.misses(), MissesAfterFirst);
+  EXPECT_EQ(Cache.hits(), MissesAfterFirst);
+
+  EXPECT_EQ(First->Params.H, Second->Params.H);
+  EXPECT_EQ(First->Params.W0, Second->Params.W0);
+  EXPECT_EQ(First->InnerWidths, Second->InnerWidths);
+  EXPECT_EQ(First->LoadToCompute, Second->LoadToCompute);
+}
+
+TEST(TileSizeModelTest, CachedAndUncachedSelectionAgree) {
+  for (const char *Name : {"jacobi1d", "jacobi2d", "heat2d"}) {
+    ir::StencilProgram P = ir::makeByName(Name);
+    P.setSpaceSizes(std::vector<int64_t>(P.spaceRank(), 96));
+    P.setTimeSteps(16);
+    Analyzed A = analyze(std::move(P));
+    TileSizeConstraints C = smallSpace();
+    SlabCostCache Cache;
+    std::optional<TileSizeChoice> Cached =
+        selectTileSizes(A.P, A.Deps, A.Cones, C, &Cache);
+    std::optional<TileSizeChoice> Plain =
+        selectTileSizes(A.P, A.Deps, A.Cones, C);
+    ASSERT_EQ(Cached.has_value(), Plain.has_value()) << Name;
+    if (!Cached)
+      continue;
+    EXPECT_EQ(Cached->Params.H, Plain->Params.H) << Name;
+    EXPECT_EQ(Cached->Params.W0, Plain->Params.W0) << Name;
+    EXPECT_EQ(Cached->InnerWidths, Plain->InnerWidths) << Name;
+  }
+}
+
+TEST(TileSizeModelTest, TieBreakingIsDeterministic) {
+  // Exact ratio ties resolve toward the smaller geometry: H first, then
+  // W0, then the widths lexicographically -- independent of evaluation
+  // order.
+  auto Mk = [](int64_t H, int64_t W0, std::vector<int64_t> W, double Ratio) {
+    TileSizeChoice C;
+    C.Params = HexTileParams(H, W0, Rational(1), Rational(1));
+    C.InnerWidths = std::move(W);
+    C.LoadToCompute = Ratio;
+    return C;
+  };
+  // A strictly smaller ratio always wins, geometry regardless.
+  EXPECT_TRUE(betterChoice(Mk(5, 9, {64}, 0.5), Mk(1, 1, {32}, 0.6)));
+  EXPECT_FALSE(betterChoice(Mk(1, 1, {32}, 0.6), Mk(5, 9, {64}, 0.5)));
+  // Tie: smaller H.
+  EXPECT_TRUE(betterChoice(Mk(1, 9, {64}, 0.5), Mk(2, 1, {32}, 0.5)));
+  // Tie + equal H: smaller W0.
+  EXPECT_TRUE(betterChoice(Mk(2, 3, {64}, 0.5), Mk(2, 5, {32}, 0.5)));
+  // Tie + equal H, W0: lexicographically smaller widths.
+  EXPECT_TRUE(betterChoice(Mk(2, 3, {32}, 0.5), Mk(2, 3, {64}, 0.5)));
+  // Full tie: neither is better (strict weak ordering).
+  EXPECT_FALSE(betterChoice(Mk(2, 3, {32}, 0.5), Mk(2, 3, {32}, 0.5)));
+}
+
+TEST(TileSizeModelTest, SelectionMatchesExhaustiveScan) {
+  // The composed selectTileSizes equals a hand-rolled scan over
+  // enumerate + admissible + exact costs with betterChoice.
+  Analyzed A = analyze(ir::makeHeat2D(96, 16));
+  TileSizeConstraints C = smallSpace();
+
+  std::optional<TileSizeChoice> Best;
+  for (const TileGeometry &G : enumerateTileGeometries(2, C)) {
+    std::optional<HybridSchedule> S = admissibleCandidate(A.P, A.Cones, G, C);
+    if (!S)
+      continue;
+    TileSizeChoice Choice =
+        evaluateTileSizes(A.P, A.Deps, A.Cones, G.H, G.W0, G.InnerWidths);
+    if (Choice.Costs.SharedBytes > C.SharedMemBytes)
+      continue;
+    if (!Best || betterChoice(Choice, *Best))
+      Best = Choice;
+  }
+
+  std::optional<TileSizeChoice> Got =
+      selectTileSizes(A.P, A.Deps, A.Cones, C);
+  ASSERT_EQ(Best.has_value(), Got.has_value());
+  ASSERT_TRUE(Got);
+  EXPECT_EQ(Got->Params.H, Best->Params.H);
+  EXPECT_EQ(Got->Params.W0, Best->Params.W0);
+  EXPECT_EQ(Got->InnerWidths, Best->InnerWidths);
+  EXPECT_EQ(Got->LoadToCompute, Best->LoadToCompute);
+}
+
+TEST(TileSizeModelTest, GeometryStrNamesAllComponents) {
+  EXPECT_EQ((TileGeometry{2, 3, {8, 32}}).str(), "h=2 w0=3 w=(8,32)");
+  EXPECT_EQ((TileGeometry{4, 5, {}}).str(), "h=4 w0=5");
+}

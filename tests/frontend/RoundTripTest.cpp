@@ -118,7 +118,7 @@ TEST(RoundTripTest, WholeGalleryParses) {
   for (const char *Name :
        {"jacobi1d", "jacobi2d", "laplacian2d", "heat2d", "gradient2d",
         "fdtd2d", "laplacian3d", "heat3d", "gradient3d", "skewed1d",
-        "wave2d", "varheat2d"}) {
+        "wave2d", "varheat2d", "heat2d4"}) {
     ir::StencilProgram P = ir::makeByName(Name);
     frontend::ParseResult R =
         frontend::parseStencilProgram(P.str(), P.name());

@@ -134,7 +134,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values("jacobi1d", "jacobi2d", "laplacian2d", "heat2d",
                           "gradient2d", "fdtd2d", "laplacian3d", "heat3d",
-                          "gradient3d", "skewed1d", "wave2d", "varheat2d"),
+                          "gradient3d", "skewed1d", "wave2d", "varheat2d",
+                          "heat2d4"),
         ::testing::Values(BackendSpec{exec::BackendKind::Serial, 0},
                           BackendSpec{exec::BackendKind::ThreadPool, 0},
                           BackendSpec{exec::BackendKind::DeviceSim, 1},

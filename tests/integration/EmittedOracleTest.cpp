@@ -142,6 +142,7 @@ INSTANTIATE_TEST_SUITE_P(
         EmittedCase{"gradient2d", 18, 6, {2, 4, {6}, 4}},
         EmittedCase{"fdtd2d", 16, 5, {2, 3, {5}, 4}},
         EmittedCase{"wave2d", 16, 6, {2, 3, {5}, 4}},
+        EmittedCase{"heat2d4", 20, 6, {1, 3, {6}, 4}},
         EmittedCase{"varheat2d", 16, 6, {1, 3, {5}, 4}},
         EmittedCase{"laplacian3d", 12, 4, {1, 2, {4, 4}, 4}},
         EmittedCase{"heat3d", 12, 4, {2, 2, {4, 4}, 4}},

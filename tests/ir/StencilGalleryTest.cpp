@@ -112,7 +112,21 @@ TEST(StencilGalleryTest, VarHeat2DHasReadOnlyCoefficient) {
   EXPECT_EQ(P.bufferDepth(1), 2u);
 }
 
+TEST(StencilGalleryTest, Heat2D4HasDoubleHalo) {
+  StencilProgram P = makeHeat2D4(16, 4);
+  EXPECT_EQ(P.verify(), "");
+  EXPECT_EQ(P.totalReads(), 9u);
+  EXPECT_EQ(P.totalFlops(), 12u);
+  // The +-2 offsets along each axis widen the halo to two on every side.
+  for (unsigned D = 0; D < 2; ++D) {
+    EXPECT_EQ(P.loHalo(D), 2);
+    EXPECT_EQ(P.hiHalo(D), 2);
+  }
+  EXPECT_EQ(P.bufferDepth(0), 2u);
+}
+
 TEST(StencilGalleryTest, NewEntriesResolveByName) {
   EXPECT_EQ(makeByName("wave2d").name(), "wave2d");
   EXPECT_EQ(makeByName("varheat2d").name(), "varheat2d");
+  EXPECT_EQ(makeByName("heat2d4").name(), "heat2d4");
 }

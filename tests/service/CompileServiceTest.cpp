@@ -259,6 +259,92 @@ TEST(CompileServiceTest, SingleFlightJoinsAllWaitersOnOneCompile) {
 }
 
 //===----------------------------------------------------------------------===//
+// Batch admission (the autotuner's fleet path).
+//===----------------------------------------------------------------------===//
+
+TEST(CompileServiceTest, BatchAdmitsEverythingBeforeOneWakeup) {
+  if (!JitUnit::available())
+    GTEST_SKIP() << "no system C++ compiler; service compiles skip";
+
+  CompileService Svc;
+
+  // Pre-warm one key so the batch mixes hits and misses.
+  CompileRequest Warm = makeRequest(gallery()[0], 'a');
+  ASSERT_TRUE(Svc.compile(Warm).ok());
+  uint64_t CompilesBefore = Svc.counters().Compiles;
+
+  // [cached, distinct A, distinct B, duplicate of A]: futures align
+  // positionally, hits complete immediately, the duplicate key never
+  // costs a second compile.
+  CompileRequest A = makeRequest(gallery()[0], 'b');
+  CompileRequest B = makeRequest(gallery()[1], 'c');
+  std::vector<CompileRequest> Batch = {Warm, A, B, A};
+  std::vector<std::future<CompileResult>> Futures = Svc.compileBatch(Batch);
+  ASSERT_EQ(Futures.size(), Batch.size());
+
+  std::vector<CompileResult> Results;
+  for (std::future<CompileResult> &F : Futures) {
+    Results.push_back(F.get());
+    ASSERT_TRUE(Results.back().ok()) << Results.back().Error;
+  }
+  for (size_t I = 0; I < Batch.size(); ++I)
+    EXPECT_EQ(Results[I].Artifact->key(), makeCompileKey(Batch[I]))
+        << "future " << I << " does not align with its request";
+
+  EXPECT_EQ(Results[0].Stats.How, RequestOutcome::MemoryHit);
+  // The duplicate either joined A's in-flight compile or hit the cache A
+  // populated -- either way no duplicate compile happened.
+  EXPECT_NE(Results[3].Stats.How, RequestOutcome::Compiled);
+  EXPECT_EQ(Svc.counters().Compiles, CompilesBefore + 2);
+
+  // Replaying the whole batch is pure memory hits: the autotuner's
+  // "second tune performs zero new compiles" claim at the service level.
+  for (std::future<CompileResult> &F : Svc.compileBatch(Batch)) {
+    CompileResult Res = F.get();
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    EXPECT_EQ(Res.Stats.How, RequestOutcome::MemoryHit);
+  }
+  EXPECT_EQ(Svc.counters().Compiles, CompilesBefore + 2);
+}
+
+TEST(CompileServiceTest, BatchDuplicatesSingleFlightUnderAHeldCompile) {
+  if (!JitUnit::available())
+    GTEST_SKIP() << "no system C++ compiler; service compiles skip";
+
+  // Deterministic variant: the compile is parked inside the source
+  // function, so every duplicate in the batch MUST be an in-flight join
+  // (no racing fast-finish can turn it into a memory hit).
+  auto Hold = std::make_shared<Gate>();
+  CompileServiceOptions Opts;
+  Opts.HostSourceFn = [Hold](const codegen::CompiledHybrid &C,
+                             codegen::EmitSchedule S) {
+    Hold->wait();
+    return codegen::emitHost(C, S);
+  };
+  CompileService Svc(Opts);
+
+  CompileRequest A = makeRequest(gallery()[2], 'd');
+  std::vector<std::future<CompileResult>> Futures =
+      Svc.compileBatch({A, A, A});
+  ASSERT_TRUE(eventually([&] {
+    return Svc.counters().InflightJoins == 2;
+  }));
+  EXPECT_EQ(Svc.counters().Compiles, 0u);
+  Hold->open();
+
+  unsigned Compiled = 0, Joined = 0;
+  for (std::future<CompileResult> &F : Futures) {
+    CompileResult Res = F.get();
+    ASSERT_TRUE(Res.ok()) << Res.Error;
+    Compiled += Res.Stats.How == RequestOutcome::Compiled;
+    Joined += Res.Stats.How == RequestOutcome::JoinedInflight;
+  }
+  EXPECT_EQ(Compiled, 1u);
+  EXPECT_EQ(Joined, 2u);
+  EXPECT_EQ(Svc.counters().Compiles, 1u);
+}
+
+//===----------------------------------------------------------------------===//
 // Satellite 3: the failure path.
 //===----------------------------------------------------------------------===//
 
