@@ -33,6 +33,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 using namespace hextile;
 
@@ -149,7 +150,8 @@ int main(int argc, char **argv) {
           .num("instances", Stats.Instances)
           .num("bands", Stats.Bands)
           .num("peak_buffer", Stats.PeakBandInstances)
-          .num("wavefronts", Stats.Wavefronts);
+          .num("wavefronts", Stats.Wavefronts)
+          .num("pool_tasks", Stats.PoolTasks);
       if (B == exec::BackendKind::DeviceSim) {
         Row.num("devices", Stats.Devices)
             .num("halo_exchanges", Stats.HaloExchanges)
@@ -164,5 +166,54 @@ int main(int argc, char **argv) {
               "streaming generator;\n halo-bytes = boundary values copied "
               "between simulated devices, 0 for\n single-address-space "
               "backends. --size/--steps scale toward Table 3.)\n");
+
+  // Regression gate for the small-wavefront batching floor: classical
+  // tiling streams hundreds of tiny band-edge wavefronts, and before
+  // chunks were floored at MinTaskInstances the pooled replay paid a pool
+  // barrier per front and ran *slower* than serial. The smoke entry pins
+  // the fix: best-of-N pooled classical must not lose to serial beyond a
+  // conservative noise allowance. Multi-core machines only -- on a single
+  // core the pooled replay legitimately pays for its futile workers.
+  if (Smoke && std::thread::hardware_concurrency() < 2) {
+    std::printf("\nsmoke gate: skipped (single hardware thread -- pooled "
+                "vs serial is not meaningful here)\n");
+  } else if (Smoke) {
+    harness::OracleSchedule S = harness::makeOracleSchedule(
+        P, harness::ScheduleKind::Classical, T);
+    if (S.Key) {
+      auto bestOf = [&](exec::BackendKind B) {
+        double Best = 0;
+        for (int R = 0; R < 5; ++R) {
+          exec::ScheduleRunOptions Opts;
+          Opts.Backend = B;
+          Opts.NumThreads = Threads;
+          Opts.ParallelFrom = S.ParallelFrom;
+          std::unique_ptr<exec::FieldStorage> Storage =
+              exec::makeStorage(P, Opts);
+          auto T0 = std::chrono::steady_clock::now();
+          exec::runSchedule(P, *Storage, Domain, S.Key, Opts);
+          auto T1 = std::chrono::steady_clock::now();
+          double Secs = seconds(T0, T1);
+          if (R == 0 || Secs < Best)
+            Best = Secs;
+        }
+        return Best;
+      };
+      double SerialBest = bestOf(exec::BackendKind::Serial);
+      double PooledBest = bestOf(exec::BackendKind::ThreadPool);
+      std::printf("\nsmoke gate: classical best-of-5 serial %.4fs, pooled "
+                  "%.4fs\n",
+                  SerialBest, PooledBest);
+      // 1.5x plus 2ms absolute slack: far above timer noise on the smoke
+      // grid, far below the multiples the un-batched regression showed.
+      if (PooledBest > SerialBest * 1.5 + 2e-3) {
+        std::fprintf(stderr,
+                     "error: pooled classical replay (%.4fs) lost to serial "
+                     "(%.4fs) -- small-wavefront batching regressed\n",
+                     PooledBest, SerialBest);
+        return 1;
+      }
+    }
+  }
   return Report.writeTo(JsonPath) ? 0 : 1;
 }

@@ -33,6 +33,8 @@ METRIC_PREFERENCE = [
     "gstencils_per_s",
     "hybrid_gstencils_per_s",
     "mean_gstencils_per_s",
+    "speedup_vs_1dev",
+    "minst_per_s",
     "p50_ms",
     "mean_ms",
     "elapsed_ms",

@@ -5,37 +5,102 @@
 #include "exec/Executor.h"
 #include "exec/PartitionedGridStorage.h"
 
+#include <chrono>
 #include <stdexcept>
 
 using namespace hextile;
 using namespace hextile::exec;
 
-DeviceSimBackend::DeviceSimBackend(gpu::DeviceTopology Topo)
-    : Topo(std::move(Topo)) {
+DeviceSimBackend::DeviceSimBackend(gpu::DeviceTopology Topo, bool Threaded)
+    : Topo(std::move(Topo)), Threaded(Threaded) {
   if (this->Topo.Devices.empty())
     this->Topo = defaultSimTopology(1);
 }
 
-DeviceSimBackend::DeviceSimBackend(unsigned NumDevices)
-    : DeviceSimBackend(defaultSimTopology(NumDevices)) {}
+DeviceSimBackend::DeviceSimBackend(unsigned NumDevices, bool Threaded)
+    : DeviceSimBackend(defaultSimTopology(NumDevices), Threaded) {}
+
+bool DeviceSimBackend::brokenBarrierSupported() {
+#ifdef HEXTILE_DEVICESIM_TEST_HOOKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void DeviceSimBackend::setBrokenBarrierForTesting(bool Broken) {
+#ifdef HEXTILE_DEVICESIM_TEST_HOOKS
+  BrokenBarrier = Broken;
+#else
+  (void)Broken;
+#endif
+}
+
+void DeviceSimBackend::ensurePool(unsigned NumDevices) {
+  if (Pool && PoolDevices == NumDevices)
+    return;
+  // One participant per device: the caller is worker 0, so NumDevices - 1
+  // threads are spawned and each device's phase work lands on its own
+  // worker (parallelFor deals the single-iteration chunks round-robin).
+  Pool = std::make_unique<ThreadPool>(NumDevices);
+  PoolDevices = NumDevices;
+}
 
 void DeviceSimBackend::beginReplay() {
-  Exchanges = HaloValues = HaloBytes = 0;
+  Exchanges = 0;
+  PoolTasksAtBegin = Pool ? Pool->tasksDispatched() : 0;
   DeviceInstances.clear();
-  DeviceValuesSent.clear();
+  SentDown.clear();
+  SentUp.clear();
+  WallDown.clear();
+  WallUp.clear();
+  ComputeThread.clear();
+  SeenThreads.clear();
+  ActiveDevices.store(0, std::memory_order_relaxed);
+  MaxActive.store(0, std::memory_order_relaxed);
 }
 
 void DeviceSimBackend::finishReplay(ReplayStats *Stats) {
   if (!Stats)
     return;
-  Stats->Devices = DeviceInstances.size();
+  size_t N = DeviceInstances.size();
+  Stats->Devices = N;
   Stats->HaloExchanges = Exchanges;
-  Stats->HaloValuesExchanged = HaloValues;
-  Stats->HaloBytesExchanged = HaloBytes;
-  Stats->PerDevice.resize(DeviceInstances.size());
-  for (size_t D = 0; D < DeviceInstances.size(); ++D) {
+  Stats->MaxConcurrentDevices = MaxActive.load(std::memory_order_relaxed);
+  Stats->DistinctComputeThreads = SeenThreads.size();
+  Stats->PoolTasks = Pool ? Pool->tasksDispatched() - PoolTasksAtBegin : 0;
+
+  Stats->PerDevice.resize(N);
+  size_t TotalValues = 0;
+  for (size_t D = 0; D < N; ++D) {
     Stats->PerDevice[D].Instances = DeviceInstances[D];
-    Stats->PerDevice[D].HaloValuesSent = DeviceValuesSent[D];
+    size_t Sent = SentDown[D] + SentUp[D];
+    Stats->PerDevice[D].HaloValuesSent = Sent;
+    TotalValues += Sent;
+  }
+  Stats->HaloValuesExchanged = TotalValues;
+  Stats->HaloBytesExchanged = TotalValues * sizeof(float);
+
+  // Link e joins devices e and e+1: upward pushes of e plus downward
+  // pushes of e+1. SimulatedSeconds prices the *measured* traffic through
+  // the identical LinkSpec closed form predictHaloExchangeCost uses, in
+  // the same ascending-edge accumulation order, so whenever measured bytes
+  // match the analytic prediction the costs agree bit for bit.
+  Stats->PerLink.assign(N > 0 ? N - 1 : 0, LinkReplayStats{});
+  Stats->HaloSimulatedSeconds = 0;
+  Stats->HaloWallSeconds = 0;
+  for (size_t E = 0; E + 1 < N; ++E) {
+    LinkReplayStats &L = Stats->PerLink[E];
+    L.Exchanges = Exchanges;
+    L.Values = SentUp[E] + SentDown[E + 1];
+    L.Bytes = L.Values * sizeof(float);
+    L.SimulatedSeconds =
+        Topo.link(static_cast<unsigned>(E))
+            .seconds(static_cast<int64_t>(Exchanges),
+                     static_cast<int64_t>(L.Bytes));
+    L.WallSeconds = WallUp[E] + WallDown[E + 1];
+    Stats->HaloSimulatedSeconds += L.SimulatedSeconds;
+    Stats->HaloWallSeconds += L.WallSeconds;
   }
 }
 
@@ -53,27 +118,85 @@ void DeviceSimBackend::runWavefront(const ir::StencilProgram &P,
   size_t N = Parts->numDevices();
   Queues.resize(N);
   DeviceInstances.resize(N, 0);
-  DeviceValuesSent.resize(N, 0);
+  SentDown.resize(N, 0);
+  SentUp.resize(N, 0);
+  WallDown.resize(N, 0.0);
+  WallUp.resize(N, 0.0);
+  ComputeThread.resize(N);
 
   // Placement: owner-computes along the partitioned (outermost spatial)
   // dimension; Point = [that, s0, s1, ...].
   for (size_t I = 0, E = W.size(); I < E; ++I)
     Queues[Parts->ownerOf(W.point(I)[1])].push_back(I);
 
-  // Compute: each device against its own slab view only.
-  for (size_t Dev = 0; Dev < N; ++Dev) {
+  // Phase 1: each device retires its queue against its own slab view only.
+  auto Compute = [&](size_t Dev) {
+    size_t Active = ActiveDevices.fetch_add(1, std::memory_order_acq_rel) + 1;
+    size_t Seen = MaxActive.load(std::memory_order_relaxed);
+    while (Active > Seen &&
+           !MaxActive.compare_exchange_weak(Seen, Active,
+                                            std::memory_order_relaxed)) {
+    }
+    ComputeThread[Dev] = std::this_thread::get_id();
     PartitionedGridStorage::DeviceView View(*Parts,
                                             static_cast<unsigned>(Dev));
     for (size_t I : Queues[Dev])
       executeInstance(P, View, W.point(I));
     DeviceInstances[Dev] += Queues[Dev].size();
     Queues[Dev].clear();
+    ActiveDevices.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  // Phase 2: each device pushes its dirty boundary values into the
+  // neighbors' rings, one timed copy per direction (= per chain link).
+  auto Push = [&](size_t Dev) {
+    using Clock = std::chrono::steady_clock;
+    unsigned D = static_cast<unsigned>(Dev);
+    Clock::time_point T0 = Clock::now();
+    size_t Down = Parts->pushDirtyDown(D);
+    Clock::time_point T1 = Clock::now();
+    size_t Up = Parts->pushDirtyUp(D);
+    Clock::time_point T2 = Clock::now();
+    SentDown[Dev] += Down;
+    SentUp[Dev] += Up;
+    WallDown[Dev] += std::chrono::duration<double>(T1 - T0).count();
+    WallUp[Dev] += std::chrono::duration<double>(T2 - T1).count();
+  };
+
+  bool UsePool = Threaded && N > 1 && W.size() >= MinTaskInstances;
+  if (!UsePool) {
+    // Inline: sequential devices, trivially ordered two phases. This is
+    // both serial mode and the threaded mode's small-wavefront batch path
+    // (band-edge wavefronts are not worth two pool barriers).
+    for (size_t Dev = 0; Dev < N; ++Dev)
+      Compute(Dev);
+    for (size_t Dev = 0; Dev < N; ++Dev)
+      Push(Dev);
+  } else {
+    ensurePool(static_cast<unsigned>(N));
+    if (BrokenBarrier) {
+      // Deliberately broken barrier (test hook): the push phase is folded
+      // into the compute phase with no barrier separating them, so each
+      // device delivers the *previous* wavefront's dirty halos on its own
+      // schedule while neighbors are already computing. A device whose
+      // neighbor has not pushed yet computes against stale ring values,
+      // and a concurrent push writes the very rotating-buffer cells the
+      // neighbor's compute is reading -- the data race the second barrier
+      // of the correct protocol exists to prevent. (Compute-then-push in
+      // one phase would NOT race: within one wavefront pushes write the
+      // current time slot while computes read older slots.)
+      Pool->parallelFor(N, [&](size_t Dev) {
+        Push(Dev);
+        Compute(Dev);
+      });
+    } else {
+      Pool->parallelFor(N, Compute); // barrier: all writes visible
+      Pool->parallelFor(N, Push);    // barrier: rings coherent again
+    }
   }
 
-  // Exchange at the barrier: only dirty boundary values move.
-  PartitionedGridStorage::ExchangeCounters C =
-      Parts->exchangeHalos(DeviceValuesSent);
+  // After the barrier the caller alone merges the evidence of concurrency.
+  for (size_t Dev = 0; Dev < N; ++Dev)
+    SeenThreads.insert(ComputeThread[Dev]);
   Exchanges += 1;
-  HaloValues += C.Values;
-  HaloBytes += C.Bytes;
 }

@@ -15,17 +15,46 @@
 ///   2. *Compute*: each device retires its queue against its own slab +
 ///      halo rings (a DeviceView), never touching another device's memory;
 ///      an assertion fires if a schedule needs data the rings don't hold.
-///   3. *Exchange*: at the wavefront barrier the storage copies exactly the
-///      dirty boundary values into the neighbors' rings, and the backend
-///      accumulates the traffic (total and per device).
+///   3. *Exchange*: at the wavefront barrier every device pushes exactly
+///      its dirty boundary values into the neighbors' rings, and the
+///      backend accumulates the traffic (total, per device, per link).
 ///
-/// Devices are retired sequentially -- legal wavefronts make the order
-/// unobservable (their instances are mutually independent), and a schedule
-/// for which it *is* observable reads stale halo data and fails the
-/// bit-exact differential check, the multi-device analogue of the thread
-/// pool's data races. finishReplay publishes the compute/exchange counters
-/// into ReplayStats for benches and for cross-checking gpu::MemoryModel's
-/// analytic halo predictions against measured traffic.
+/// In the default *threaded* mode each simulated device is driven by its
+/// own exec::ThreadPool worker (the pool holds one participant per
+/// device), so devices genuinely advance concurrently between wavefront
+/// barriers -- the multi-GPU execution model the paper's Sec. 5 block-level
+/// parallelism claim implies. One wavefront is a two-phase barrier:
+///
+///     parallelFor(device: compute own queue)     -- phase 1
+///         ... pool barrier (release/acquire) ...
+///     parallelFor(device: push dirty halos)      -- phase 2
+///         ... pool barrier ...
+///
+/// Race freedom, relied on under ThreadSanitizer: in phase 1 a device
+/// writes only cells it owns (slabs are disjoint) and reads only its own
+/// slab + rings, whose last write was phase 2 of an *earlier* wavefront,
+/// ordered by the pool barrier. In phase 2 every destination ring cell has
+/// exactly one writer (a slab's lower ring is fed only by neighbor D-1,
+/// its upper ring only by D+1) and rings are disjoint from the owned cells
+/// concurrent pushes read (PartitionedGridStorage::pushDirtyDown/Up).
+/// Remove the barrier between the phases -- push and compute interleaved
+/// freely -- and a device computes against halos its neighbor has not
+/// pushed yet while concurrent pushes overwrite the very ring cells being
+/// read; the test suite proves it can see exactly that breakage by arming
+/// the broken-barrier mode below.
+///
+/// Wavefronts below a minimum-instances threshold retire inline on the
+/// caller (sequential devices, no pool handoff): replays dominated by tiny
+/// band-edge wavefronts would otherwise pay two barriers per wavefront for
+/// no overlap. Serial mode (Threaded = false) retires every wavefront that
+/// way -- the legacy deterministic replay, still pinned by tests.
+///
+/// finishReplay publishes compute/exchange counters into ReplayStats --
+/// including per-link traffic priced through the topology's LinkSpec cost
+/// model (the same closed form gpu::predictHaloExchangeCost uses, so
+/// prediction and measurement are exactly comparable) and the concurrency
+/// evidence (MaxConcurrentDevices, DistinctComputeThreads) the threaded
+/// tests assert on.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +64,10 @@
 #include "exec/ExecutionBackend.h"
 #include "gpu/DeviceTopology.h"
 
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
 #include <vector>
 
 namespace hextile {
@@ -45,9 +78,9 @@ namespace exec {
 /// any other FieldStorage is rejected with std::invalid_argument.
 class DeviceSimBackend final : public ExecutionBackend {
 public:
-  explicit DeviceSimBackend(gpu::DeviceTopology Topo);
+  explicit DeviceSimBackend(gpu::DeviceTopology Topo, bool Threaded = true);
   /// Uniform chain of \p NumDevices GTX 470-class devices.
-  explicit DeviceSimBackend(unsigned NumDevices);
+  explicit DeviceSimBackend(unsigned NumDevices, bool Threaded = true);
 
   const char *name() const override { return "devicesim"; }
   unsigned concurrency() const override { return Topo.numDevices(); }
@@ -56,21 +89,62 @@ public:
     return &Topo;
   }
 
+  /// Whether wavefronts run devices concurrently (two-phase barrier) or
+  /// sequentially (legacy deterministic replay).
+  bool threaded() const { return Threaded; }
+
+  /// Batching floor: a wavefront with fewer instances than this retires
+  /// inline on the caller even in threaded mode (no pool handoff). 0 or 1
+  /// sends every multi-device wavefront through the pool.
+  void setMinTaskInstances(size_t N) { MinTaskInstances = N; }
+  size_t minTaskInstances() const { return MinTaskInstances; }
+
+  /// Test hook, compiled in only under HEXTILE_DEVICESIM_TEST_HOOKS (the
+  /// test build): removes the barrier between the phases by folding the
+  /// halo push into the compute phase, so devices compute against halos
+  /// their neighbors may not have pushed yet -- stale reads the
+  /// differential check must flag (and a genuine same-cell data race under
+  /// concurrency), proving the suite *can* see a broken barrier. In
+  /// release builds the setter is a no-op and brokenBarrierSupported()
+  /// reports false (callers skip).
+  static bool brokenBarrierSupported();
+  void setBrokenBarrierForTesting(bool Broken);
+
   void beginReplay() override;
   void finishReplay(ReplayStats *Stats) override;
   void runWavefront(const ir::StencilProgram &P, FieldStorage &Storage,
                     const Wavefront &W) override;
 
 private:
+  void ensurePool(unsigned NumDevices);
+
   gpu::DeviceTopology Topo;
+  bool Threaded = true;
+  bool BrokenBarrier = false;
+  size_t MinTaskInstances = 128;
+
+  /// One participant per simulated device (lazily sized to the storage's
+  /// actual decomposition, which may be narrower than the topology).
+  std::unique_ptr<ThreadPool> Pool;
+  unsigned PoolDevices = 0;
 
   std::vector<std::vector<size_t>> Queues; ///< Reused between wavefronts.
-  // Accumulated over one replay (beginReplay .. finishReplay):
+
+  // Accumulated over one replay (beginReplay .. finishReplay). The
+  // per-device vectors are written at disjoint indices by concurrent
+  // workers (index = device), which is race-free without atomics; the
+  // pool barrier publishes them to the caller.
   size_t Exchanges = 0;
-  size_t HaloValues = 0;
-  size_t HaloBytes = 0;
+  uint64_t PoolTasksAtBegin = 0;
   std::vector<size_t> DeviceInstances;
-  std::vector<size_t> DeviceValuesSent;
+  std::vector<size_t> SentDown; ///< Values device d pushed to d-1 (link d-1).
+  std::vector<size_t> SentUp;   ///< Values device d pushed to d+1 (link d).
+  std::vector<double> WallDown; ///< Host seconds spent in those pushes.
+  std::vector<double> WallUp;
+  std::vector<std::thread::id> ComputeThread; ///< Phase-1 thread, per device.
+  std::set<std::thread::id> SeenThreads; ///< Merged by the caller per barrier.
+  std::atomic<size_t> ActiveDevices{0};
+  std::atomic<size_t> MaxActive{0}; ///< High-water mark of ActiveDevices.
 };
 
 } // namespace exec

@@ -24,32 +24,37 @@ void SerialBackend::runWavefront(const ir::StencilProgram &P,
     executeInstance(P, Storage, W.point(I));
 }
 
-ThreadPoolBackend::ThreadPoolBackend(int NumThreads)
-    : Pool(resolveNumThreads(NumThreads)) {}
+ThreadPoolBackend::ThreadPoolBackend(int NumThreads, size_t MinTaskInstances)
+    : Pool(resolveNumThreads(NumThreads)),
+      MinTaskInstances(MinTaskInstances) {}
+
+void ThreadPoolBackend::beginReplay() {
+  PoolTasksAtBegin = Pool.tasksDispatched();
+}
+
+void ThreadPoolBackend::finishReplay(ReplayStats *Stats) {
+  if (Stats)
+    Stats->PoolTasks = Pool.tasksDispatched() - PoolTasksAtBegin;
+}
 
 void ThreadPoolBackend::runWavefront(const ir::StencilProgram &P,
                                      FieldStorage &Storage,
                                      const Wavefront &W) {
   size_t N = W.size();
   GridStorage *Flat = dynamic_cast<GridStorage *>(&Storage);
-  // A one-instance wavefront has nothing to overlap; skip the pool handoff
-  // (wavefront streams are dominated by small fronts at band edges).
-  if (N == 1) {
-    if (Flat)
-      executeInstanceOn(P, *Flat, W.point(0));
-    else
-      executeInstance(P, Storage, W.point(0));
-    return;
-  }
+  // The batching floor is parallelFor's MinPerChunk: wavefronts at or
+  // below it run inline with no pool handoff (band-edge fronts dominate
+  // most wavefront streams), and larger ones never dispatch a chunk
+  // smaller than it.
   if (Flat) {
-    Pool.parallelFor(N, [&](size_t I) {
-      executeInstanceOn(P, *Flat, W.point(I));
-    });
+    Pool.parallelFor(
+        N, [&](size_t I) { executeInstanceOn(P, *Flat, W.point(I)); },
+        MinTaskInstances);
     return;
   }
-  Pool.parallelFor(N, [&](size_t I) {
-    executeInstance(P, Storage, W.point(I));
-  });
+  Pool.parallelFor(
+      N, [&](size_t I) { executeInstance(P, Storage, W.point(I)); },
+      MinTaskInstances);
 }
 
 const char *exec::backendKindName(BackendKind K) {
@@ -71,16 +76,22 @@ gpu::DeviceTopology exec::defaultSimTopology(unsigned NumDevices) {
 
 std::unique_ptr<ExecutionBackend>
 exec::makeBackend(BackendKind K, int NumThreads, unsigned NumDevices,
-                  const gpu::DeviceTopology *Topology) {
+                  const gpu::DeviceTopology *Topology, bool DeviceSimThreaded,
+                  size_t MinTaskInstances) {
   switch (K) {
   case BackendKind::Serial:
     return std::make_unique<SerialBackend>();
   case BackendKind::ThreadPool:
-    return std::make_unique<ThreadPoolBackend>(NumThreads);
-  case BackendKind::DeviceSim:
-    if (Topology)
-      return std::make_unique<DeviceSimBackend>(*Topology);
-    return std::make_unique<DeviceSimBackend>(NumDevices);
+    return std::make_unique<ThreadPoolBackend>(NumThreads, MinTaskInstances);
+  case BackendKind::DeviceSim: {
+    auto B = Topology
+                 ? std::make_unique<DeviceSimBackend>(*Topology,
+                                                      DeviceSimThreaded)
+                 : std::make_unique<DeviceSimBackend>(NumDevices,
+                                                      DeviceSimThreaded);
+    B->setMinTaskInstances(MinTaskInstances);
+    return B;
+  }
   }
   return nullptr;
 }

@@ -96,17 +96,29 @@ class ThreadPoolBackend final : public ExecutionBackend {
 public:
   /// \p NumThreads = 0 picks hardware concurrency; negative counts are
   /// rejected with std::invalid_argument (resolveNumThreads).
-  explicit ThreadPoolBackend(int NumThreads = 0);
+  /// \p MinTaskInstances is the batching floor: wavefronts with at most
+  /// that many instances run inline on the caller (no pool handoff, zero
+  /// dispatched tasks), and no dispatched chunk is smaller than it --
+  /// replays dominated by tiny band-edge wavefronts would otherwise pay a
+  /// barrier per wavefront and run slower than serial.
+  explicit ThreadPoolBackend(int NumThreads = 0,
+                             size_t MinTaskInstances = 128);
 
   const char *name() const override { return "threadpool"; }
   unsigned concurrency() const override { return Pool.numThreads(); }
+  void beginReplay() override;
+  void finishReplay(ReplayStats *Stats) override;
   void runWavefront(const ir::StencilProgram &P, FieldStorage &Storage,
                     const Wavefront &W) override;
 
   ThreadPool &pool() { return Pool; }
+  void setMinTaskInstances(size_t N) { MinTaskInstances = N; }
+  size_t minTaskInstances() const { return MinTaskInstances; }
 
 private:
   ThreadPool Pool;
+  size_t MinTaskInstances;
+  uint64_t PoolTasksAtBegin = 0;
 };
 
 /// Selects an ExecutionBackend in options/CLI surfaces.
@@ -115,11 +127,15 @@ enum class BackendKind { Serial, ThreadPool, DeviceSim };
 const char *backendKindName(BackendKind K);
 
 /// Instantiates \p K. \p NumThreads only affects ThreadPool (0 = hardware
-/// concurrency); \p NumDevices / \p Topology only affect DeviceSim (an
-/// explicit topology wins, else a uniform chain of NumDevices GTX 470s).
+/// concurrency); \p NumDevices / \p Topology / \p DeviceSimThreaded only
+/// affect DeviceSim (an explicit topology wins, else a uniform chain of
+/// NumDevices GTX 470s; DeviceSimThreaded = false selects the legacy
+/// sequential-device replay). \p MinTaskInstances is the inline batching
+/// floor of the parallel backends (ThreadPool and threaded DeviceSim).
 std::unique_ptr<ExecutionBackend>
 makeBackend(BackendKind K, int NumThreads = 0, unsigned NumDevices = 2,
-            const gpu::DeviceTopology *Topology = nullptr);
+            const gpu::DeviceTopology *Topology = nullptr,
+            bool DeviceSimThreaded = true, size_t MinTaskInstances = 128);
 
 } // namespace exec
 } // namespace hextile

@@ -58,7 +58,8 @@ void exec::runSchedule(const ir::StencilProgram &P, FieldStorage &Storage,
   ExecutionBackend *Backend = Opts.BackendOverride;
   if (!Backend) {
     Owned = makeBackend(Opts.Backend, Opts.NumThreads, Opts.NumDevices,
-                        Opts.Topology);
+                        Opts.Topology, Opts.DeviceSimThreaded,
+                        Opts.MinTaskInstances);
     Backend = Owned.get();
   }
 

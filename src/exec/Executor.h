@@ -119,6 +119,15 @@ struct ScheduleRunOptions {
   unsigned NumDevices = 2;
   /// Non-owning explicit device topology for BackendKind::DeviceSim.
   const gpu::DeviceTopology *Topology = nullptr;
+  /// BackendKind::DeviceSim execution model: true runs each device on its
+  /// own pool worker between two-phase wavefront barriers, false retires
+  /// devices sequentially (the legacy deterministic replay).
+  bool DeviceSimThreaded = true;
+  /// Batching floor of the parallel backends: wavefronts with at most this
+  /// many instances run inline on the caller (no pool handoff) and no
+  /// dispatched chunk is smaller. 1 parallelizes every wavefront --
+  /// required when a test wants races exposed on tiny fronts.
+  size_t MinTaskInstances = 128;
   /// Non-owning override: when set, Backend/NumThreads/NumDevices are not
   /// used to build a backend and this instance is used directly -- lets
   /// callers reuse one thread pool (or device chain) across many replays

@@ -161,6 +161,29 @@ void PartitionedGridStorage::writeOn(unsigned Dev, unsigned Field, int64_t T,
     S.DirtyUp.push_back({Field, Slot, G});
 }
 
+size_t PartitionedGridStorage::pushDirtyDown(unsigned Dev) {
+  DeviceSlab &S = Slabs[Dev];
+  size_t Sent = S.DirtyDown.size();
+  assert((Sent == 0 || Dev > 0) && "device 0 has no lower neighbor");
+  for (const DirtyCell &D : S.DirtyDown)
+    cell(Slabs[Dev - 1], D.Field, D.Slot, D.Global) =
+        cell(S, D.Field, D.Slot, D.Global);
+  S.DirtyDown.clear();
+  return Sent;
+}
+
+size_t PartitionedGridStorage::pushDirtyUp(unsigned Dev) {
+  DeviceSlab &S = Slabs[Dev];
+  size_t Sent = S.DirtyUp.size();
+  assert((Sent == 0 || Dev + 1 < numDevices()) &&
+         "the last device has no upper neighbor");
+  for (const DirtyCell &D : S.DirtyUp)
+    cell(Slabs[Dev + 1], D.Field, D.Slot, D.Global) =
+        cell(S, D.Field, D.Slot, D.Global);
+  S.DirtyUp.clear();
+  return Sent;
+}
+
 PartitionedGridStorage::ExchangeCounters
 PartitionedGridStorage::exchangeHalos(std::span<size_t> PerDeviceValuesSent) {
   assert((PerDeviceValuesSent.empty() ||
@@ -168,16 +191,7 @@ PartitionedGridStorage::exchangeHalos(std::span<size_t> PerDeviceValuesSent) {
          "per-device counter span must cover every device");
   ExchangeCounters C;
   for (unsigned Dev = 0; Dev < numDevices(); ++Dev) {
-    DeviceSlab &S = Slabs[Dev];
-    size_t Sent = S.DirtyDown.size() + S.DirtyUp.size();
-    for (const DirtyCell &D : S.DirtyDown)
-      cell(Slabs[Dev - 1], D.Field, D.Slot, D.Global) =
-          cell(S, D.Field, D.Slot, D.Global);
-    for (const DirtyCell &D : S.DirtyUp)
-      cell(Slabs[Dev + 1], D.Field, D.Slot, D.Global) =
-          cell(S, D.Field, D.Slot, D.Global);
-    S.DirtyDown.clear();
-    S.DirtyUp.clear();
+    size_t Sent = pushDirtyDown(Dev) + pushDirtyUp(Dev);
     C.Values += Sent;
     if (!PerDeviceValuesSent.empty())
       PerDeviceValuesSent[Dev] += Sent;

@@ -128,6 +128,25 @@ public:
   /// count (owner attribution).
   ExchangeCounters exchangeHalos(std::span<size_t> PerDeviceValuesSent = {});
 
+  /// One device's half of an exchange round, split per direction so a
+  /// threaded backend can run all devices' pushes concurrently and time
+  /// each link separately. pushDirtyDown(Dev) copies Dev's dirty
+  /// lower-boundary values into neighbor Dev-1's upper ring (chain link
+  /// Dev-1); pushDirtyUp(Dev) copies the upper-boundary values into
+  /// neighbor Dev+1's lower ring (link Dev). Both clear the list they
+  /// drained and return the values moved.
+  ///
+  /// Race-freedom by construction, relied on under TSan: device D's pushes
+  /// read only D's *owned* cells and write only the two neighbors' ring
+  /// cells, and a slab's lower ring is written exclusively by neighbor
+  /// D-1, its upper ring exclusively by D+1 -- every destination cell has
+  /// one writer, and rings are disjoint from the owned cells concurrent
+  /// pushes read. The required ordering (pushes happen after every
+  /// device's compute, before anyone's next read) is the backend's
+  /// two-phase barrier, not this class's concern.
+  size_t pushDirtyDown(unsigned Dev);
+  size_t pushDirtyUp(unsigned Dev);
+
 private:
   struct DirtyCell {
     unsigned Field;

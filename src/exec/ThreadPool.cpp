@@ -116,12 +116,13 @@ void ThreadPool::workerMain(unsigned Self) {
   }
 }
 
-void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn,
+                             size_t MinPerChunk) {
   if (N == 0)
     return;
-  // Pool of one, or trivially small trip counts on a caller-only pool:
-  // execute inline, no fences needed.
-  if (Workers.empty()) {
+  // Pool of one, or a trip count the batching floor says is not worth a
+  // handoff: execute inline, no fences, no dispatched tasks.
+  if (Workers.empty() || N <= std::max<size_t>(MinPerChunk, 1)) {
     for (size_t I = 0; I < N; ++I)
       Fn(I);
     return;
@@ -153,7 +154,9 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
   // interleaved share, and the back-to-front own-pop keeps each worker on
   // adjacent iterations while thieves take from the far end.
   unsigned P = static_cast<unsigned>(Queues.size());
-  size_t ChunkSize = std::max<size_t>(1, N / (static_cast<size_t>(P) * 8));
+  size_t ChunkSize =
+      std::max({static_cast<size_t>(1), MinPerChunk,
+                N / (static_cast<size_t>(P) * 8)});
   {
     unsigned Q = 0;
     for (size_t Begin = 0; Begin < N; Begin += ChunkSize, Q = (Q + 1) % P) {
@@ -163,6 +166,7 @@ void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
               Queues[Q]->Chunks.empty()) &&
              "previous task not drained");
       Queues[Q]->Chunks.push_back(C);
+      TasksDispatched.fetch_add(1, std::memory_order_relaxed);
     }
   }
 

@@ -71,7 +71,23 @@ public:
   /// first exception is captured, the remaining iterations are abandoned
   /// (each chunk checks an abort flag before running), and the exception is
   /// rethrown here after the barrier.
-  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+  ///
+  /// \p MinPerChunk is the batching floor: no dispatched chunk is smaller
+  /// than it, and a trip count of at most MinPerChunk runs inline on the
+  /// caller with no pool handoff at all (no wakeup, no fences, zero
+  /// dispatched tasks). This is what makes replays dominated by tiny
+  /// wavefronts cost what a serial replay costs instead of paying a
+  /// barrier per wavefront.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn,
+                   size_t MinPerChunk = 1);
+
+  /// Chunks handed to worker deques over this pool's lifetime; inline
+  /// executions (small N, or a pool of one) dispatch none. Monotonic --
+  /// callers measure a region by differencing. Only stable once the
+  /// dispatching parallelFor returned.
+  uint64_t tasksDispatched() const {
+    return TasksDispatched.load(std::memory_order_relaxed);
+  }
 
 private:
   /// A contiguous range of iterations.
@@ -112,6 +128,7 @@ private:
   std::mutex SubmitMutex; ///< Serializes concurrent parallelFor callers.
 
   std::atomic<size_t> Remaining{0}; ///< Iterations not yet completed.
+  std::atomic<uint64_t> TasksDispatched{0}; ///< Lifetime dispatched chunks.
   std::atomic<bool> Abort{false};   ///< Set after the first exception.
   std::mutex ErrorMutex;
   std::exception_ptr Error;

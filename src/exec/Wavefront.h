@@ -87,6 +87,24 @@ struct DeviceReplayStats {
   size_t HaloValuesSent = 0; ///< Boundary values it pushed to neighbors.
 };
 
+/// Per-link counters of one DeviceSim replay: link e connects devices e and
+/// e+1 of the chain, and carries the boundary values crossing that cut in
+/// both directions. SimulatedSeconds applies the topology's LinkSpec cost
+/// model (per-round latency + bytes over bandwidth) to the *measured*
+/// traffic, so it is directly comparable -- exactly, for schedules whose
+/// byte counts match the analytic model -- with
+/// gpu::predictHaloExchangeCost. WallSeconds is the cumulative host time
+/// the exchange phase spent copying this link's values (links are pushed
+/// concurrently, so the per-link wall times may sum to more than the
+/// elapsed exchange time).
+struct LinkReplayStats {
+  size_t Exchanges = 0;      ///< Exchange rounds (one per wavefront barrier).
+  size_t Values = 0;         ///< Boundary values carried, both directions.
+  size_t Bytes = 0;          ///< Values * sizeof(float).
+  double SimulatedSeconds = 0; ///< LinkSpec cost model over measured traffic.
+  double WallSeconds = 0;      ///< Host wall time spent copying this link.
+};
+
 /// Observability counters for one replay. The streaming fields are fed by
 /// streamWavefronts; the halo/per-device fields stay zero unless the
 /// replay ran on a DeviceSimBackend (ExecutionBackend::finishReplay).
@@ -98,11 +116,25 @@ struct ReplayStats {
   size_t MaxWavefrontInstances = 0; ///< Largest single parallel batch.
   size_t KeyEvals = 0;      ///< Schedule-key evaluations (both passes).
 
+  /// Chunks the thread-pool backend dispatched to worker deques; wavefronts
+  /// below the batching threshold (ScheduleRunOptions::MinTaskInstances)
+  /// run inline on the caller and dispatch none.
+  size_t PoolTasks = 0;
+
   size_t Devices = 0;       ///< Simulated devices (0 = one address space).
   size_t HaloExchanges = 0; ///< Exchange rounds (one per wavefront).
   size_t HaloValuesExchanged = 0; ///< Boundary values copied device-to-device.
   size_t HaloBytesExchanged = 0;  ///< The same traffic in bytes.
+  /// Largest number of device compute phases ever observed in flight at
+  /// once (threaded DeviceSim; 1 when every wavefront ran inline).
+  size_t MaxConcurrentDevices = 0;
+  /// Distinct OS threads that executed device compute phases over the
+  /// replay (threaded DeviceSim; >= 2 proves genuine concurrency).
+  size_t DistinctComputeThreads = 0;
+  double HaloSimulatedSeconds = 0; ///< Sum of PerLink SimulatedSeconds.
+  double HaloWallSeconds = 0;      ///< Sum of PerLink WallSeconds.
   std::vector<DeviceReplayStats> PerDevice; ///< Indexed by device.
+  std::vector<LinkReplayStats> PerLink;     ///< Indexed by chain edge.
 };
 
 /// Streams every instance of \p Domain as ordered wavefronts into \p Sink.

@@ -8,9 +8,11 @@
 using namespace hextile;
 using namespace hextile::gpu;
 
-DeviceTopology DeviceTopology::uniform(const DeviceConfig &Dev, unsigned N) {
+DeviceTopology DeviceTopology::uniform(const DeviceConfig &Dev, unsigned N,
+                                       const LinkSpec &Link) {
   DeviceTopology T;
   T.Devices.assign(std::max(N, 1u), Dev);
+  T.Links.assign(T.Devices.size() - 1, Link);
   return T;
 }
 

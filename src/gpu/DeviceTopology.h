@@ -36,18 +36,48 @@ struct SlabRange {
   int64_t width() const { return Hi - Lo; }
 };
 
+/// The cost model of one inter-device link: a fixed per-message latency
+/// plus a bandwidth term. An exchange round moving B bytes over the link
+/// costs LatencyUs microseconds + B / (BandwidthGBps * 1e9) seconds --
+/// the classic alpha-beta model, which is what makes tile-size choices
+/// device-model-dependent: narrow grids are latency-bound (prefer fewer,
+/// taller exchanges), wide grids bandwidth-bound (bytes dominate).
+struct LinkSpec {
+  double LatencyUs = 10.0;     ///< Per exchange round with any traffic.
+  double BandwidthGBps = 16.0; ///< PCIe 3.0 x16-class default.
+
+  /// Seconds to move \p Bytes in \p Rounds exchange rounds over this link
+  /// (closed form, so predictions and measured-traffic accounting computed
+  /// through the same call are bit-identical doubles).
+  double seconds(int64_t Rounds, int64_t Bytes) const {
+    return static_cast<double>(Rounds) * (LatencyUs * 1e-6) +
+           static_cast<double>(Bytes) / (BandwidthGBps * 1e9);
+  }
+};
+
 /// An ordered chain of simulated devices. Device d exchanges halos only
 /// with its neighbors d-1 and d+1 (a linear topology, the worst case for
 /// boundary traffic and the layout real multi-GPU stencil codes use).
 struct DeviceTopology {
   std::vector<DeviceConfig> Devices;
+  /// Cost model of edge e (between devices e and e+1). May be shorter than
+  /// numDevices()-1 -- link(e) substitutes the default LinkSpec -- so
+  /// topologies built device-only keep working; longer entries are ignored.
+  std::vector<LinkSpec> Links;
 
   unsigned numDevices() const {
     return static_cast<unsigned>(Devices.size());
   }
 
+  /// Cost model of edge \p Edge, defaulting edges Links does not cover.
+  LinkSpec link(unsigned Edge) const {
+    return Edge < Links.size() ? Links[Edge] : LinkSpec{};
+  }
+
   /// N identical copies of \p Dev in a chain. N == 0 is legalized to 1.
-  static DeviceTopology uniform(const DeviceConfig &Dev, unsigned N);
+  /// Every edge carries \p Link (default: the LinkSpec defaults).
+  static DeviceTopology uniform(const DeviceConfig &Dev, unsigned N,
+                                const LinkSpec &Link = LinkSpec{});
 
   /// Splits [0, Extent) into one contiguous slab per device, weighted by
   /// NumSMs, each at least \p MinWidth wide. When the extent cannot feed

@@ -89,8 +89,8 @@ double gpu::stridedBankTransactions(const DeviceConfig &Dev,
   return bankTransactionsPerRequest(Dev, Addrs);
 }
 
-int64_t gpu::predictHaloExchangeValues(const ir::StencilProgram &P,
-                                       std::span<const int64_t> Boundaries) {
+std::vector<int64_t> gpu::predictHaloExchangeValuesPerBoundary(
+    const ir::StencilProgram &P, std::span<const int64_t> Boundaries) {
   // Writes happen only inside the update domain: [lo_d, size_d - hi_d) per
   // dimension, every statement, every time step.
   int64_t Lo0 = P.loHalo(0);
@@ -103,14 +103,24 @@ int64_t gpu::predictHaloExchangeValues(const ir::StencilProgram &P,
   auto Clip = [&](int64_t From, int64_t To) {
     return std::max<int64_t>(0, std::min(To, Hi0) - std::max(From, Lo0));
   };
-  int64_t StripCells = 0;
+  int64_t TimeExtent = static_cast<int64_t>(P.numStmts()) * P.timeSteps();
+  std::vector<int64_t> PerBoundary;
+  PerBoundary.reserve(Boundaries.size());
   for (int64_t B : Boundaries) {
     // Cells the lower neighbor replicates above the cut, and the upper
     // neighbor below it; each written once per canonical step.
-    StripCells += Clip(B, B + P.hiHalo(0)) + Clip(B - P.loHalo(0), B);
+    int64_t StripCells = Clip(B, B + P.hiHalo(0)) + Clip(B - P.loHalo(0), B);
+    PerBoundary.push_back(StripCells * InnerExtent * TimeExtent);
   }
-  int64_t TimeExtent = static_cast<int64_t>(P.numStmts()) * P.timeSteps();
-  return StripCells * InnerExtent * TimeExtent;
+  return PerBoundary;
+}
+
+int64_t gpu::predictHaloExchangeValues(const ir::StencilProgram &P,
+                                       std::span<const int64_t> Boundaries) {
+  int64_t Total = 0;
+  for (int64_t V : predictHaloExchangeValuesPerBoundary(P, Boundaries))
+    Total += V;
+  return Total;
 }
 
 int64_t gpu::predictHaloExchangeBytes(const ir::StencilProgram &P,

@@ -91,6 +91,14 @@ double stridedBankTransactions(const DeviceConfig &Dev, int64_t StrideWords);
 int64_t predictHaloExchangeValues(const ir::StencilProgram &P,
                                   std::span<const int64_t> Boundaries);
 
+/// The same count split per boundary: entry i is the traffic crossing
+/// Boundaries[i] (both directions), i.e. the load of chain link i. The
+/// per-link resolution is what the link cost model needs -- asymmetric
+/// links make total bytes an insufficient statistic for exchange time.
+std::vector<int64_t>
+predictHaloExchangeValuesPerBoundary(const ir::StencilProgram &P,
+                                     std::span<const int64_t> Boundaries);
+
 /// predictHaloExchangeValues in bytes (single-precision fields).
 int64_t predictHaloExchangeBytes(const ir::StencilProgram &P,
                                  std::span<const int64_t> Boundaries);

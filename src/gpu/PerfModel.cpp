@@ -111,3 +111,28 @@ PerfResult gpu::simulate(const DeviceConfig &Dev,
   R.GFlops = R.Seconds == 0 ? 0 : TotalFlops / R.Seconds / 1e9;
   return R;
 }
+
+HaloExchangeCost
+gpu::predictHaloExchangeCost(const ir::StencilProgram &P,
+                             const DeviceTopology &Topo,
+                             std::span<const int64_t> Boundaries,
+                             int64_t ExchangeRounds) {
+  HaloExchangeCost Cost;
+  Cost.PerLinkValues = predictHaloExchangeValuesPerBoundary(P, Boundaries);
+  Cost.PerLinkSeconds.reserve(Cost.PerLinkValues.size());
+  for (size_t E = 0; E < Cost.PerLinkValues.size(); ++E) {
+    LinkSpec Link = Topo.link(static_cast<unsigned>(E));
+    int64_t Bytes =
+        Cost.PerLinkValues[E] * static_cast<int64_t>(sizeof(float));
+    // The same closed form DeviceSimBackend applies to measured traffic:
+    // exact-equality cross-checks depend on identical arithmetic.
+    double Seconds = Link.seconds(ExchangeRounds, Bytes);
+    Cost.PerLinkSeconds.push_back(Seconds);
+    Cost.Seconds += Seconds;
+    Cost.LatencySeconds +=
+        static_cast<double>(ExchangeRounds) * (Link.LatencyUs * 1e-6);
+    Cost.TransferSeconds +=
+        static_cast<double>(Bytes) / (Link.BandwidthGBps * 1e9);
+  }
+  return Cost;
+}

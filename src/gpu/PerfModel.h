@@ -25,6 +25,7 @@
 #ifndef HEXTILE_GPU_PERFMODEL_H
 #define HEXTILE_GPU_PERFMODEL_H
 
+#include "gpu/DeviceTopology.h"
 #include "gpu/MemoryModel.h"
 
 #include <string>
@@ -91,6 +92,35 @@ struct PerfResult {
 /// Simulates the execution of \p Kernels on \p Dev.
 PerfResult simulate(const DeviceConfig &Dev,
                     const std::vector<KernelModel> &Kernels);
+
+/// Predicted halo-exchange *time* of one replay over a device chain: the
+/// analytic per-boundary byte count (predictHaloExchangeValuesPerBoundary)
+/// priced through each edge's LinkSpec alpha-beta model. Extends the byte
+/// prediction the same way Sec. 5's evaluation needs it extended: whether
+/// the tiled schedule hides communication behind compute depends on
+/// exchange *cost*, which is per-link latency times exchange cadence plus
+/// bytes over per-link bandwidth -- not on bytes alone.
+struct HaloExchangeCost {
+  double Seconds = 0;         ///< LatencySeconds + TransferSeconds.
+  double LatencySeconds = 0;  ///< Rounds * latency, summed over links.
+  double TransferSeconds = 0; ///< Bytes / bandwidth, summed over links.
+  std::vector<double> PerLinkSeconds;  ///< One entry per interior boundary.
+  std::vector<int64_t> PerLinkValues;  ///< Predicted values per link.
+};
+
+/// Costs \p ExchangeRounds halo-exchange rounds of \p P partitioned over
+/// \p Topo at the interior slab cuts \p Boundaries (Boundaries.size()
+/// links; Topo.link(e) prices edge e). Latency is charged per round per
+/// link -- the cadence term the wavefront count fixes -- and the transfer
+/// term prices the analytic byte count. Computed with LinkSpec::seconds,
+/// the same closed form the DeviceSim backend applies to *measured*
+/// traffic, so for schedules whose byte counts match the model exactly
+/// (classical; in practice all) prediction equals measurement bit for bit
+/// when fed the measured round count.
+HaloExchangeCost predictHaloExchangeCost(const ir::StencilProgram &P,
+                                         const DeviceTopology &Topo,
+                                         std::span<const int64_t> Boundaries,
+                                         int64_t ExchangeRounds);
 
 } // namespace gpu
 } // namespace hextile

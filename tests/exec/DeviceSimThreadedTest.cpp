@@ -1,0 +1,293 @@
+//===- DeviceSimThreadedTest.cpp - Threaded multi-device race suite -----------===//
+//
+// The TSan-facing suite for the threaded DeviceSim execution model: every
+// simulated device runs on its own pool worker, advancing concurrently
+// between two-phase wavefront barriers (compute || barrier || push-halos
+// || barrier). Legal schedules must stay bit-exact against the naive
+// reference under that genuine concurrency -- and under ThreadSanitizer
+// the same replays double as a happens-before proof of the barrier
+// protocol. The suite also proves it has teeth: with the barrier
+// deliberately broken (a test hook compiled out of release builds folds
+// the halo push into the compute phase) the differential check must flag
+// the resulting stale halo reads.
+//
+// Runs in the TSan CI job; keep every test here race-free by construction
+// except the explicitly skipped broken-barrier one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/DeviceSimBackend.h"
+#include "exec/Executor.h"
+#include "exec/PartitionedGridStorage.h"
+#include "gpu/DeviceTopology.h"
+#include "harness/StencilOracle.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+using namespace hextile;
+using namespace hextile::exec;
+
+// Mirror of ThreadPoolTest's detection: the broken-barrier test races on
+// purpose and must not run under ThreadSanitizer.
+#if defined(__SANITIZE_THREAD__)
+#define HEXTILE_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HEXTILE_UNDER_TSAN 1
+#endif
+#endif
+#ifndef HEXTILE_UNDER_TSAN
+#define HEXTILE_UNDER_TSAN 0
+#endif
+
+namespace {
+
+/// A chain of \p N GTX 470-class devices with *randomized* SM counts: the
+/// slab planner weights owned widths by SMs, so this randomizes the slab
+/// decomposition (and with it which devices race across which links)
+/// without leaving the supported topology space.
+gpu::DeviceTopology randomTopology(unsigned N, std::mt19937_64 &Rng) {
+  std::uniform_int_distribution<int> Sms(1, 14);
+  gpu::DeviceTopology T;
+  for (unsigned D = 0; D < N; ++D) {
+    gpu::DeviceConfig C = gpu::DeviceConfig::gtx470();
+    C.NumSMs = Sms(Rng);
+    T.Devices.push_back(C);
+  }
+  if (N > 1)
+    T.Links.assign(N - 1, gpu::LinkSpec{});
+  return T;
+}
+
+/// One threaded replay of \p P under schedule kind \p K over \p Topo,
+/// checked bit-exactly against the flat reference. MinTaskInstances = 1
+/// pushes *every* multi-device wavefront through the pool -- maximum
+/// concurrency, which is the point of this suite.
+ReplayStats replayThreaded(const ir::StencilProgram &P,
+                           harness::ScheduleKind K,
+                           const gpu::DeviceTopology &Topo,
+                           uint64_t ShuffleSeed) {
+  harness::OracleTiling T;
+  T.H = 2;
+  T.W0 = 4;
+  T.InnerWidths = {5};
+  harness::OracleSchedule S = harness::makeOracleSchedule(P, K, T);
+  EXPECT_NE(S.Key, nullptr) << S.Skipped;
+  if (!S.Key)
+    return {};
+
+  DeviceSimBackend Backend(Topo, /*Threaded=*/true);
+  Backend.setMinTaskInstances(1);
+  EXPECT_TRUE(Backend.threaded());
+
+  ScheduleRunOptions Opts;
+  Opts.BackendOverride = &Backend;
+  Opts.ParallelFrom = S.ParallelFrom;
+  Opts.ShuffleSeed = ShuffleSeed;
+  ReplayStats Stats;
+  Opts.Stats = &Stats;
+
+  std::unique_ptr<FieldStorage> Storage = makeStorage(P, Opts);
+  core::IterationDomain Domain = core::IterationDomain::forProgram(P);
+  runSchedule(P, *Storage, Domain, S.Key, Opts);
+
+  GridStorage Ref(P);
+  runReference(P, Ref);
+  EXPECT_EQ(compareStoragesAtStep(Ref, *Storage, P.timeSteps() - 1), "")
+      << harness::scheduleKindName(K) << " on " << Topo.str()
+      << " shuffle=0x" << std::hex << ShuffleSeed;
+  return Stats;
+}
+
+class DeviceSimThreadedSweep : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+/// The headline race suite: 2/4/8 concurrently-advancing devices with
+/// randomized slab widths, across all four schedule families, bit-exact
+/// every time. Per-link counters must be internally consistent: links
+/// partition the total traffic, and every link records the replay's
+/// exchange cadence.
+TEST_P(DeviceSimThreadedSweep, RacedSchedulesStayBitExact) {
+  unsigned Devices = GetParam();
+  std::mt19937_64 Rng(0x7478736e61535431ull ^ Devices);
+  ir::StencilProgram P = ir::makeJacobi2D(48, 6);
+  for (harness::ScheduleKind K : harness::allScheduleKinds()) {
+    gpu::DeviceTopology Topo = randomTopology(Devices, Rng);
+    SCOPED_TRACE(::testing::Message()
+                 << harness::scheduleKindName(K) << " on " << Topo.str());
+    ReplayStats Stats = replayThreaded(P, K, Topo, /*ShuffleSeed=*/Rng());
+
+    EXPECT_GT(Stats.Devices, 1u);
+    ASSERT_EQ(Stats.PerLink.size(), Stats.Devices - 1);
+    size_t LinkValues = 0;
+    for (const LinkReplayStats &L : Stats.PerLink) {
+      EXPECT_EQ(L.Exchanges, Stats.HaloExchanges);
+      EXPECT_EQ(L.Bytes, L.Values * sizeof(float));
+      // The latency term alone makes any exchanged round cost time.
+      EXPECT_GT(L.SimulatedSeconds, 0.0);
+      LinkValues += L.Values;
+    }
+    // Links partition the traffic: every sent value crosses exactly one.
+    EXPECT_EQ(LinkValues, Stats.HaloValuesExchanged);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, DeviceSimThreadedSweep,
+                         ::testing::Values(2u, 4u, 8u),
+                         [](const ::testing::TestParamInfo<unsigned> &I) {
+                           return "devices" + std::to_string(I.param);
+                         });
+
+/// The concurrency must be genuine, not an artifact of the pool running
+/// everything on the caller: the backend records an atomic high-water mark
+/// of simultaneously-active device compute phases and the set of distinct
+/// OS threads that ran them.
+TEST(DeviceSimThreadedTest, DevicesGenuinelyRunConcurrently) {
+  if (std::thread::hardware_concurrency() < 2)
+    GTEST_SKIP() << "single hardware thread; no real overlap possible";
+  ir::StencilProgram P = ir::makeJacobi2D(64, 8);
+  ReplayStats Stats = replayThreaded(P, harness::ScheduleKind::Hex,
+                                     defaultSimTopology(4), 0);
+  EXPECT_TRUE(Stats.MaxConcurrentDevices >= 2 ||
+              Stats.DistinctComputeThreads >= 2)
+      << "threaded replay never overlapped two devices "
+         "(MaxConcurrentDevices="
+      << Stats.MaxConcurrentDevices
+      << ", DistinctComputeThreads=" << Stats.DistinctComputeThreads << ")";
+}
+
+/// Serial mode stays what it always was: sequential devices, one thread,
+/// and a grid bit-identical to the threaded replay's (determinism of the
+/// two-phase protocol -- threading changes timing, never values).
+TEST(DeviceSimThreadedTest, SerialModeMatchesThreadedBitExact) {
+  ir::StencilProgram P = ir::makeHeat2D(32, 5);
+  harness::OracleTiling T;
+  T.H = 2;
+  T.W0 = 4;
+  T.InnerWidths = {5};
+  harness::OracleSchedule S =
+      harness::makeOracleSchedule(P, harness::ScheduleKind::Hybrid, T);
+  ASSERT_NE(S.Key, nullptr);
+  core::IterationDomain Domain = core::IterationDomain::forProgram(P);
+
+  auto replay = [&](bool Threaded, ReplayStats &Stats) {
+    DeviceSimBackend Backend(defaultSimTopology(3), Threaded);
+    Backend.setMinTaskInstances(1);
+    ScheduleRunOptions Opts;
+    Opts.BackendOverride = &Backend;
+    Opts.ParallelFrom = S.ParallelFrom;
+    Opts.Stats = &Stats;
+    std::unique_ptr<FieldStorage> Storage = makeStorage(P, Opts);
+    runSchedule(P, *Storage, Domain, S.Key, Opts);
+    return Storage;
+  };
+
+  ReplayStats SerialStats, ThreadedStats;
+  std::unique_ptr<FieldStorage> Serial = replay(false, SerialStats);
+  std::unique_ptr<FieldStorage> Threaded = replay(true, ThreadedStats);
+
+  EXPECT_EQ(compareStoragesAtStep(*Serial, *Threaded, P.timeSteps() - 1),
+            "");
+  EXPECT_EQ(SerialStats.MaxConcurrentDevices, 1u);
+  EXPECT_EQ(SerialStats.DistinctComputeThreads, 1u);
+  // Traffic accounting is mode-independent.
+  EXPECT_EQ(SerialStats.HaloValuesExchanged,
+            ThreadedStats.HaloValuesExchanged);
+  ASSERT_EQ(SerialStats.PerLink.size(), ThreadedStats.PerLink.size());
+  for (size_t E = 0; E < SerialStats.PerLink.size(); ++E)
+    EXPECT_EQ(SerialStats.PerLink[E].Values,
+              ThreadedStats.PerLink[E].Values);
+}
+
+/// Below the batching floor nothing is handed to the pool (the pooled-
+/// classical regression fix, on the DeviceSim side): a floor above every
+/// wavefront keeps PoolTasks at zero while the replay stays bit-exact.
+TEST(DeviceSimThreadedTest, BatchingFloorKeepsSmallWavefrontsInline) {
+  ir::StencilProgram P = ir::makeJacobi2D(32, 4);
+  harness::OracleTiling T;
+  T.H = 2;
+  T.W0 = 4;
+  T.InnerWidths = {5};
+  harness::OracleSchedule S =
+      harness::makeOracleSchedule(P, harness::ScheduleKind::Classical, T);
+  ASSERT_NE(S.Key, nullptr);
+  core::IterationDomain Domain = core::IterationDomain::forProgram(P);
+
+  auto replay = [&](size_t Floor, ReplayStats &Stats) {
+    DeviceSimBackend Backend(defaultSimTopology(2), /*Threaded=*/true);
+    Backend.setMinTaskInstances(Floor);
+    ScheduleRunOptions Opts;
+    Opts.BackendOverride = &Backend;
+    Opts.ParallelFrom = S.ParallelFrom;
+    Opts.Stats = &Stats;
+    std::unique_ptr<FieldStorage> Storage = makeStorage(P, Opts);
+    runSchedule(P, *Storage, Domain, S.Key, Opts);
+    GridStorage Ref(P);
+    runReference(P, Ref);
+    EXPECT_EQ(compareStoragesAtStep(Ref, *Storage, P.timeSteps() - 1), "")
+        << "floor " << Floor;
+  };
+
+  ReplayStats Inline, Eager;
+  replay(1u << 20, Inline);
+  EXPECT_EQ(Inline.PoolTasks, 0u);
+  EXPECT_EQ(Inline.MaxConcurrentDevices, 1u);
+  replay(1, Eager);
+  EXPECT_GT(Eager.PoolTasks, 0u);
+  // Same traffic either way.
+  EXPECT_EQ(Inline.HaloValuesExchanged, Eager.HaloValuesExchanged);
+}
+
+/// The negative control: with the barrier between the push and compute
+/// phases removed (the hook folds the halo push into the compute phase,
+/// each device delivering the previous wavefront's halos on its own
+/// schedule), a device computes against ring values its neighbor has not
+/// pushed yet -- and a concurrent push overwrites the very cells a
+/// neighbor's compute is reading. The differential check must catch the
+/// resulting stale reads; this is the proof that the bit-exact suite
+/// above *can* see a broken barrier. The staleness shows up under any
+/// interleaving (even fully serialized task order), so no minimum core
+/// count is needed. Skipped under TSan (the same-cell access is an
+/// intentional data race) and in release builds (the hook is compiled
+/// out).
+TEST(DeviceSimThreadedTest, BrokenBarrierIsCaughtByDifferentialCheck) {
+#if HEXTILE_UNDER_TSAN
+  GTEST_SKIP() << "intentional data races; the TSan job covers the legal "
+                  "two-phase barrier only";
+#endif
+  if (!DeviceSimBackend::brokenBarrierSupported())
+    GTEST_SKIP() << "DeviceSim test hooks compiled out of this build";
+
+  // Imbalance (14:2 SMs) skews the slab split, so plenty of boundary
+  // values cross the link every wavefront.
+  gpu::DeviceTopology Topo;
+  Topo.Devices = {gpu::DeviceConfig::gtx470(), gpu::DeviceConfig::nvs5200()};
+  ir::StencilProgram P = ir::makeJacobi2D(48, 10);
+  harness::OracleTiling T;
+  T.H = 3;
+  T.W0 = 4;
+  T.InnerWidths = {6};
+  harness::OracleSchedule S =
+      harness::makeOracleSchedule(P, harness::ScheduleKind::Hex, T);
+  ASSERT_NE(S.Key, nullptr);
+
+  bool Caught = false;
+  for (uint64_t Seed : {0x1111ull, 0x2222ull, 0x3333ull, 0x4444ull}) {
+    DeviceSimBackend Backend(Topo, /*Threaded=*/true);
+    Backend.setMinTaskInstances(1);
+    Backend.setBrokenBarrierForTesting(true);
+    ScheduleRunOptions Opts;
+    Opts.BackendOverride = &Backend;
+    Opts.ParallelFrom = S.ParallelFrom;
+    Opts.ShuffleSeed = Seed;
+    if (!checkScheduleEquivalence(P, S.Key, Opts).empty())
+      Caught = true;
+  }
+  EXPECT_TRUE(Caught) << "single-phase replay never diverged -- the "
+                         "threaded differential suite has no teeth";
+}

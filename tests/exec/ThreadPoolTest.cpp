@@ -116,6 +116,83 @@ TEST(ThreadPoolTest, ManySmallTasksReuseTheWorkers) {
   EXPECT_EQ(Ran.load(), 6000u);
 }
 
+TEST(ThreadPoolTest, BatchingFloorRunsSmallTripsInlineWithZeroTasks) {
+  ThreadPool Pool(4);
+  uint64_t Before = Pool.tasksDispatched();
+  std::atomic<size_t> Ran{0};
+  // Trip counts at or below the floor: inline on the caller, no dispatch.
+  for (int Task = 0; Task < 50; ++Task)
+    Pool.parallelFor(
+        64, [&](size_t) { Ran.fetch_add(1, std::memory_order_relaxed); },
+        /*MinPerChunk=*/64);
+  EXPECT_EQ(Ran.load(), 50u * 64u);
+  EXPECT_EQ(Pool.tasksDispatched(), Before);
+
+  // Above the floor the pool dispatches, but never a chunk smaller than
+  // the floor: at most ceil(N / MinPerChunk) chunks.
+  Before = Pool.tasksDispatched();
+  Ran.store(0);
+  Pool.parallelFor(
+      1000, [&](size_t) { Ran.fetch_add(1, std::memory_order_relaxed); },
+      /*MinPerChunk=*/64);
+  EXPECT_EQ(Ran.load(), 1000u);
+  uint64_t Chunks = Pool.tasksDispatched() - Before;
+  EXPECT_GT(Chunks, 0u);
+  EXPECT_LE(Chunks, (1000u + 63u) / 64u);
+}
+
+TEST(ThreadPoolBackendTest, BatchingBoundsPoolTasksOnSmallWavefronts) {
+  // The regression this pins: classical/diamond replays stream hundreds of
+  // tiny band-edge wavefronts, and paying a pool barrier for each made the
+  // pooled replay *slower* than serial. With the batching floor those
+  // wavefronts must retire inline -- bounded dispatched tasks -- while the
+  // replay stays bit-exact against the reference.
+  ir::StencilProgram P = ir::makeJacobi2D(20, 8);
+  harness::OracleTiling T;
+  T.H = 2;
+  T.W0 = 3;
+  T.InnerWidths = {5};
+  for (harness::ScheduleKind K :
+       {harness::ScheduleKind::Classical, harness::ScheduleKind::Diamond}) {
+    harness::OracleSchedule S = harness::makeOracleSchedule(P, K, T);
+    ASSERT_NE(S.Key, nullptr) << harness::scheduleKindName(K);
+
+    auto replay = [&](size_t MinTaskInstances, ReplayStats &Stats) {
+      ScheduleRunOptions Opts;
+      Opts.ParallelFrom = S.ParallelFrom;
+      Opts.Backend = BackendKind::ThreadPool;
+      Opts.NumThreads = 4;
+      Opts.MinTaskInstances = MinTaskInstances;
+      Opts.Stats = &Stats;
+      EXPECT_EQ(checkScheduleEquivalence(P, S.Key, Opts), "")
+          << harness::scheduleKindName(K)
+          << " MinTaskInstances=" << MinTaskInstances;
+    };
+
+    // A floor above every wavefront: the whole replay runs inline.
+    ReplayStats Inline;
+    replay(1u << 20, Inline);
+    EXPECT_EQ(Inline.PoolTasks, 0u) << harness::scheduleKindName(K);
+
+    // Floor 1: every multi-instance wavefront goes through the pool.
+    ReplayStats Eager;
+    replay(1, Eager);
+    EXPECT_GT(Eager.PoolTasks, 0u) << harness::scheduleKindName(K);
+
+    // The default floor: no chunk below 128 instances, so the dispatched
+    // task count is bounded by one chunk per wavefront plus the
+    // instances-over-floor budget -- far below the eager count on these
+    // small-wavefront schedules.
+    ReplayStats Batched;
+    replay(128, Batched);
+    EXPECT_LE(Batched.PoolTasks,
+              Batched.Wavefronts + Batched.Instances / 128)
+        << harness::scheduleKindName(K);
+    EXPECT_LE(Batched.PoolTasks, Eager.PoolTasks)
+        << harness::scheduleKindName(K);
+  }
+}
+
 TEST(ThreadPoolBackendTest, LegalSchedulesStayBitExactOnRealThreads) {
   // Every schedule family, replayed with its parallel dimensions spread
   // over 4 real threads, must still agree bit-exactly with the reference.
@@ -185,6 +262,9 @@ TEST(ThreadPoolBackendTest, RacyIllegalTilingIsFlagged) {
     Opts.ParallelFrom = 1; // Everything inside the time band is "parallel".
     Opts.Backend = BackendKind::ThreadPool;
     Opts.NumThreads = 4;
+    // Defeat the batching floor: the races live in small wavefronts, which
+    // the default floor would (correctly, for performance) run inline.
+    Opts.MinTaskInstances = 1;
     if (!checkScheduleEquivalence(P, S.Key, Opts).empty())
       Caught = true;
   }

@@ -2,6 +2,12 @@
 
 #include "gpu/PerfModel.h"
 
+#include "exec/DeviceSimBackend.h"
+#include "exec/Executor.h"
+#include "exec/PartitionedGridStorage.h"
+#include "harness/StencilOracle.h"
+#include "ir/StencilGallery.h"
+
 #include <gtest/gtest.h>
 
 using namespace hextile;
@@ -121,4 +127,96 @@ TEST(PerfModelTest, FewBlocksUnderutilizeSMs) {
   PerfResult Many = simulate(DeviceConfig::gtx470(), {K});
   // Same total work, but one block cannot fill 14 SMs.
   EXPECT_GT(One.Seconds, Many.Seconds);
+}
+
+TEST(HaloExchangeCostTest, NarrowGridsAreLatencyDominated) {
+  // jacobi1d has a one-point inner extent: each exchange round moves a
+  // handful of bytes, so the alpha term (rounds * latency) towers over the
+  // beta term at any realistic round count.
+  ir::StencilProgram P = ir::makeJacobi1D(64, 40);
+  DeviceTopology Topo = DeviceTopology::uniform(
+      DeviceConfig::gtx470(), 2, LinkSpec{10.0, 1.0});
+  std::vector<int64_t> Cuts = {32};
+  HaloExchangeCost Cost = predictHaloExchangeCost(P, Topo, Cuts,
+                                                  /*ExchangeRounds=*/437);
+  ASSERT_EQ(Cost.PerLinkValues.size(), 1u);
+  EXPECT_GT(Cost.PerLinkValues[0], 0);
+  EXPECT_GT(Cost.LatencySeconds, 10.0 * Cost.TransferSeconds);
+  EXPECT_NEAR(Cost.Seconds, Cost.LatencySeconds + Cost.TransferSeconds,
+              1e-12 * Cost.Seconds);
+}
+
+TEST(HaloExchangeCostTest, WideGridsAreBandwidthDominated) {
+  // Same link, same per-round latency -- but a wide 2D grid moves whole
+  // boundary rows per round, so bytes over bandwidth dominates.
+  ir::StencilProgram P = ir::makeJacobi2D(20000, 40);
+  DeviceTopology Topo = DeviceTopology::uniform(
+      DeviceConfig::gtx470(), 2, LinkSpec{10.0, 1.0});
+  std::vector<int64_t> Cuts = {10000};
+  HaloExchangeCost Cost =
+      predictHaloExchangeCost(P, Topo, Cuts, /*ExchangeRounds=*/40);
+  EXPECT_GT(Cost.TransferSeconds, 10.0 * Cost.LatencySeconds);
+}
+
+TEST(HaloExchangeCostTest, AsymmetricLinksPriceEqualTrafficDifferently) {
+  // Symmetric cuts of a uniform grid carry identical byte counts, so with
+  // per-edge link specs the *cost* split is exactly the link asymmetry --
+  // total bytes alone could never see it.
+  ir::StencilProgram P = ir::makeJacobi2D(30, 6);
+  DeviceTopology Topo =
+      DeviceTopology::uniform(DeviceConfig::gtx470(), 3);
+  Topo.Links = {LinkSpec{1.0, 32.0},   // NVLink-ish edge 0.
+                LinkSpec{25.0, 2.0}};  // Narrow PCIe switch on edge 1.
+  std::vector<int64_t> Cuts = {10, 20};
+  HaloExchangeCost Cost = predictHaloExchangeCost(P, Topo, Cuts, 6);
+  ASSERT_EQ(Cost.PerLinkSeconds.size(), 2u);
+  EXPECT_EQ(Cost.PerLinkValues[0], Cost.PerLinkValues[1]);
+  EXPECT_GT(Cost.PerLinkSeconds[1], 10.0 * Cost.PerLinkSeconds[0]);
+}
+
+TEST(HaloExchangeCostTest, PredictionEqualsMeasuredReplayCostExactly) {
+  // The cross-check the shared closed form exists for: replay classical
+  // tiling on a heterogeneous chain, feed the *measured* exchange cadence
+  // into the analytic model, and the per-link simulated costs must agree
+  // to the last bit -- classical byte counts match the analytic strip
+  // model exactly, and both sides price traffic through the identical
+  // LinkSpec::seconds call in the same accumulation order.
+  ir::StencilProgram P = ir::makeJacobi2D(32, 6);
+  gpu::DeviceTopology Topo =
+      DeviceTopology::uniform(DeviceConfig::gtx470(), 3);
+  Topo.Links = {LinkSpec{3.0, 24.0}, LinkSpec{40.0, 0.5}};
+
+  harness::OracleSchedule S = harness::makeOracleSchedule(
+      P, harness::ScheduleKind::Classical, harness::OracleTiling{});
+  ASSERT_NE(S.Key, nullptr);
+  exec::DeviceSimBackend Backend(Topo, /*Threaded=*/true);
+  Backend.setMinTaskInstances(1);
+  exec::ScheduleRunOptions Opts;
+  Opts.BackendOverride = &Backend;
+  Opts.ParallelFrom = S.ParallelFrom;
+  exec::ReplayStats Stats;
+  Opts.Stats = &Stats;
+  std::unique_ptr<exec::FieldStorage> Storage = exec::makeStorage(P, Opts);
+  auto *Parts = dynamic_cast<exec::PartitionedGridStorage *>(Storage.get());
+  ASSERT_NE(Parts, nullptr);
+  std::vector<int64_t> Cuts;
+  for (unsigned D = 1; D < Parts->numDevices(); ++D)
+    Cuts.push_back(Parts->owned(D).Lo);
+
+  core::IterationDomain Domain = core::IterationDomain::forProgram(P);
+  exec::runSchedule(P, *Storage, Domain, S.Key, Opts);
+  ASSERT_EQ(Stats.PerLink.size(), Cuts.size());
+  ASSERT_GT(Stats.HaloExchanges, 0u);
+
+  HaloExchangeCost Predicted = predictHaloExchangeCost(
+      P, Topo, Cuts, static_cast<int64_t>(Stats.HaloExchanges));
+  for (size_t E = 0; E < Cuts.size(); ++E) {
+    EXPECT_EQ(static_cast<size_t>(Predicted.PerLinkValues[E]),
+              Stats.PerLink[E].Values)
+        << "link " << E;
+    EXPECT_DOUBLE_EQ(Predicted.PerLinkSeconds[E],
+                     Stats.PerLink[E].SimulatedSeconds)
+        << "link " << E;
+  }
+  EXPECT_DOUBLE_EQ(Predicted.Seconds, Stats.HaloSimulatedSeconds);
 }

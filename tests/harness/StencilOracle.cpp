@@ -342,7 +342,9 @@ std::string harness::runDifferential(const ir::StencilProgram &P,
   // alive across the replays instead of respawning threads per run, and a
   // DeviceSim backend keeps one device chain.
   std::unique_ptr<exec::ExecutionBackend> Backend =
-      exec::makeBackend(Opts.Backend, Opts.NumThreads, Opts.NumDevices);
+      exec::makeBackend(Opts.Backend, Opts.NumThreads, Opts.NumDevices,
+                        /*Topology=*/nullptr, Opts.DeviceSimThreaded,
+                        Opts.MinTaskInstances);
   for (int Shuffle = 0; Shuffle < std::max(Opts.NumShuffles, 1); ++Shuffle) {
     // Shuffle 0 replays blocks in natural order with stable thread order;
     // later shuffles permute the blocks and shuffle equal-key threads.
@@ -372,7 +374,8 @@ std::string harness::runDifferential(const ir::StencilProgram &P,
       OS << "[" << scheduleKindName(K) << "] program=" << P.name()
          << " backend=" << Backend->name();
       if (Opts.Backend == exec::BackendKind::DeviceSim)
-        OS << " devices=" << Opts.NumDevices;
+        OS << " devices=" << Opts.NumDevices
+           << (Opts.DeviceSimThreaded ? " threaded" : " sequential");
       OS << " tiling{" << T.str()
          << "} seed=0x" << std::hex << Opts.Seed << std::dec
          << " shuffle=" << Shuffle

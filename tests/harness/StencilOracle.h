@@ -88,6 +88,16 @@ struct OracleOptions {
   int NumThreads = 0;
   /// Simulated device count for BackendKind::DeviceSim.
   unsigned NumDevices = 2;
+  /// BackendKind::DeviceSim execution model: true (default) drives every
+  /// device from its own pool worker between two-phase wavefront barriers,
+  /// false replays devices sequentially (the legacy deterministic mode,
+  /// still pinned by one sweep column).
+  bool DeviceSimThreaded = true;
+  /// Batching floor forwarded to the parallel backends. The oracle default
+  /// is 1 -- parallelize *every* wavefront -- because its grids are small
+  /// and a production-sized floor would quietly turn the concurrency
+  /// columns back into serial replays.
+  size_t MinTaskInstances = 1;
   /// Fourth mechanism: additionally render the schedule with HostEmitter,
   /// JIT-compile the emitted C++ (tests/harness/HostKernelRunner), execute
   /// it and compare bit-exactly against the reference. Covers kinds
