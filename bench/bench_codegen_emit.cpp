@@ -1,7 +1,8 @@
 //===- bench_codegen_emit.cpp - Emit + JIT + run smoke bench --------------===//
 //
 // The codegen pipeline's perf trajectory seed: for every gallery stencil
-// and every emitted flavor (hex / hybrid / classical), measures
+// and every emitted flavor (hex / hybrid / classical / overlapped),
+// measures
 //
 //   emit_ms      HostEmitter rendering time (text construction),
 //   cuda_emit_ms CudaEmitter rendering time,
@@ -24,6 +25,10 @@
 // serial-vs-parallel-vs-interpreted trajectory per commit. Each emitted
 // run is differential-verified against the reference executor, so the
 // bench doubles as an end-to-end smoke of the oracle's fourth mechanism.
+// Overlapped rows additionally record the redundancy-vs-traffic frontier
+// (cadence_steps: ticks per band; redundant_instances: the analytic
+// interior recomputation the banded cadence pays); the interpreted
+// baseline has no overlapped row because the family has no schedule key.
 //
 // On a multi-core full-size run the bench *fails itself* unless at least
 // one parallel row beats its serial counterpart; on a single-core box
@@ -37,6 +42,7 @@
 #include "BenchSupport.h"
 
 #include "codegen/CudaEmitter.h"
+#include "codegen/EmissionCore.h"
 #include "codegen/HostEmitter.h"
 #include "core/IterationDomain.h"
 #include "exec/Executor.h"
@@ -125,9 +131,33 @@ harness::ScheduleKind kindOf(codegen::EmitSchedule S) {
     return harness::ScheduleKind::Hex;
   case codegen::EmitSchedule::Hybrid:
     return harness::ScheduleKind::Hybrid;
+  case codegen::EmitSchedule::Overlapped:
+    return harness::ScheduleKind::Overlapped;
   default:
     return harness::ScheduleKind::Classical;
   }
+}
+
+/// The banded-cadence frontier columns of an overlapped rendering: ticks
+/// per band, and the analytic interior recomputation (margin cell-ticks
+/// beyond every tile's core, per band, times tiles x bands x inner
+/// points). Zero for the barrier-synchronized flavors.
+void cadenceColumns(const codegen::EmissionPlan &Plan,
+                    const ir::StencilProgram &P, int64_t &CadenceSteps,
+                    int64_t &Redundant) {
+  CadenceSteps = 0;
+  Redundant = 0;
+  if (Plan.Schedule != codegen::EmitSchedule::Overlapped)
+    return;
+  CadenceSteps = Plan.Over.BandSteps;
+  int64_t MarginTicks = 0;
+  for (size_t V = 0; V < Plan.Over.MLo.size(); ++V)
+    MarginTicks += Plan.Over.MLo[V] + Plan.Over.MHi[V];
+  int64_t InnerPoints = 1;
+  for (size_t D = 1; D < P.spaceSizes().size(); ++D)
+    InnerPoints *= P.spaceSizes()[D];
+  Redundant =
+      MarginTicks * Plan.Over.NumTiles * Plan.Over.NumBands * InnerPoints;
 }
 
 } // namespace
@@ -186,7 +216,8 @@ int main(int argc, char **argv) {
     for (char Level : Configs) {
       for (codegen::EmitSchedule S :
            {codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
-            codegen::EmitSchedule::Classical}) {
+            codegen::EmitSchedule::Classical,
+            codegen::EmitSchedule::Overlapped}) {
         double SerialM = -1;
         for (const char *Mode : {"emitted-serial", "emitted-parallel"}) {
           bool Parallel = Mode[8] == 'p';
@@ -196,6 +227,9 @@ int main(int argc, char **argv) {
             Config.ShimThreads = ShimThreads;
           codegen::CompiledHybrid C =
               codegen::compileHybrid(P, R, Config);
+          int64_t CadenceSteps = 0, Redundant = 0;
+          cadenceColumns(codegen::EmissionPlan::build(C, S), P,
+                         CadenceSteps, Redundant);
           auto T0 = std::chrono::steady_clock::now();
           std::string HostSrc = codegen::emitHost(C, S);
           double EmitMs = msSince(T0);
@@ -283,7 +317,9 @@ int main(int argc, char **argv) {
               .num("cuda_emit_ms", CudaMs)
               .num("compile_ms", CompileMs)
               .num("run_ms", RunMs)
-              .num("mpoints_s", MPointsPerSec);
+              .num("mpoints_s", MPointsPerSec)
+              .num("cadence_steps", CadenceSteps)
+              .num("redundant_instances", Redundant);
           Report.add(Row);
         }
       }
@@ -333,7 +369,9 @@ int main(int argc, char **argv) {
           .num("cuda_emit_ms", -1.0)
           .num("compile_ms", -1.0)
           .num("run_ms", RunMs)
-          .num("mpoints_s", MPointsPerSec);
+          .num("mpoints_s", MPointsPerSec)
+          .num("cadence_steps", static_cast<int64_t>(0))
+          .num("redundant_instances", static_cast<int64_t>(0));
       Report.add(Row);
     }
   }

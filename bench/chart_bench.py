@@ -88,9 +88,21 @@ def label_key(rows):
 
 
 def numeric_columns(rows):
-    """Columns that are numeric in every row that has them, first-row order."""
+    """Columns that are numeric in every row that has them, first-seen order.
+
+    The union over *all* rows, not just the first: a harness may append
+    rows with extra columns (e.g. the banded-cadence rows of
+    bench_devicesim_scaling add cadence_steps / exchange_rounds_saved /
+    redundant_instances / predicted_latency_s), and those must not be
+    silently dropped from the table.
+    """
+    keys = []
+    for r in rows:
+        for key in r:
+            if key not in keys:
+                keys.append(key)
     cols = []
-    for key in rows[0]:
+    for key in keys:
         vals = [r[key] for r in rows if key in r]
         if vals and all(isinstance(v, (int, float)) and not isinstance(v, bool)
                         for v in vals):
@@ -111,17 +123,32 @@ def markdown_table(rows):
     return "\n".join(lines)
 
 
+def cadence_note(rows):
+    """One clause on the banded-cadence frontier, when a harness has it:
+    the deepest cadence's saved exchange rounds vs. the redundancy paid."""
+    banded = [r for r in rows if r.get("cadence_steps", 0) > 1]
+    if not banded:
+        return ""
+    paid = max(r.get("redundant_instances", 0) for r in banded)
+    if not any("exchange_rounds_saved" in r for r in banded):
+        return f"; overlapped rows pay up to {fmt(paid)} redundant instances"
+    saved = max(r.get("exchange_rounds_saved", 0) for r in banded)
+    return (f"; banded cadence saves up to {fmt(saved)} exchange rounds "
+            f"for {fmt(paid)} redundant instances")
+
+
 def summary_line(doc):
     rows = doc["results"]
     if not rows:
         return f"- **{doc['harness']}**: no result rows"
     metric = next((m for m in METRIC_PREFERENCE if m in rows[0]), None)
     if metric is None:
-        return f"- **{doc['harness']}**: {len(rows)} rows"
+        return f"- **{doc['harness']}**: {len(rows)} rows" + cadence_note(rows)
     vals = sorted(r[metric] for r in rows if metric in r)
     mid = vals[len(vals) // 2]
     return (f"- **{doc['harness']}**: {len(rows)} rows, {metric} "
-            f"min {fmt(vals[0])} / median {fmt(mid)} / max {fmt(vals[-1])}")
+            f"min {fmt(vals[0])} / median {fmt(mid)} / max {fmt(vals[-1])}"
+            + cadence_note(rows))
 
 
 def render(docs):

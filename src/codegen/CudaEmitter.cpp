@@ -51,6 +51,9 @@ void emitCudaKernel(Source &Out, const EmissionPlan &Plan,
            Plan.fieldParams() + ", " + TailParams + ")");
   if (Plan.TwoPhase)
     Out.line("const ht_int S0 = S0lo + (ht_int)blockIdx.x;");
+  else if (Plan.Schedule == EmitSchedule::Overlapped)
+    Out.line("const ht_int S0 = (ht_int)blockIdx.x; // This block's core "
+             "tile.");
   else
     Out.line("// Classical bands carry inter-tile dependences: launched "
              "as a single block.");
@@ -75,8 +78,12 @@ std::string codegen::emitCuda(const CompiledHybrid &C, EmitSchedule S) {
   // typically the hex flavor, whose degenerate inner tiles span the whole
   // inner extent -- would fail nvcc with an opaque "too much shared data";
   // flag them loudly here instead of leaving the failure latent.
+  // The overlapped flavor's windows live in ordinary __device__ memory
+  // (they span the oband -> ocopy launch boundary), so the __shared__
+  // budget does not apply to it.
   constexpr int64_t SharedBudgetBytes = 48 * 1024;
-  if (Plan.stagedBytesPerBlock() > SharedBudgetBytes)
+  if (S != EmitSchedule::Overlapped &&
+      Plan.stagedBytesPerBlock() > SharedBudgetBytes)
     Out.line("// WARNING: staging windows need " +
              std::to_string(Plan.stagedBytesPerBlock()) +
              " bytes of __shared__ per block, over the " +
@@ -100,12 +107,20 @@ std::string codegen::emitCuda(const CompiledHybrid &C, EmitSchedule S) {
   emitCudaPrelude(Out);
   Out.blank();
   emitPlanTables(Out, Plan);
+  if (S == EmitSchedule::Overlapped) {
+    Out.blank();
+    emitOverlappedScratch(Out, Plan, "static __device__");
+  }
   Out.blank();
 
   if (Plan.TwoPhase) {
     emitCudaKernel(Out, Plan, "phase0", 0, Hooks);
     Out.blank();
     emitCudaKernel(Out, Plan, "phase1", 1, Hooks);
+  } else if (S == EmitSchedule::Overlapped) {
+    emitCudaKernel(Out, Plan, "oband", 0, Hooks);
+    Out.blank();
+    emitCudaKernel(Out, Plan, "ocopy", 1, Hooks);
   } else {
     emitCudaKernel(Out, Plan, "band", 0, Hooks);
   }

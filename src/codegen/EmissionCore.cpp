@@ -3,6 +3,9 @@
 #include "codegen/EmissionCore.h"
 
 #include "core/IterationDomain.h"
+#include "core/OverlappedSchedule.h"
+
+#include <algorithm>
 
 #include <cassert>
 #include <cmath>
@@ -20,6 +23,8 @@ const char *codegen::emitScheduleName(EmitSchedule S) {
     return "hybrid";
   case EmitSchedule::Classical:
     return "classical";
+  case EmitSchedule::Overlapped:
+    return "overlapped";
   }
   return "?";
 }
@@ -164,6 +169,34 @@ namespace {
 /// and pad the extent to compensate.
 void buildStagingPlan(EmissionPlan &Plan, const OptimizationConfig &Cfg) {
   StagingPlan &St = Plan.Staging;
+  if (Plan.Schedule == EmitSchedule::Overlapped) {
+    // The fifth family *requires* staging -- the band computes entirely
+    // against the tile-private window -- and only supports the direct
+    // window placement: the separate ocopy kernel re-derives window
+    // offsets, so the static mod-mapping and the alignment translation
+    // would have to be replicated there for no benefit.
+    St.Enabled = true;
+    St.Interleaved = false;
+    St.StaticPlacement = false;
+    St.AlignQuantum = 1;
+    const ir::StencilProgram &P = *Plan.Program;
+    for (unsigned Dim = 0; Dim < Plan.Rank; ++Dim) {
+      int64_t LoPad, Ext;
+      if (Dim == 0) {
+        // Core tile padded by the band-entry footprint: every margin cell
+        // and every pre-band read of the band lands inside it.
+        LoPad = Plan.Over.FootLo;
+        Ext = Plan.Over.TileW + Plan.Over.FootLo + Plan.Over.FootHi;
+      } else {
+        LoPad = P.loHalo(Dim);
+        Ext = Plan.Inner[Dim - 1].Width + LoPad + P.hiHalo(Dim);
+      }
+      St.LoPad.push_back(LoPad);
+      St.Ext.push_back(Ext);
+      St.WindowPoints *= Ext;
+    }
+    return;
+  }
   St.Enabled = Cfg.UseSharedMemory;
   if (!St.Enabled)
     return;
@@ -261,6 +294,42 @@ EmissionPlan EmissionPlan::build(const CompiledHybrid &C, EmitSchedule S) {
       I.SkewDen = T.delta1().den();
       I.SkewByU = SkewTable(T);
       TileRange(I, Dim);
+      Plan.Inner.push_back(std::move(I));
+    }
+    buildStagingPlan(Plan, C.config());
+    return Plan;
+  }
+
+  if (S == EmitSchedule::Overlapped) {
+    Plan.TwoPhase = false;
+    // Band height: the hexagonal time period expressed in full steps,
+    // clamped to a small range -- the redundancy (and the footprint) grow
+    // linearly with the band, so deep bands only pay off when launches
+    // are expensive.
+    int64_t Steps = std::clamp<int64_t>(
+        Plan.Period / std::max<int64_t>(Plan.NumStmts, 1), 1, 4);
+    core::OverlappedSchedule Ov(P, Steps, std::max<int64_t>(Par.W0, 1));
+    Plan.Over.TileW = Ov.tileWidth();
+    Plan.Over.BandSteps = Ov.bandSteps();
+    Plan.Over.NumTiles = Ov.numTiles();
+    Plan.Over.NumBands = Ov.numBands(P.timeSteps());
+    Plan.Over.Ticks = Ov.ticksPerBand();
+    Plan.Over.FootLo = Ov.footLo();
+    Plan.Over.FootHi = Ov.footHi();
+    for (int64_t V = 0; V < Ov.ticksPerBand(); ++V) {
+      Plan.Over.MLo.push_back(Ov.marginLo(V));
+      Plan.Over.MHi.push_back(Ov.marginHi(V));
+    }
+    // Inner dimensions stay untiled, exactly like the Hex flavor: one
+    // degenerate unskewed tile covering the whole extent.
+    for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim) {
+      InnerTilePlan I;
+      I.Width = std::max<int64_t>(Plan.Hi[Dim], 1);
+      I.SkewNum = 0;
+      I.SkewDen = 1;
+      I.SkewByU.assign(static_cast<size_t>(std::max<int64_t>(Plan.Period, 1)),
+                       0);
+      I.TileLo = I.TileHi = 0;
       Plan.Inner.push_back(std::move(I));
     }
     buildStagingPlan(Plan, C.config());
@@ -489,6 +558,9 @@ void emitStageBases(Source &Out, const EmissionPlan &Plan) {
     std::string Base;
     if (Plan.TwoPhase && Dim == 0)
       Base = "s0_0 + (" + i64(Plan.MinB - St.LoPad[0]) + ")";
+    else if (Plan.Schedule == EmitSchedule::Overlapped && Dim == 0)
+      Base = "S0 * " + i64(Plan.Over.TileW) + " + (" + i64(-St.LoPad[0]) +
+             ")";
     else
       Base = "S" + std::to_string(Dim) + " * " +
              i64(Plan.Inner[Dim - Plan.innerBaseDim()].Width) + " + (" +
@@ -702,10 +774,147 @@ void emitClassicalBody(Source &Out, const EmissionPlan &Plan,
     Out.close();
 }
 
+/// Which fields some statement writes (the ocopy kernel only moves those;
+/// read-only inputs are never modified, so copying them back would be a
+/// wasted identity).
+std::vector<bool> writtenFields(const EmissionPlan &Plan) {
+  std::vector<bool> W(Plan.Program->fields().size(), false);
+  for (const ir::StencilStmt &S : Plan.Program->stmts())
+    W[S.WriteField] = true;
+  return W;
+}
+
+/// Binds the per-tile slices of the file-scope overlapped scratch arrays
+/// to the staging names the shared index machinery addresses. \p Phase
+/// selects which fields the kernel touches (oband stages every field,
+/// ocopy only the written ones).
+void emitOverlappedStagePointers(Source &Out, const EmissionPlan &Plan,
+                                 int Phase) {
+  std::vector<bool> Written = writtenFields(Plan);
+  for (unsigned F = 0; F < Plan.Program->fields().size(); ++F) {
+    if (Phase != 0 && !Written[F])
+      continue;
+    Out.line("float *" + Plan.stageArg(F) + " = ht_sg_" +
+             Plan.Program->fields()[F].Name + " + S0 * " +
+             i64(Plan.stageTotalElems(F)) + ";");
+  }
+}
+
+/// The oband kernel body: stage the tile's band-entry footprint, then run
+/// the band's ticks against the private window with the per-tick redundant
+/// margins. No global write happens here -- tiles are fully independent
+/// until the ocopy launch.
+void emitOverlappedBody(Source &Out, const EmissionPlan &Plan,
+                        const EmitTargetHooks &Hooks) {
+  const OverlappedPlan &Ov = Plan.Over;
+  unsigned TileScopes = emitTileLoops(Out, Plan, 1);
+  emitStageBases(Out, Plan);
+  emitStageLoads(Out, Plan, Hooks);
+  Out.line("// Band ticks with shrinking redundant margins (ht_mlo/ht_mhi);");
+  Out.line("// every read resolves to the staged footprint or to an earlier");
+  Out.line("// tick's wider trapezoid, so no inter-tile synchronization.");
+  Out.open("for (ht_int ht_v = 0; ht_v < " + i64(Ov.Ticks) + "; ++ht_v)");
+  Out.line("const ht_int t = TB * " + i64(Ov.Ticks) + " + ht_v;");
+  Out.open("if (t < " + i64(Plan.TimeExtent) + ")");
+  Out.line("const ht_int ht_lo0 = S0 * " + i64(Ov.TileW) +
+           " - ht_mlo[ht_v];");
+  Out.line("const ht_int ht_clo = ht_lo0 > " + i64(Plan.Lo[0]) +
+           " ? ht_lo0 : " + i64(Plan.Lo[0]) + ";");
+  Out.line("const ht_int ht_hi0 = (S0 + 1) * " + i64(Ov.TileW) +
+           " + ht_mhi[ht_v];");
+  Out.line("const ht_int ht_chi = ht_hi0 < " + i64(Plan.Hi[0]) +
+           " ? ht_hi0 : " + i64(Plan.Hi[0]) + ";");
+  Out.open("if (ht_chi > ht_clo)");
+  int64_t RowPts = innerPointsPerRow(Plan, 1);
+  std::string Count = "(ht_chi - ht_clo)";
+  if (RowPts != 1)
+    Count += " * " + i64(RowPts);
+  Hooks.openThreadLoop(Out, "ht_tid", Count);
+  std::string L0 = emitLocalDecompose(Out, Plan, 1, "ht_tid", "ht_v");
+  Out.line("const ht_int s0 = ht_clo + " + L0 + ";");
+  emitGuardedDispatch(Out, Plan, Hooks, StmtAction::Compute);
+  Hooks.closeThreadLoop(Out);
+  Out.close(); // Nonempty trapezoid guard.
+  Out.close(); // Time guard.
+  Hooks.barrier(Out);
+  Out.close(); // Tick loop.
+  for (unsigned I = 0; I < TileScopes; ++I)
+    Out.close();
+}
+
+/// The ocopy kernel body: move every rotating slot of the tile's *core*
+/// column (margins excluded -- the neighbor owning each cell wrote the
+/// same bits) from the staged window back to global memory. Core columns
+/// are disjoint, so concurrent tiles never write the same cell.
+void emitOverlappedCopyBody(Source &Out, const EmissionPlan &Plan,
+                            const EmitTargetHooks &Hooks) {
+  const OverlappedPlan &Ov = Plan.Over;
+  const StagingPlan &St = Plan.Staging;
+  unsigned TileScopes = emitTileLoops(Out, Plan, 1);
+  emitStageBases(Out, Plan);
+  Out.line("const ht_int ht_core_lo = S0 * " + i64(Ov.TileW) + ";");
+  Out.line("const ht_int ht_core_raw = ht_core_lo + " + i64(Ov.TileW) +
+           ";");
+  Out.line("const ht_int ht_core_hi = ht_core_raw < " +
+           i64(Plan.Sizes[0]) + " ? ht_core_raw : " + i64(Plan.Sizes[0]) +
+           ";");
+  std::vector<bool> Written = writtenFields(Plan);
+  int64_t InnerAll = 1;
+  for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim)
+    InnerAll *= Plan.Sizes[Dim];
+  for (unsigned F = 0; F < Plan.Program->fields().size(); ++F) {
+    if (!Written[F])
+      continue;
+    int64_t Count = static_cast<int64_t>(Plan.Depth[F]) * Ov.TileW *
+                    InnerAll;
+    Hooks.openThreadLoop(Out, "ht_cp", i64(Count));
+    Out.line("ht_int ht_r = ht_cp;");
+    for (unsigned Dim = Plan.Rank; Dim-- > 1;) {
+      std::string D = std::to_string(Dim);
+      Out.line("const ht_int ht_g" + D + " = ht_r % " +
+               i64(Plan.Sizes[Dim]) + "; ht_r /= " + i64(Plan.Sizes[Dim]) +
+               ";");
+    }
+    Out.line("const ht_int ht_c0 = ht_core_lo + ht_r % " + i64(Ov.TileW) +
+             "; ht_r /= " + i64(Ov.TileW) + ";");
+    // ht_r is the rotating slot after the spatial decomposition.
+    Out.open("if (ht_c0 < ht_core_hi)");
+    std::string GIdx = "ht_c0";
+    std::string SIdx = "(ht_c0 - ht_wb0)";
+    for (unsigned Dim = 1; Dim < Plan.Rank; ++Dim) {
+      std::string G = "ht_g" + std::to_string(Dim);
+      GIdx = "(" + GIdx + ") * " + i64(Plan.Sizes[Dim]) + " + " + G;
+      SIdx = "(" + SIdx + ") * " + i64(St.Ext[Dim]) + " + (" + G +
+             " - ht_wb" + std::to_string(Dim) + ")";
+    }
+    GIdx = "ht_r * " + i64(Plan.PointsPerCopy) + " + " + GIdx;
+    SIdx = "ht_r * " + i64(St.WindowPoints) + " + " + SIdx;
+    Out.line(Hooks.access(Plan, F, GIdx) + " = " +
+             Hooks.stageAccess(Plan.stageArg(F), SIdx,
+                               Plan.stageTotalElems(F)) +
+             ";");
+    Out.close();
+    Hooks.closeThreadLoop(Out);
+  }
+  for (unsigned I = 0; I < TileScopes; ++I)
+    Out.close();
+}
+
 } // namespace
 
 void codegen::emitKernelBody(Source &Out, const EmissionPlan &Plan,
                              int Phase, const EmitTargetHooks &Hooks) {
+  if (Plan.Schedule == EmitSchedule::Overlapped) {
+    // Overlapped windows are per-tile slices of the file-scope scratch
+    // arrays (emitOverlappedScratch), not target-declared shared buffers:
+    // they must survive the launch boundary between oband and ocopy.
+    emitOverlappedStagePointers(Out, Plan, Phase);
+    if (Phase == 0)
+      emitOverlappedBody(Out, Plan, Hooks);
+    else
+      emitOverlappedCopyBody(Out, Plan, Hooks);
+    return;
+  }
   if (Plan.Staging.Enabled) {
     std::string Exts;
     for (size_t D = 0; D < Plan.Staging.Ext.size(); ++D)
@@ -743,6 +952,12 @@ void codegen::emitPlanTables(Source &Out, const EmissionPlan &Plan) {
     Table("ht_row_lo", Plan.RowLo);
     Table("ht_row_hi", Plan.RowHi);
   }
+  if (Plan.Schedule == EmitSchedule::Overlapped) {
+    Out.line("// Redundant trapezoid margins per band-local tick (cells "
+             "below/above the core).");
+    Table("ht_mlo", Plan.Over.MLo);
+    Table("ht_mhi", Plan.Over.MHi);
+  }
   unsigned Base = Plan.innerBaseDim();
   for (unsigned I = 0; I < Plan.Inner.size(); ++I) {
     if (Plan.Inner[I].SkewNum == 0)
@@ -754,11 +969,36 @@ void codegen::emitPlanTables(Source &Out, const EmissionPlan &Plan) {
   }
 }
 
+void codegen::emitOverlappedScratch(Source &Out, const EmissionPlan &Plan,
+                                    const std::string &Qualifier) {
+  Out.line("// Per-tile staging windows of the overlapped bands: every "
+           "tile owns a");
+  Out.line("// disjoint slice, so concurrent blocks never share scratch.");
+  for (unsigned F = 0; F < Plan.Program->fields().size(); ++F)
+    Out.line(Qualifier + " float ht_sg_" + Plan.Program->fields()[F].Name +
+             "[" + i64(Plan.Over.NumTiles * Plan.stageTotalElems(F)) +
+             "];");
+}
+
 void codegen::emitHostDriver(
     Source &Out, const EmissionPlan &Plan,
     const std::function<void(Source &, const std::string &,
                              const std::string &,
                              const std::vector<std::string> &)> &Launch) {
+  if (Plan.Schedule == EmitSchedule::Overlapped) {
+    if (Plan.Over.NumBands <= 0)
+      return;
+    Out.line("// One band = one oband launch (independent trapezoids) plus "
+             "one ocopy");
+    Out.line("// launch (disjoint core columns): the launch boundary is "
+             "the barrier.");
+    Out.open("for (ht_int TB = 0; TB < " + i64(Plan.Over.NumBands) +
+             "; ++TB)");
+    Launch(Out, "oband", i64(Plan.Over.NumTiles), {"TB"});
+    Launch(Out, "ocopy", i64(Plan.Over.NumTiles), {"TB"});
+    Out.close();
+    return;
+  }
   if (!Plan.TwoPhase) {
     if (Plan.BandHi < 0)
       return;

@@ -52,10 +52,16 @@ namespace codegen {
 /// The schedule flavors the emission core can render as executable loops.
 /// Hex and Hybrid emit the two-phase hexagonal host loop of Sec. 4.1
 /// (Hex leaves the inner dimensions untiled); Classical emits the Sec. 3.4
-/// skewed-band scheme on every spatial dimension.
-enum class EmitSchedule { Hex, Hybrid, Classical };
+/// skewed-band scheme on every spatial dimension; Overlapped emits the
+/// fifth family (core::OverlappedSchedule): per time band, every tile
+/// stages its footprint into a private window, runs the band's ticks with
+/// shrinking redundant margins and no inter-tile synchronization, then a
+/// second kernel copies the disjoint core columns back -- the launch
+/// boundary is the only inter-tile barrier.
+enum class EmitSchedule { Hex, Hybrid, Classical, Overlapped };
 
-/// Lower-case flavor name ("hex", "hybrid", "classical") for diagnostics.
+/// Lower-case flavor name ("hex", "hybrid", "classical", "overlapped")
+/// for diagnostics.
 const char *emitScheduleName(EmitSchedule S);
 
 /// Incremental source builder with two-space indentation.
@@ -141,6 +147,24 @@ struct StagingPlan {
   int64_t WindowPoints = 1;     ///< prod(Ext): elements of one window copy.
 };
 
+/// The evaluated constants of the Overlapped flavor (core::
+/// OverlappedSchedule rendered as kernels): the dim-0 core tiling, the
+/// band geometry and the per-tick redundant margins. One band runs as two
+/// launches -- `oband` (stage the footprint, run the band's ticks against
+/// the tile-private window) and `ocopy` (move the disjoint core columns
+/// back) -- so the launch boundary is the only inter-tile barrier.
+struct OverlappedPlan {
+  int64_t TileW = 1;             ///< Core tile width along dim 0.
+  int64_t NumTiles = 0;          ///< Disjoint core tiles covering [0, size0).
+  int64_t BandSteps = 1;         ///< Full time steps per band.
+  int64_t NumBands = 0;          ///< Bands covering the whole time range.
+  int64_t Ticks = 1;             ///< Canonical ticks per band (V).
+  int64_t FootLo = 0;            ///< Band-entry footprint below the core.
+  int64_t FootHi = 0;            ///< Band-entry footprint above the core.
+  std::vector<int64_t> MLo;      ///< Redundant low margin per band tick.
+  std::vector<int64_t> MHi;      ///< Redundant high margin per band tick.
+};
+
 /// One classically tiled dimension of the plan (eqs. (14)/(17)): inner
 /// dimensions s1..sn for Hex/Hybrid, every dimension for Classical.
 struct InnerTilePlan {
@@ -188,9 +212,13 @@ struct EmissionPlan {
 
   // --- Classically tiled dimensions ---
   /// Hex/Hybrid: dims 1..Rank-1 (Hex uses one degenerate full-extent tile
-  /// per dimension). Classical: dims 0..Rank-1.
+  /// per dimension). Classical: dims 0..Rank-1. Overlapped: dims 1..Rank-1,
+  /// always degenerate full-extent tiles.
   std::vector<InnerTilePlan> Inner;
   int64_t BandHi = -1;           ///< Classical: last time band (bands from 0).
+
+  // --- Overlapped (fifth family) part ---
+  OverlappedPlan Over;
 
   // --- Sec. 4.2 shared-memory staging (all flavors) ---
   StagingPlan Staging;
@@ -216,9 +244,11 @@ struct EmissionPlan {
   /// (the hex flavor's degenerate full-extent inner tiles are the usual
   /// culprit); the host arena has no such limit.
   int64_t stagedBytesPerBlock() const;
-  /// First spatial dimension handled by Inner: 1 for Hex/Hybrid, 0 for
-  /// Classical.
-  unsigned innerBaseDim() const { return TwoPhase ? 1 : 0; }
+  /// First spatial dimension handled by Inner: 1 for Hex/Hybrid/Overlapped
+  /// (dim 0 is hexagonal or core-tiled), 0 for Classical.
+  unsigned innerBaseDim() const {
+    return Schedule == EmitSchedule::Classical ? 0 : 1;
+  }
 };
 
 /// Syntax hooks one emission target provides to the shared builders.
@@ -261,9 +291,20 @@ struct EmitTargetHooks {
 /// arithmetic. For Hex/Hybrid \p Phase selects the hexagonal phase and the
 /// body expects `TT` (time tile) and `S0` (this block's hexagonal tile
 /// index) in scope; for Classical \p Phase is ignored and the body expects
-/// `TB` (time band). Everything else is emitted from plan constants.
+/// `TB` (time band); for Overlapped the body expects `TB` (time band) and
+/// `S0` (this block's core tile index), and \p Phase selects the band
+/// kernel (0, "oband") or the core copy-out kernel (1, "ocopy").
 void emitKernelBody(Source &Out, const EmissionPlan &Plan, int Phase,
                     const EmitTargetHooks &Hooks);
+
+/// Emits the file-scope per-tile scratch arrays of the Overlapped flavor:
+/// `<Qualifier> float ht_sg_<field>[NumTiles * stageTotalElems];` per
+/// field. Overlapped windows live across a launch boundary (oband writes,
+/// ocopy reads), so they are ordinary storage -- "static float" on the
+/// host, "static __device__ float" for CUDA -- never __shared__; each tile
+/// addresses its disjoint slice, so concurrent blocks never share scratch.
+void emitOverlappedScratch(Source &Out, const EmissionPlan &Plan,
+                           const std::string &Qualifier);
 
 /// Emits the file-scope constant tables the kernel bodies reference (the
 /// hexagon row ranges and the per-dimension skew tables).
@@ -272,8 +313,9 @@ void emitPlanTables(Source &Out, const EmissionPlan &Plan);
 /// Emits the host driver loop: the sequential time-tile (or band) loop
 /// with per-phase tile-range guards and per-launch S0 window computation.
 /// \p Launch renders one kernel launch; it receives the kernel suffix
-/// ("phase0", "phase1" or "band"), the block-count expression and the
-/// trailing kernel arguments (after the field buffers).
+/// ("phase0"/"phase1", "band", or "oband"/"ocopy" for Overlapped), the
+/// block-count expression and the trailing kernel arguments (after the
+/// field buffers).
 void emitHostDriver(
     Source &Out, const EmissionPlan &Plan,
     const std::function<void(Source &Out, const std::string &KernelSuffix,
@@ -281,8 +323,9 @@ void emitHostDriver(
                              const std::vector<std::string> &ExtraArgs)>
         &Launch);
 
-/// Kernel name for one phase: "<prog>_phase0", "<prog>_phase1" or
-/// "<prog>_band" (Classical).
+/// Kernel name for one phase: "<prog>_phase0", "<prog>_phase1",
+/// "<prog>_band" (Classical), or "<prog>_oband" / "<prog>_ocopy"
+/// (Overlapped).
 std::string kernelName(const EmissionPlan &Plan, const std::string &Suffix);
 
 } // namespace codegen

@@ -377,6 +377,8 @@ void emitHostKernel(Source &Out, const EmissionPlan &Plan,
            ")");
   if (Plan.TwoPhase)
     Out.line("const ht_int S0 = S0lo + ht_block;");
+  else if (Plan.Schedule == EmitSchedule::Overlapped)
+    Out.line("const ht_int S0 = ht_block; // This block's core tile.");
   else
     Out.line("(void)ht_block; // Classical bands launch a single block.");
   emitKernelBody(Out, Plan, Phase, Hooks);
@@ -395,7 +397,10 @@ std::string codegen::emitHost(const CompiledHybrid &C, EmitSchedule S) {
            " tiling, host (CPU shim) rendering");
   Out.line("// tile: " + C.schedule().params().str());
   Out.line("// memory strategy (Sec. 4.2 ladder): " + Plan.Config.str());
-  if (Plan.Staging.Enabled)
+  if (S == EmitSchedule::Overlapped)
+    Out.line("// (overlapped: per-band oband/ocopy kernel pair over "
+             "tile-private windows)");
+  else if (Plan.Staging.Enabled)
     Out.line("// (staged: cooperative load into a per-tile window, " +
              std::string(Plan.Staging.Interleaved ? "interleaved"
                                                   : "separate") +
@@ -410,23 +415,34 @@ std::string codegen::emitHost(const CompiledHybrid &C, EmitSchedule S) {
     Out.line("// env vars re-shape the pool at run time.");
     Out.line("#define HT_SHIM_THREADS " +
              std::to_string(Plan.Config.ShimThreads));
-    if (Plan.Staging.Enabled) {
+    if (Plan.Staging.Enabled && S != EmitSchedule::Overlapped) {
       Out.line("// Staged unit: the cooperative load sweeps a rectangular");
       Out.line("// over-approximation of the live-in window, so blocks must");
       Out.line("// not race -- one team, serial blocks, parallel threads");
       Out.line("// within each block.");
       Out.line("#define HT_SHIM_SINGLE_TEAM 1");
     }
+    // Overlapped units stay multi-team: tiles stage into disjoint
+    // file-scope windows and never write global memory concurrently, so
+    // blocks may genuinely race.
   }
   Out.line("#include \"cuda_shim.h\"");
   Out.blank();
   emitPlanTables(Out, Plan);
+  if (S == EmitSchedule::Overlapped) {
+    Out.blank();
+    emitOverlappedScratch(Out, Plan, "static");
+  }
   Out.blank();
 
   if (Plan.TwoPhase) {
     emitHostKernel(Out, Plan, "phase0", 0, Hooks);
     Out.blank();
     emitHostKernel(Out, Plan, "phase1", 1, Hooks);
+  } else if (S == EmitSchedule::Overlapped) {
+    emitHostKernel(Out, Plan, "oband", 0, Hooks);
+    Out.blank();
+    emitHostKernel(Out, Plan, "ocopy", 1, Hooks);
   } else {
     emitHostKernel(Out, Plan, "band", 0, Hooks);
   }

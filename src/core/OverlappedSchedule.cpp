@@ -1,0 +1,108 @@
+//===- OverlappedSchedule.cpp - Overlapped (trapezoidal) tiling -----------===//
+
+#include "core/OverlappedSchedule.h"
+
+#include "core/TileAnalysis.h"
+#include "support/MathExt.h"
+
+#include <sstream>
+#include <stdexcept>
+
+using namespace hextile;
+using namespace hextile::core;
+
+OverlappedSchedule::OverlappedSchedule(const ir::StencilProgram &P,
+                                       int64_t BandSteps, int64_t TileWidth)
+    : Prog(&P), Steps(BandSteps), Width(TileWidth) {
+  if (BandSteps < 1)
+    throw std::invalid_argument("overlapped tiling needs BandSteps >= 1");
+  if (TileWidth < 1)
+    throw std::invalid_argument("overlapped tiling needs TileWidth >= 1");
+  if (P.numStmts() == 0 || P.spaceRank() == 0)
+    throw std::invalid_argument(
+        "overlapped tiling needs a non-empty stencil program");
+
+  int64_t NumStmts = P.numStmts();
+  V = Steps * NumStmts;
+  Tiles = ceilDiv(P.spaceSizes()[0], Width);
+
+  // Exact per-tick margins by backward dataflow. Band-local canonical tick
+  // v in [0, V) runs statement v % NumStmts of full step v / NumStmts; it
+  // computes [TileLo - MLo[v], TileHi + MHi[v]). Walking v from the band's
+  // last tick down, each read either resolves to an in-band producer tick
+  // pv < v -- which must then cover the consumer's reach plus the read's
+  // own spatial offset -- or to pre-band data, which becomes a band-entry
+  // footprint requirement. The rotating-buffer round trip (a slot is
+  // reused every Depth full steps) decides which: the producer is the
+  // *latest* write of the read's slot that precedes the reading tick.
+  MLo.assign(static_cast<size_t>(V), 0);
+  MHi.assign(static_cast<size_t>(V), 0);
+  int64_t LoadLo = 0, LoadHi = 0;
+  for (int64_t v = V - 1; v >= 0; --v) {
+    int64_t j = v % NumStmts;
+    const ir::StencilStmt &S = P.stmts()[static_cast<size_t>(j)];
+    for (const ir::ReadAccess &R : S.Reads) {
+      int64_t Off0 = R.Offsets[0];
+      int64_t Below = MLo[static_cast<size_t>(v)] + std::max<int64_t>(0, -Off0);
+      int64_t Above = MHi[static_cast<size_t>(v)] + std::max<int64_t>(0, Off0);
+      int Writer = P.writerOf(R.Field);
+      int64_t Rel = R.TimeOffset * NumStmts + (Writer - j);
+      if (Writer >= 0) {
+        int64_t RoundTrip =
+            static_cast<int64_t>(P.bufferDepth(R.Field)) * NumStmts;
+        while (Rel >= 0)
+          Rel -= RoundTrip;
+      }
+      int64_t Producer = v + Rel;
+      if (Writer >= 0 && Producer >= 0) {
+        size_t PV = static_cast<size_t>(Producer);
+        MLo[PV] = std::max(MLo[PV], Below);
+        MHi[PV] = std::max(MHi[PV], Above);
+      } else {
+        LoadLo = std::max(LoadLo, Below);
+        LoadHi = std::max(LoadHi, Above);
+      }
+    }
+  }
+  FootLo = LoadLo;
+  FootHi = LoadHi;
+  for (int64_t v = 0; v < V; ++v) {
+    FootLo = std::max(FootLo, MLo[static_cast<size_t>(v)]);
+    FootHi = std::max(FootHi, MHi[static_cast<size_t>(v)]);
+  }
+
+  // The band-entry footprint is exactly what a band-deep partition halo
+  // ring can hold; a wider reach could never be replicated coherently.
+  HaloExtent Ring = partitionHaloExtent(P, /*Dim=*/0, Steps);
+  if (FootLo > Ring.Lo || FootHi > Ring.Hi)
+    throw std::invalid_argument(
+        "overlapped band footprint " + std::to_string(FootLo) + "+" +
+        std::to_string(FootHi) + " exceeds the band-deep partition halo " +
+        std::to_string(Ring.Lo) + "+" + std::to_string(Ring.Hi));
+}
+
+int64_t OverlappedSchedule::numBands(int64_t TimeSteps) const {
+  return TimeSteps <= 0 ? 0 : ceilDiv(TimeSteps, Steps);
+}
+
+int64_t OverlappedSchedule::bandStepsOf(int64_t Band, int64_t TimeSteps) const {
+  return std::min(Steps, TimeSteps - Band * Steps);
+}
+
+int64_t OverlappedSchedule::tileHi(int64_t Tile) const {
+  return std::min(Prog->spaceSizes()[0], (Tile + 1) * Width);
+}
+
+int64_t OverlappedSchedule::redundantInstancesPerTile() const {
+  int64_t Sum = 0;
+  for (int64_t v = 0; v < V; ++v)
+    Sum += MLo[static_cast<size_t>(v)] + MHi[static_cast<size_t>(v)];
+  return Sum;
+}
+
+std::string OverlappedSchedule::str() const {
+  std::ostringstream OS;
+  OS << "overlapped{band=" << Steps << " w0=" << Width << " foot=" << FootLo
+     << "+" << FootHi << " tiles=" << Tiles << "}";
+  return OS.str();
+}

@@ -1,0 +1,119 @@
+//===- OverlappedSchedule.h - Overlapped (trapezoidal) tiling --*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fifth schedule family: overlapped (trapezoidal / warp-style) tiling.
+/// Where the paper's hexagonal and classical families eliminate redundant
+/// boundary computation at the price of inter-tile synchronization inside a
+/// time band, overlapped tiling takes the opposite trade ("Model-Based Warp
+/// Overlapped Tiling", PAPERS.md): each tile's footprint is expanded by the
+/// dependence cone's reach over a whole band of time steps and the expanded
+/// halo region is recomputed *redundantly*, so tiles never exchange data --
+/// or synchronize -- between the band's wavefronts. The only barrier left is
+/// the band boundary itself.
+///
+/// Geometry along the partitioned (outermost spatial) dimension:
+///
+///   * time is cut into *bands* of BandSteps full time steps, i.e.
+///     V = BandSteps * numStmts canonical ticks per band;
+///   * space is cut into NumTiles disjoint *core* tiles of width TileWidth
+///     covering the full grid [0, size0);
+///   * at band-local tick v a tile computes the trapezoid
+///       [TileLo - marginLo(v), TileHi + marginHi(v))
+///     intersected with the update domain. Margins shrink as v advances --
+///     every value a tick needs outside the core was either loaded with the
+///     band-entry footprint or redundantly computed by an earlier tick.
+///
+/// The margins come from an exact per-tick backward dataflow over the
+/// program's reads (TimeOffset x rotating-buffer depth resolves each read to
+/// its in-band producer tick, or to pre-band data): a simple uniform
+/// per-step shrink is NOT sound for multi-statement programs whose
+/// statements read same-step values at nonzero spatial offsets (fdtd2d).
+/// The band-entry footprint (footLo/footHi) is validated against
+/// core::partitionHaloExtent(P, 0, BandSteps) -- the band-deep halo ring a
+/// partitioned storage provisions for the same cadence -- so a schedule
+/// that would read past what any band-deep ring can hold is rejected at
+/// construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_CORE_OVERLAPPEDSCHEDULE_H
+#define HEXTILE_CORE_OVERLAPPEDSCHEDULE_H
+
+#include "ir/StencilProgram.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hextile {
+namespace core {
+
+/// Overlapped (trapezoidal) tiling of one stencil program along its
+/// outermost spatial dimension. Immutable after construction; throws
+/// std::invalid_argument when the parameters are degenerate or the band
+/// footprint exceeds the band-deep partition halo.
+class OverlappedSchedule {
+public:
+  OverlappedSchedule(const ir::StencilProgram &P, int64_t BandSteps,
+                     int64_t TileWidth);
+
+  const ir::StencilProgram &program() const { return *Prog; }
+
+  /// Full time steps per band (>= 1).
+  int64_t bandSteps() const { return Steps; }
+  /// Canonical ticks per band: bandSteps() * numStmts.
+  int64_t ticksPerBand() const { return V; }
+  /// Bands covering \p TimeSteps full steps (the last may be partial).
+  int64_t numBands(int64_t TimeSteps) const;
+  /// Full steps the (possibly partial) band \p Band actually runs.
+  int64_t bandStepsOf(int64_t Band, int64_t TimeSteps) const;
+
+  /// Core tile width along dimension 0 (>= 1).
+  int64_t tileWidth() const { return Width; }
+  /// Disjoint core tiles covering [0, size0).
+  int64_t numTiles() const { return Tiles; }
+  int64_t tileLo(int64_t Tile) const { return Tile * Width; }
+  int64_t tileHi(int64_t Tile) const;
+
+  /// How far below / above its core a tile redundantly computes at
+  /// band-local tick \p v in [0, ticksPerBand()): wide enough that every
+  /// later tick's reads resolve inside what v (and the band-entry
+  /// footprint) covered.
+  int64_t marginLo(int64_t v) const { return MLo[static_cast<size_t>(v)]; }
+  int64_t marginHi(int64_t v) const { return MHi[static_cast<size_t>(v)]; }
+
+  /// Band-entry footprint: cells below / above the core a tile must hold
+  /// (loaded or replicated) before the band starts. Bounds every margin
+  /// and every pre-band read the band performs.
+  int64_t footLo() const { return FootLo; }
+  int64_t footHi() const { return FootHi; }
+
+  /// Redundant dim-0 cell-ticks of one full interior band (the trapezoid
+  /// minus the core column, summed over the band's ticks), per point of
+  /// the inner dimensions -- the per-band redundancy the banded-cadence
+  /// frontier trades against saved exchange rounds.
+  int64_t redundantInstancesPerTile() const;
+
+  /// "overlapped{band=2 w0=8 foot=2+2 tiles=12}" -- diagnostics.
+  std::string str() const;
+
+private:
+  const ir::StencilProgram *Prog;
+  int64_t Steps = 1;
+  int64_t V = 1;
+  int64_t Width = 1;
+  int64_t Tiles = 1;
+  int64_t FootLo = 0;
+  int64_t FootHi = 0;
+  std::vector<int64_t> MLo;
+  std::vector<int64_t> MHi;
+};
+
+} // namespace core
+} // namespace hextile
+
+#endif // HEXTILE_CORE_OVERLAPPEDSCHEDULE_H

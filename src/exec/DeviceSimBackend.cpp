@@ -5,6 +5,7 @@
 #include "exec/Executor.h"
 #include "exec/PartitionedGridStorage.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -50,6 +51,7 @@ void DeviceSimBackend::beginReplay() {
   Exchanges = 0;
   PoolTasksAtBegin = Pool ? Pool->tasksDispatched() : 0;
   DeviceInstances.clear();
+  RedundantInstances.clear();
   SentDown.clear();
   SentUp.clear();
   WallDown.clear();
@@ -78,6 +80,9 @@ void DeviceSimBackend::finishReplay(ReplayStats *Stats) {
     Stats->PerDevice[D].HaloValuesSent = Sent;
     TotalValues += Sent;
   }
+  Stats->RedundantInstances = 0;
+  for (size_t R : RedundantInstances)
+    Stats->RedundantInstances += R;
   Stats->HaloValuesExchanged = TotalValues;
   Stats->HaloBytesExchanged = TotalValues * sizeof(float);
 
@@ -163,7 +168,10 @@ void DeviceSimBackend::runWavefront(const ir::StencilProgram &P,
     WallUp[Dev] += std::chrono::duration<double>(T2 - T1).count();
   };
 
-  bool UsePool = Threaded && N > 1 && W.size() >= MinTaskInstances;
+  // "At most MinTaskInstances runs inline" -- the exact boundary
+  // ThreadPoolBackend and ThreadPool::parallelFor document and implement,
+  // so one threshold value batches identically across backends.
+  bool UsePool = Threaded && N > 1 && W.size() > MinTaskInstances;
   if (!UsePool) {
     // Inline: sequential devices, trivially ordered two phases. This is
     // both serial mode and the threaded mode's small-wavefront batch path
@@ -196,6 +204,117 @@ void DeviceSimBackend::runWavefront(const ir::StencilProgram &P,
   }
 
   // After the barrier the caller alone merges the evidence of concurrency.
+  for (size_t Dev = 0; Dev < N; ++Dev)
+    SeenThreads.insert(ComputeThread[Dev]);
+  Exchanges += 1;
+}
+
+void DeviceSimBackend::runOverlappedBand(const ir::StencilProgram &P,
+                                         PartitionedGridStorage &Parts,
+                                         const core::OverlappedSchedule &Sched,
+                                         int64_t Band) {
+  if (!Parts.bandedReplayMode() || Parts.haloSteps() < Sched.bandSteps())
+    throw std::invalid_argument(
+        "overlapped band replay needs a banded-mode PartitionedGridStorage "
+        "with rings provisioned for the band height (exec::runOverlapped "
+        "builds one)");
+  size_t N = Parts.numDevices();
+  DeviceInstances.resize(N, 0);
+  RedundantInstances.resize(N, 0);
+  SentDown.resize(N, 0);
+  SentUp.resize(N, 0);
+  WallDown.resize(N, 0.0);
+  WallUp.resize(N, 0.0);
+  ComputeThread.resize(N);
+
+  const std::vector<int64_t> &Sizes = P.spaceSizes();
+  unsigned Rank = P.spaceRank();
+  int64_t Ticks = Sched.bandStepsOf(Band, P.timeSteps()) * P.numStmts();
+  int64_t TickBase = Band * Sched.ticksPerBand();
+  int64_t Lo0 = P.loHalo(0);
+  int64_t Hi0 = Sizes[0] - P.hiHalo(0);
+  // The inner dimensions' update domain, flattened so the per-cell loop is
+  // allocation-free (one div/mod chain per instance).
+  std::vector<int64_t> InnerLo(Rank, 0), InnerExt(Rank, 1);
+  int64_t Inner = 1;
+  for (unsigned D = 1; D < Rank; ++D) {
+    InnerLo[D] = P.loHalo(D);
+    InnerExt[D] = std::max<int64_t>(0, Sizes[D] - P.hiHalo(D) - InnerLo[D]);
+    Inner *= InnerExt[D];
+  }
+
+  // Phase 1: each device runs the whole band -- its owned slab expanded by
+  // the schedule's per-tick margins -- with no intra-band barrier. Writes
+  // land only in the device's own slab (owned cells and its private rings,
+  // PartitionedGridStorage banded mode), and reads only resolve there too,
+  // so concurrent devices never touch shared memory: the band is race-free
+  // with zero synchronization, redundancy instead of barriers.
+  auto Compute = [&](size_t Dev) {
+    size_t Active = ActiveDevices.fetch_add(1, std::memory_order_acq_rel) + 1;
+    size_t Seen = MaxActive.load(std::memory_order_relaxed);
+    while (Active > Seen &&
+           !MaxActive.compare_exchange_weak(Seen, Active,
+                                            std::memory_order_relaxed)) {
+    }
+    ComputeThread[Dev] = std::this_thread::get_id();
+    PartitionedGridStorage::DeviceView View(Parts, static_cast<unsigned>(Dev));
+    const gpu::SlabRange &Owned = Parts.owned(static_cast<unsigned>(Dev));
+    std::vector<int64_t> Point(Rank + 1, 0);
+    size_t Done = 0, Redundant = 0;
+    for (int64_t V = 0; V < Ticks; ++V) {
+      Point[0] = TickBase + V;
+      int64_t CLo = std::max(Lo0, Owned.Lo - Sched.marginLo(V));
+      int64_t CHi = std::min(Hi0, Owned.Hi + Sched.marginHi(V));
+      for (int64_t S0 = CLo; S0 < CHi; ++S0) {
+        Point[1] = S0;
+        for (int64_t J = 0; J < Inner; ++J) {
+          int64_t Rem = J;
+          for (unsigned D = Rank; D-- > 1;) {
+            Point[D + 1] = InnerLo[D] + Rem % InnerExt[D];
+            Rem /= InnerExt[D];
+          }
+          executeInstance(P, View, Point);
+        }
+        Done += static_cast<size_t>(Inner);
+        if (S0 < Owned.Lo || S0 >= Owned.Hi)
+          Redundant += static_cast<size_t>(Inner);
+      }
+    }
+    DeviceInstances[Dev] += Done;
+    RedundantInstances[Dev] += Redundant;
+    ActiveDevices.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  // Phase 2: the band's single exchange (band-deep, deduplicated strips).
+  auto Push = [&](size_t Dev) {
+    using Clock = std::chrono::steady_clock;
+    unsigned D = static_cast<unsigned>(Dev);
+    Clock::time_point T0 = Clock::now();
+    size_t Down = Parts.pushDirtyDown(D);
+    Clock::time_point T1 = Clock::now();
+    size_t Up = Parts.pushDirtyUp(D);
+    Clock::time_point T2 = Clock::now();
+    SentDown[Dev] += Down;
+    SentUp[Dev] += Up;
+    WallDown[Dev] += std::chrono::duration<double>(T1 - T0).count();
+    WallUp[Dev] += std::chrono::duration<double>(T2 - T1).count();
+  };
+
+  size_t BandInstances =
+      static_cast<size_t>(std::max<int64_t>(0, Hi0 - Lo0) * Inner) *
+      static_cast<size_t>(Ticks);
+  bool UsePool = Threaded && N > 1 && BandInstances > MinTaskInstances;
+  if (!UsePool) {
+    for (size_t Dev = 0; Dev < N; ++Dev)
+      Compute(Dev);
+    for (size_t Dev = 0; Dev < N; ++Dev)
+      Push(Dev);
+  } else {
+    ensurePool(static_cast<unsigned>(N));
+    Pool->parallelFor(N, Compute); // barrier: every trapezoid retired
+    Pool->parallelFor(N, Push);    // barrier: rings coherent for next band
+  }
+
   for (size_t Dev = 0; Dev < N; ++Dev)
     SeenThreads.insert(ComputeThread[Dev]);
   Exchanges += 1;

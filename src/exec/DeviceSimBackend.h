@@ -43,11 +43,24 @@
 /// read; the test suite proves it can see exactly that breakage by arming
 /// the broken-barrier mode below.
 ///
-/// Wavefronts below a minimum-instances threshold retire inline on the
-/// caller (sequential devices, no pool handoff): replays dominated by tiny
-/// band-edge wavefronts would otherwise pay two barriers per wavefront for
-/// no overlap. Serial mode (Threaded = false) retires every wavefront that
-/// way -- the legacy deterministic replay, still pinned by tests.
+/// Wavefronts with at most MinTaskInstances instances retire inline on the
+/// caller (sequential devices, no pool handoff), the same "at most N runs
+/// inline" boundary ThreadPoolBackend and ThreadPool::parallelFor use:
+/// replays dominated by tiny band-edge wavefronts would otherwise pay two
+/// barriers per wavefront for no overlap. Serial mode (Threaded = false)
+/// retires every wavefront that way -- the legacy deterministic replay,
+/// still pinned by tests.
+///
+/// Beyond the per-wavefront protocol, runOverlappedBand executes one time
+/// band of an overlapped (trapezoidal) schedule as a *device-level*
+/// trapezoid: in phase 1 every device computes, tick by tick, its owned
+/// slab expanded by the schedule's shrinking margins -- redundantly
+/// recomputing neighbor cells into its own band-deep halo rings, with no
+/// intra-band barrier at all -- and phase 2 is a single halo exchange for
+/// the whole band. Exchange rounds drop from one per wavefront to one per
+/// band (the alpha term of the LinkSpec cost model), paid for with
+/// redundant instances (ReplayStats::RedundantInstances) and band-deep
+/// boundary strips.
 ///
 /// finishReplay publishes compute/exchange counters into ReplayStats --
 /// including per-link traffic priced through the topology's LinkSpec cost
@@ -61,6 +74,7 @@
 #ifndef HEXTILE_EXEC_DEVICESIMBACKEND_H
 #define HEXTILE_EXEC_DEVICESIMBACKEND_H
 
+#include "core/OverlappedSchedule.h"
 #include "exec/ExecutionBackend.h"
 #include "gpu/DeviceTopology.h"
 
@@ -72,6 +86,8 @@
 
 namespace hextile {
 namespace exec {
+
+class PartitionedGridStorage;
 
 /// Replays wavefronts over simulated devices with explicit halo exchange.
 /// Requires a PartitionedGridStorage (makeStorage builds a matching one);
@@ -93,9 +109,10 @@ public:
   /// sequentially (legacy deterministic replay).
   bool threaded() const { return Threaded; }
 
-  /// Batching floor: a wavefront with fewer instances than this retires
-  /// inline on the caller even in threaded mode (no pool handoff). 0 or 1
-  /// sends every multi-device wavefront through the pool.
+  /// Batching floor: a wavefront with *at most* this many instances
+  /// retires inline on the caller even in threaded mode (no pool handoff),
+  /// matching ThreadPoolBackend's documented boundary. 0 sends every
+  /// multi-device wavefront through the pool.
   void setMinTaskInstances(size_t N) { MinTaskInstances = N; }
   size_t minTaskInstances() const { return MinTaskInstances; }
 
@@ -114,6 +131,18 @@ public:
   void finishReplay(ReplayStats *Stats) override;
   void runWavefront(const ir::StencilProgram &P, FieldStorage &Storage,
                     const Wavefront &W) override;
+
+  /// Executes time band \p Band of \p Sched as a device-level trapezoid
+  /// over \p Parts (which must be in banded-replay mode with rings
+  /// provisioned for at least the schedule's band height): phase 1 runs
+  /// every device's expanded slab through the band's ticks with no
+  /// intra-band barrier, phase 2 is the band's single halo exchange.
+  /// Called between beginReplay/finishReplay like runWavefront; the
+  /// driver is exec::runOverlapped.
+  void runOverlappedBand(const ir::StencilProgram &P,
+                         PartitionedGridStorage &Parts,
+                         const core::OverlappedSchedule &Sched,
+                         int64_t Band);
 
 private:
   void ensurePool(unsigned NumDevices);
@@ -137,6 +166,7 @@ private:
   size_t Exchanges = 0;
   uint64_t PoolTasksAtBegin = 0;
   std::vector<size_t> DeviceInstances;
+  std::vector<size_t> RedundantInstances; ///< Trapezoid cells off-slab.
   std::vector<size_t> SentDown; ///< Values device d pushed to d-1 (link d-1).
   std::vector<size_t> SentUp;   ///< Values device d pushed to d+1 (link d).
   std::vector<double> WallDown; ///< Host seconds spent in those pushes.

@@ -40,14 +40,17 @@ std::unique_ptr<FieldStorage> exec::makeStorage(const ir::StencilProgram &P,
         Opts.BackendOverride->partitionTopology();
     if (!Topo)
       return std::make_unique<GridStorage>(P, Init);
-    return std::make_unique<PartitionedGridStorage>(P, *Topo, Init);
+    return std::make_unique<PartitionedGridStorage>(P, *Topo, Init,
+                                                    Opts.ExchangeCadenceSteps);
   }
   if (Opts.Backend != BackendKind::DeviceSim)
     return std::make_unique<GridStorage>(P, Init);
   if (Opts.Topology)
-    return std::make_unique<PartitionedGridStorage>(P, *Opts.Topology, Init);
+    return std::make_unique<PartitionedGridStorage>(P, *Opts.Topology, Init,
+                                                    Opts.ExchangeCadenceSteps);
   return std::make_unique<PartitionedGridStorage>(
-      P, defaultSimTopology(Opts.NumDevices), Init);
+      P, defaultSimTopology(Opts.NumDevices), Init,
+      Opts.ExchangeCadenceSteps);
 }
 
 void exec::runSchedule(const ir::StencilProgram &P, FieldStorage &Storage,

@@ -128,6 +128,13 @@ struct ScheduleRunOptions {
   /// dispatched chunk is smaller. 1 parallelizes every wavefront --
   /// required when a test wants races exposed on tiny fronts.
   size_t MinTaskInstances = 128;
+  /// Halo-exchange cadence of a DeviceSim replay, in full time steps:
+  /// makeStorage provisions the partitioned storage's rings (and owned
+  /// width floor) for one exchange every this many steps. 1 is the
+  /// classic per-wavefront-barrier cadence; an overlapped (trapezoidal)
+  /// replay passes its band height and exchanges once per band over
+  /// band-deep rings (exec::runOverlapped).
+  int64_t ExchangeCadenceSteps = 1;
   /// Non-owning override: when set, Backend/NumThreads/NumDevices are not
   /// used to build a backend and this instance is used directly -- lets
   /// callers reuse one thread pool (or device chain) across many replays

@@ -1,0 +1,77 @@
+//===- OverlappedReplay.h - Overlapped (trapezoidal) replay ----*- C++ -*-===//
+//
+// Part of the hextile project (CGO'14 hybrid hexagonal tiling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replay of the fifth schedule family (core::OverlappedSchedule). An
+/// overlapped schedule cannot be expressed as a lexicographic schedule key
+/// -- its tiles *recompute* each other's cells, so one statement instance
+/// executes in several tiles at once -- which is why it gets its own
+/// driver instead of runSchedule:
+///
+///  * On flat storage (GridStorage), each time band runs as two phases.
+///    Phase 1: every tile copies its footprint (core + band-entry halos,
+///    all rotating slots) into a private window buffer and runs the band's
+///    ticks there, margins shrinking tick by tick -- tiles share nothing,
+///    so the serial and thread-pool replays need no intra-band barrier and
+///    tile order is freely shuffleable. Phase 2: every tile writes its
+///    core column (all slots) back; cores are disjoint, so phase 2 is
+///    race-free too. The band boundary is the only barrier.
+///
+///  * On partitioned storage (DeviceSim), each band is a device-level
+///    trapezoid: DeviceSimBackend::runOverlappedBand computes every
+///    device's expanded slab with no intra-band barrier and exchanges
+///    halos once per band over band-deep rings -- the banded exchange
+///    cadence, saving (wavefronts - bands) alpha-term rounds per link at
+///    the price of redundant instances and band-deep strips.
+///
+/// Either way the replay is validated like every other family: bit-exact
+/// against the naive reference (ReplayStats::RedundantInstances records
+/// the redundancy the family pays).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HEXTILE_EXEC_OVERLAPPEDREPLAY_H
+#define HEXTILE_EXEC_OVERLAPPEDREPLAY_H
+
+#include "core/OverlappedSchedule.h"
+#include "exec/Executor.h"
+
+#include <memory>
+#include <string>
+
+namespace hextile {
+namespace exec {
+
+/// Builds the storage an overlapped replay of \p Sched needs under
+/// \p Opts: exactly makeStorage, with the exchange cadence forced to the
+/// schedule's band height so a DeviceSim replay gets band-deep rings.
+std::unique_ptr<FieldStorage>
+makeOverlappedStorage(const ir::StencilProgram &P,
+                      const core::OverlappedSchedule &Sched,
+                      const ScheduleRunOptions &Opts,
+                      const Initializer &Init = defaultInit);
+
+/// Replays every time step of \p P under the overlapped schedule \p Sched.
+/// Honors Opts.Backend / BackendOverride (Serial, ThreadPool, DeviceSim),
+/// Opts.ShuffleSeed (tile execution order on flat storage),
+/// Opts.MinTaskInstances (bands small enough retire inline) and
+/// Opts.Stats. Partitioned storage must have been built by
+/// makeOverlappedStorage (rings provisioned for the band height).
+void runOverlapped(const ir::StencilProgram &P,
+                   const core::OverlappedSchedule &Sched,
+                   FieldStorage &Storage,
+                   const ScheduleRunOptions &Opts = {});
+
+/// Reference-vs-overlapped equivalence over storage built by
+/// makeOverlappedStorage; "" when the final fields agree bit-exactly.
+std::string checkOverlappedEquivalence(const ir::StencilProgram &P,
+                                       const core::OverlappedSchedule &Sched,
+                                       const ScheduleRunOptions &Opts = {});
+
+} // namespace exec
+} // namespace hextile
+
+#endif // HEXTILE_EXEC_OVERLAPPEDREPLAY_H

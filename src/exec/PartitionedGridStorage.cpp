@@ -5,17 +5,21 @@
 #include "core/TileAnalysis.h"
 #include "support/MathExt.h"
 
+#include <algorithm>
 #include <cassert>
 #include <functional>
+#include <tuple>
 
 using namespace hextile;
 using namespace hextile::exec;
 
 PartitionedGridStorage::PartitionedGridStorage(const ir::StencilProgram &P,
                                                const gpu::DeviceTopology &Topo,
-                                               const Initializer &Init)
-    : Sizes(P.spaceSizes()) {
+                                               const Initializer &Init,
+                                               int64_t HaloSteps)
+    : Sizes(P.spaceSizes()), HaloSteps(HaloSteps) {
   assert(!Sizes.empty() && "partitioning needs at least one spatial dim");
+  assert(HaloSteps >= 1 && "exchange cadence must cover at least one step");
   unsigned NumFields = P.fields().size();
   Depth.resize(NumFields);
   for (unsigned F = 0; F < NumFields; ++F)
@@ -31,14 +35,14 @@ PartitionedGridStorage::PartitionedGridStorage(const ir::StencilProgram &P,
   for (unsigned D = 1; D < Sizes.size(); ++D)
     InnerPoints *= Sizes[D];
 
-  core::HaloExtent Halo = core::partitionHaloExtent(P, /*Dim=*/0);
+  core::HaloExtent Halo = core::partitionHaloExtent(P, /*Dim=*/0, HaloSteps);
   HaloLo = Halo.Lo;
   HaloHi = Halo.Hi;
   Requested = Topo.numDevices();
 
   int64_t Size0 = Sizes[0];
   std::vector<gpu::SlabRange> Plan =
-      Topo.planSlabs(Size0, core::minPartitionWidth(P, /*Dim=*/0));
+      Topo.planSlabs(Size0, core::minPartitionWidth(P, /*Dim=*/0, HaloSteps));
   Slabs.resize(Plan.size());
   Owner.assign(static_cast<size_t>(Size0), 0);
   for (unsigned Dev = 0; Dev < Slabs.size(); ++Dev) {
@@ -149,10 +153,20 @@ void PartitionedGridStorage::writeOn(unsigned Dev, unsigned Field, int64_t T,
                                      std::span<const int64_t> Coords,
                                      float V) {
   DeviceSlab &S = Slabs[Dev];
-  assert(Coords[0] >= S.Owned.Lo && Coords[0] < S.Owned.Hi &&
-         "devices write only cells they own (owner-computes placement)");
   unsigned Slot = slotOf(Field, T);
   int64_t G = globalIndex(Coords);
+  if (BandedReplay && (Coords[0] < S.Owned.Lo || Coords[0] >= S.Owned.Hi)) {
+    // Redundant trapezoid computation of an overlapped band: the write
+    // lands in this device's own halo ring (private replica, no traffic).
+    // It reproduces bit for bit what the cell's owner computes, so the
+    // replica stays coherent without an exchange.
+    assert(Coords[0] >= S.SlabLo && Coords[0] < S.SlabHi &&
+           "banded ring write outside this device's slab");
+    cell(S, Field, Slot, G) = V;
+    return;
+  }
+  assert(Coords[0] >= S.Owned.Lo && Coords[0] < S.Owned.Hi &&
+         "devices write only cells they own (owner-computes placement)");
   cell(S, Field, Slot, G) = V;
   // Writes a neighbor replicates become traffic at the next exchange.
   if (Dev > 0 && Coords[0] < S.Owned.Lo + HaloHi)
@@ -161,8 +175,30 @@ void PartitionedGridStorage::writeOn(unsigned Dev, unsigned Field, int64_t T,
     S.DirtyUp.push_back({Field, Slot, G});
 }
 
+// A band deeper than a field's rotating buffer rewrites the same slot of
+// the same cell several times before the band-end exchange; only the last
+// value is traffic. The dirty list is deduplicated in place (order is
+// irrelevant: the push copies current cell values, not recorded ones).
+static void dedupDirty(std::vector<PartitionedGridStorage::DirtyCell> &Dirty) {
+  std::sort(Dirty.begin(), Dirty.end(),
+            [](const PartitionedGridStorage::DirtyCell &A,
+               const PartitionedGridStorage::DirtyCell &B) {
+              return std::tie(A.Field, A.Slot, A.Global) <
+                     std::tie(B.Field, B.Slot, B.Global);
+            });
+  Dirty.erase(std::unique(Dirty.begin(), Dirty.end(),
+                          [](const PartitionedGridStorage::DirtyCell &A,
+                             const PartitionedGridStorage::DirtyCell &B) {
+                            return A.Field == B.Field && A.Slot == B.Slot &&
+                                   A.Global == B.Global;
+                          }),
+              Dirty.end());
+}
+
 size_t PartitionedGridStorage::pushDirtyDown(unsigned Dev) {
   DeviceSlab &S = Slabs[Dev];
+  if (BandedReplay)
+    dedupDirty(S.DirtyDown);
   size_t Sent = S.DirtyDown.size();
   assert((Sent == 0 || Dev > 0) && "device 0 has no lower neighbor");
   for (const DirtyCell &D : S.DirtyDown)
@@ -174,6 +210,8 @@ size_t PartitionedGridStorage::pushDirtyDown(unsigned Dev) {
 
 size_t PartitionedGridStorage::pushDirtyUp(unsigned Dev) {
   DeviceSlab &S = Slabs[Dev];
+  if (BandedReplay)
+    dedupDirty(S.DirtyUp);
   size_t Sent = S.DirtyUp.size();
   assert((Sent == 0 || Dev + 1 < numDevices()) &&
          "the last device has no upper neighbor");

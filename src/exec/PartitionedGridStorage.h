@@ -50,9 +50,17 @@ public:
   /// every device (owned width floor = core::minPartitionWidth) the
   /// decomposition falls back to a prefix of the chain; numDevices()
   /// reports the count actually used.
+  ///
+  /// \p HaloSteps is the exchange cadence the rings are provisioned for:
+  /// 1 (the default) sizes them for an exchange at every wavefront
+  /// barrier, exactly the stencil's read reach; a banded replay that
+  /// exchanges only once per HaloSteps-step time band passes its band
+  /// height and gets band-deep rings (core::partitionHaloExtent scaled by
+  /// the cadence) plus a matching owned-width floor.
   PartitionedGridStorage(const ir::StencilProgram &P,
                          const gpu::DeviceTopology &Topo,
-                         const Initializer &Init = defaultInit);
+                         const Initializer &Init = defaultInit,
+                         int64_t HaloSteps = 1);
 
   // --- FieldStorage (global, always-coherent view) ----------------------
   const char *kind() const override { return "partitioned"; }
@@ -80,6 +88,19 @@ public:
   /// Halo ring widths below/above each slab (same for all devices).
   int64_t haloLo() const { return HaloLo; }
   int64_t haloHi() const { return HaloHi; }
+  /// Exchange cadence the rings were provisioned for (ctor's HaloSteps).
+  int64_t haloSteps() const { return HaloSteps; }
+
+  /// Arms banded-replay semantics on the device-scoped path: writeOn may
+  /// land in the writer's *halo rings* (the redundant trapezoid
+  /// computation of an overlapped band recomputes neighbor cells in its
+  /// own slab) -- ring writes stay private, only owned-cell writes become
+  /// dirty traffic -- and the dirty lists are deduplicated per
+  /// (field, slot, cell) before a push, since a band rewrites the same
+  /// rotating slot whenever it is deeper than a field's buffer. Off (the
+  /// default), writeOn keeps the strict owner-computes contract.
+  void setBandedReplayMode(bool On) { BandedReplay = On; }
+  bool bandedReplayMode() const { return BandedReplay; }
 
   // --- Device-scoped access (the DeviceSim execution path) --------------
   /// Read as \p Dev: \p Coords must lie in its owned slab or halo rings.
@@ -147,13 +168,15 @@ public:
   size_t pushDirtyDown(unsigned Dev);
   size_t pushDirtyUp(unsigned Dev);
 
-private:
+  /// One deferred boundary value: the key the dirty lists (and the banded
+  /// mode's pre-push deduplication) work in.
   struct DirtyCell {
     unsigned Field;
     unsigned Slot;
     int64_t Global; ///< Flattened spatial index over the full grid.
   };
 
+private:
   /// One device's allocation: owned cells plus halo rings, stored as the
   /// contiguous global-index range [SlabLo*Inner, SlabHi*Inner) per copy.
   struct DeviceSlab {
@@ -177,6 +200,8 @@ private:
   int64_t InnerPoints = 0;  ///< Points per dim-0 row (product of sizes 1..).
   int64_t HaloLo = 0;
   int64_t HaloHi = 0;
+  int64_t HaloSteps = 1;
+  bool BandedReplay = false;
   unsigned Requested = 0;
   std::vector<DeviceSlab> Slabs;
   std::vector<unsigned> Owner; ///< Dim-0 coordinate -> owning device.

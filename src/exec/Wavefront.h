@@ -117,9 +117,16 @@ struct ReplayStats {
   size_t KeyEvals = 0;      ///< Schedule-key evaluations (both passes).
 
   /// Chunks the thread-pool backend dispatched to worker deques; wavefronts
-  /// below the batching threshold (ScheduleRunOptions::MinTaskInstances)
-  /// run inline on the caller and dispatch none.
+  /// with at most the batching threshold's instances
+  /// (ScheduleRunOptions::MinTaskInstances) run inline on the caller and
+  /// dispatch none.
   size_t PoolTasks = 0;
+
+  /// Statement instances executed redundantly by an overlapped
+  /// (trapezoidal) replay -- halo-region recomputation outside a tile's
+  /// core or a device's owned slab. Zero for the barrier-synchronized
+  /// families; the price paid for the banded exchange cadence.
+  size_t RedundantInstances = 0;
 
   size_t Devices = 0;       ///< Simulated devices (0 = one address space).
   size_t HaloExchanges = 0; ///< Exchange rounds (one per wavefront).

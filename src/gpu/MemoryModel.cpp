@@ -2,6 +2,7 @@
 
 #include "gpu/MemoryModel.h"
 
+#include "core/TileAnalysis.h"
 #include "support/MathExt.h"
 
 #include <algorithm>
@@ -113,6 +114,57 @@ std::vector<int64_t> gpu::predictHaloExchangeValuesPerBoundary(
     PerBoundary.push_back(StripCells * InnerExtent * TimeExtent);
   }
   return PerBoundary;
+}
+
+std::vector<int64_t> gpu::predictBandedHaloExchangeValuesPerBoundary(
+    const ir::StencilProgram &P, std::span<const int64_t> Boundaries,
+    int64_t BandSteps) {
+  assert(BandSteps >= 1 && "band height must be positive");
+  int64_t Lo0 = P.loHalo(0);
+  int64_t Hi0 = P.spaceSizes()[0] - P.hiHalo(0);
+  int64_t InnerExtent = 1;
+  for (unsigned D = 1; D < P.spaceRank(); ++D)
+    InnerExtent *= P.spaceSizes()[D] - P.loHalo(D) - P.hiHalo(D);
+  auto Clip = [&](int64_t From, int64_t To) {
+    return std::max<int64_t>(0, std::min(To, Hi0) - std::max(From, Lo0));
+  };
+
+  // Replication strips are band-deep: what the rings mirror when the
+  // partitioned storage is provisioned for BandSteps-step cadence.
+  core::HaloExtent Halo = core::partitionHaloExtent(P, 0, BandSteps);
+
+  // Slots shipped per cell per band: the dirty set is deduplicated by
+  // (field, slot, cell), and a band of S steps rewrites min(depth, S)
+  // distinct rotating slots of every written field.
+  int64_t NumBands = ceilDiv(P.timeSteps(), BandSteps);
+  int64_t SlotFactor = 0;
+  for (unsigned F = 0; F < P.fields().size(); ++F) {
+    if (P.writerOf(F) < 0)
+      continue;
+    int64_t Depth = P.bufferDepth(F);
+    for (int64_t Band = 0; Band < NumBands; ++Band) {
+      int64_t Live = std::min(BandSteps, P.timeSteps() - Band * BandSteps);
+      SlotFactor += std::min(Depth, Live);
+    }
+  }
+
+  std::vector<int64_t> PerBoundary;
+  PerBoundary.reserve(Boundaries.size());
+  for (int64_t B : Boundaries) {
+    int64_t StripCells = Clip(B, B + Halo.Hi) + Clip(B - Halo.Lo, B);
+    PerBoundary.push_back(StripCells * InnerExtent * SlotFactor);
+  }
+  return PerBoundary;
+}
+
+int64_t gpu::predictBandedHaloExchangeValues(
+    const ir::StencilProgram &P, std::span<const int64_t> Boundaries,
+    int64_t BandSteps) {
+  int64_t Total = 0;
+  for (int64_t V :
+       predictBandedHaloExchangeValuesPerBoundary(P, Boundaries, BandSteps))
+    Total += V;
+  return Total;
 }
 
 int64_t gpu::predictHaloExchangeValues(const ir::StencilProgram &P,

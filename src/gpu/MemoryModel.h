@@ -103,6 +103,24 @@ predictHaloExchangeValuesPerBoundary(const ir::StencilProgram &P,
 int64_t predictHaloExchangeBytes(const ir::StencilProgram &P,
                                  std::span<const int64_t> Boundaries);
 
+/// Analytic halo traffic of the *banded* exchange cadence: halos are
+/// exchanged once per time band of \p BandSteps canonical steps over
+/// band-deep replication strips (core::partitionHaloExtent at Steps =
+/// BandSteps). Per boundary, per band of S live steps, each written field
+/// contributes min(bufferDepth, S) rotating slots of the band-deep strips
+/// clipped to the update domain -- the exact count the dirty-cell
+/// deduplication of exec::PartitionedGridStorage's banded mode ships, so
+/// a banded DeviceSim replay's measured HaloValuesExchanged must equal it.
+std::vector<int64_t>
+predictBandedHaloExchangeValuesPerBoundary(const ir::StencilProgram &P,
+                                           std::span<const int64_t> Boundaries,
+                                           int64_t BandSteps);
+
+/// Total of predictBandedHaloExchangeValuesPerBoundary over all boundaries.
+int64_t predictBandedHaloExchangeValues(const ir::StencilProgram &P,
+                                        std::span<const int64_t> Boundaries,
+                                        int64_t BandSteps);
+
 } // namespace gpu
 } // namespace hextile
 

@@ -2,6 +2,8 @@
 
 #include "gpu/PerfModel.h"
 
+#include "support/MathExt.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -131,6 +133,34 @@ gpu::predictHaloExchangeCost(const ir::StencilProgram &P,
     Cost.Seconds += Seconds;
     Cost.LatencySeconds +=
         static_cast<double>(ExchangeRounds) * (Link.LatencyUs * 1e-6);
+    Cost.TransferSeconds +=
+        static_cast<double>(Bytes) / (Link.BandwidthGBps * 1e9);
+  }
+  return Cost;
+}
+
+HaloExchangeCost
+gpu::predictBandedHaloExchangeCost(const ir::StencilProgram &P,
+                                   const DeviceTopology &Topo,
+                                   std::span<const int64_t> Boundaries,
+                                   int64_t BandSteps) {
+  assert(BandSteps >= 1 && "band height must be positive");
+  int64_t Rounds = ceilDiv(P.timeSteps(), BandSteps);
+  HaloExchangeCost Cost;
+  Cost.PerLinkValues =
+      predictBandedHaloExchangeValuesPerBoundary(P, Boundaries, BandSteps);
+  Cost.PerLinkSeconds.reserve(Cost.PerLinkValues.size());
+  for (size_t E = 0; E < Cost.PerLinkValues.size(); ++E) {
+    LinkSpec Link = Topo.link(static_cast<unsigned>(E));
+    int64_t Bytes =
+        Cost.PerLinkValues[E] * static_cast<int64_t>(sizeof(float));
+    // Same closed form as the measured-traffic accounting (see
+    // predictHaloExchangeCost): exact-equality cross-checks need it.
+    double Seconds = Link.seconds(Rounds, Bytes);
+    Cost.PerLinkSeconds.push_back(Seconds);
+    Cost.Seconds += Seconds;
+    Cost.LatencySeconds +=
+        static_cast<double>(Rounds) * (Link.LatencyUs * 1e-6);
     Cost.TransferSeconds +=
         static_cast<double>(Bytes) / (Link.BandwidthGBps * 1e9);
   }

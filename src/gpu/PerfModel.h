@@ -122,6 +122,21 @@ HaloExchangeCost predictHaloExchangeCost(const ir::StencilProgram &P,
                                          std::span<const int64_t> Boundaries,
                                          int64_t ExchangeRounds);
 
+/// Costs the *banded* exchange cadence (one exchange per time band of
+/// \p BandSteps steps, core::OverlappedSchedule's device-level replay):
+/// ceil(timeSteps / BandSteps) rounds per link charge the alpha term, and
+/// the transfer term prices predictBandedHaloExchangeValuesPerBoundary's
+/// band-deep deduplicated strips. Comparing against predictHaloExchangeCost
+/// at the per-wavefront round count exposes the redundancy-vs-traffic
+/// frontier: banding divides the latency rounds by the band height while
+/// multiplying strip depth, so latency-dominated links favor deep bands and
+/// bandwidth-dominated links shallow ones.
+HaloExchangeCost
+predictBandedHaloExchangeCost(const ir::StencilProgram &P,
+                              const DeviceTopology &Topo,
+                              std::span<const int64_t> Boundaries,
+                              int64_t BandSteps);
+
 } // namespace gpu
 } // namespace hextile
 

@@ -165,7 +165,18 @@ std::vector<std::string> ArtifactStore::quarantine(const CompileKey &Key,
     if (P.empty())
       continue;
     fs::path From(P);
-    fs::path To = QDir / (From.filename().string() + uniqueSuffix());
+    // uniqueSuffix is only unique within this process: a restarted service
+    // whose pid was recycled restarts the counter, and fs::rename silently
+    // replaces an existing target -- which would destroy the quarantined
+    // evidence of an *earlier* corruption. Probe until the name is free
+    // (each uniqueSuffix call advances the counter, so the loop always
+    // makes progress).
+    fs::path To;
+    for (int Attempt = 0; Attempt < 1024; ++Attempt) {
+      To = QDir / (From.filename().string() + uniqueSuffix());
+      if (!fs::exists(To, EC))
+        break;
+    }
     fs::rename(From, To, EC);
     if (!EC)
       Moved.push_back(To.string());

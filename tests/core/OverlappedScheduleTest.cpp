@@ -1,0 +1,118 @@
+//===- OverlappedScheduleTest.cpp - Overlapped-tiling margin tests --------===//
+
+#include "core/OverlappedSchedule.h"
+#include "core/TileAnalysis.h"
+#include "ir/StencilGallery.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+using namespace hextile;
+using namespace hextile::core;
+
+TEST(OverlappedScheduleTest, Jacobi1DMarginsShrinkByOneCellPerStep) {
+  // Single statement, halo 1: at band-local tick v the trapezoid must
+  // still feed V-1-v later ticks, each eating one cell per side.
+  ir::StencilProgram P = ir::makeJacobi1D(64, 8);
+  OverlappedSchedule S(P, /*BandSteps=*/3, /*TileWidth=*/16);
+  ASSERT_EQ(S.ticksPerBand(), 3);
+  EXPECT_EQ(S.marginLo(0), 2);
+  EXPECT_EQ(S.marginLo(1), 1);
+  EXPECT_EQ(S.marginLo(2), 0);
+  EXPECT_EQ(S.marginHi(0), 2);
+  EXPECT_EQ(S.marginHi(2), 0);
+  EXPECT_EQ(S.footLo(), 3);
+  EXPECT_EQ(S.footHi(), 3);
+  // Both sides of the trapezoid, summed over the band's ticks.
+  EXPECT_EQ(S.redundantInstancesPerTile(), 2 * (2 + 1 + 0));
+}
+
+TEST(OverlappedScheduleTest, Heat2D4FootprintIsTwoCellsPerStep) {
+  // heat2d4 reads two cells away: every banded step costs a two-cell
+  // margin, and the band-entry footprint is 2 * BandSteps.
+  ir::StencilProgram P = ir::makeHeat2D4(48, 6);
+  OverlappedSchedule S(P, /*BandSteps=*/2, /*TileWidth=*/12);
+  ASSERT_EQ(S.ticksPerBand(), 2);
+  EXPECT_EQ(S.marginLo(0), 2);
+  EXPECT_EQ(S.marginLo(1), 0);
+  EXPECT_EQ(S.footLo(), 4);
+  EXPECT_EQ(S.footHi(), 4);
+  EXPECT_EQ(S.footLo(), partitionHaloExtent(P, 0, 2).Lo);
+}
+
+TEST(OverlappedScheduleTest, Wave2DDepthThreeReadsResolveAcrossBand) {
+  // wave2d reads t-1 (offset 1) and t-2 (center): the t-2 read of the
+  // first in-band tick must come from the band-entry footprint, not from
+  // a margin, and the per-tick margins still shrink one cell per step.
+  ir::StencilProgram P = ir::makeWave2D(48, 6);
+  OverlappedSchedule S(P, /*BandSteps=*/3, /*TileWidth=*/12);
+  ASSERT_EQ(S.ticksPerBand(), 3);
+  EXPECT_EQ(S.marginLo(0), 2);
+  EXPECT_EQ(S.marginLo(1), 1);
+  EXPECT_EQ(S.marginLo(2), 0);
+  EXPECT_EQ(S.footLo(), 3);
+  EXPECT_EQ(S.footLo(), partitionHaloExtent(P, 0, 3).Lo);
+}
+
+TEST(OverlappedScheduleTest, Fdtd2DSameStepReadsForceIntraStepMargins) {
+  // fdtd2d's H update reads the E fields of the *same* step at spatial
+  // offsets: even a one-step band needs nonzero margins on the earlier
+  // statements' ticks. A uniform per-step shrink would produce all-zero
+  // margins here and break bit-exactness.
+  ir::StencilProgram P = ir::makeFdtd2D(48, 6);
+  OverlappedSchedule S(P, /*BandSteps=*/1, /*TileWidth=*/12);
+  ASSERT_EQ(S.ticksPerBand(), static_cast<int64_t>(P.numStmts()));
+  int64_t MaxMargin = 0;
+  for (int64_t v = 0; v < S.ticksPerBand(); ++v)
+    MaxMargin = std::max({MaxMargin, S.marginLo(v), S.marginHi(v)});
+  EXPECT_GT(MaxMargin, 0);
+  // The last tick of the band feeds nothing inside it.
+  EXPECT_EQ(S.marginLo(S.ticksPerBand() - 1), 0);
+  EXPECT_EQ(S.marginHi(S.ticksPerBand() - 1), 0);
+}
+
+TEST(OverlappedScheduleTest, FootprintNeverExceedsBandDeepPartitionHalo) {
+  // The ctor validates the band-entry footprint against the band-deep
+  // halo ring a partitioned storage would provision for the same cadence;
+  // every gallery program at several band heights must pass.
+  for (const ir::StencilProgram &P : ir::makeBenchmarkSuite()) {
+    for (int64_t Band : {int64_t(1), int64_t(2), int64_t(3)}) {
+      OverlappedSchedule S(P, Band, 32);
+      HaloExtent Halo = partitionHaloExtent(P, 0, Band);
+      EXPECT_LE(S.footLo(), Halo.Lo) << P.name() << " band " << Band;
+      EXPECT_LE(S.footHi(), Halo.Hi) << P.name() << " band " << Band;
+      for (int64_t v = 0; v < S.ticksPerBand(); ++v) {
+        EXPECT_GE(S.marginLo(v), 0) << P.name();
+        EXPECT_LE(S.marginLo(v), S.footLo()) << P.name();
+        EXPECT_LE(S.marginHi(v), S.footHi()) << P.name();
+      }
+    }
+  }
+}
+
+TEST(OverlappedScheduleTest, TilesPartitionTheFullGrid) {
+  ir::StencilProgram P = ir::makeJacobi1D(10, 4);
+  OverlappedSchedule S(P, 2, 4);
+  ASSERT_EQ(S.numTiles(), 3);
+  EXPECT_EQ(S.tileLo(0), 0);
+  EXPECT_EQ(S.tileHi(0), 4);
+  EXPECT_EQ(S.tileLo(2), 8);
+  EXPECT_EQ(S.tileHi(2), 10); // Last tile clamps to the grid.
+}
+
+TEST(OverlappedScheduleTest, BandsCoverTimeWithPartialTail) {
+  ir::StencilProgram P = ir::makeJacobi1D(64, 8);
+  OverlappedSchedule S(P, 3, 16);
+  EXPECT_EQ(S.numBands(8), 3);
+  EXPECT_EQ(S.bandStepsOf(0, 8), 3);
+  EXPECT_EQ(S.bandStepsOf(2, 8), 2); // Tail band runs the leftover steps.
+  EXPECT_EQ(S.numBands(0), 0);
+}
+
+TEST(OverlappedScheduleTest, RejectsDegenerateParameters) {
+  ir::StencilProgram P = ir::makeJacobi1D(64, 8);
+  EXPECT_THROW(OverlappedSchedule(P, 0, 16), std::invalid_argument);
+  EXPECT_THROW(OverlappedSchedule(P, 2, 0), std::invalid_argument);
+}

@@ -3,6 +3,7 @@
 #include "core/TileAnalysis.h"
 #include "core/TileSizeModel.h"
 #include "deps/DeltaBounds.h"
+#include "gpu/DeviceTopology.h"
 #include "ir/StencilGallery.h"
 
 #include <gtest/gtest.h>
@@ -187,4 +188,60 @@ TEST(TileAnalysisTest, PartitionHaloExtentGrowsWithExchangeCadence) {
   EXPECT_EQ(Banded.Lo, 5 * OneStep.Lo);
   EXPECT_EQ(Banded.Hi, 5 * OneStep.Hi);
   EXPECT_EQ(minPartitionWidth(P, 0, 5), 5);
+}
+
+TEST(TileAnalysisTest, BandDeepHaloTracksDepthAndStencilOrder) {
+  // wave2d reads *two* time levels (u[t-1], u[t-2]) but its deeper read
+  // carries no spatial offset, so the per-step spread is still one cell:
+  // a band of k unexchanged steps needs a k-deep ring on every spatial
+  // dimension -- time depth widens the rotating buffer, not the halo.
+  ir::StencilProgram W = ir::makeWave2D(24, 6);
+  for (int64_t Band : {int64_t(2), int64_t(3)}) {
+    for (unsigned Dim : {0u, 1u}) {
+      HaloExtent H = partitionHaloExtent(W, Dim, Band);
+      EXPECT_EQ(H.Lo, Band) << "wave2d dim " << Dim << " band " << Band;
+      EXPECT_EQ(H.Hi, Band) << "wave2d dim " << Dim << " band " << Band;
+    }
+    EXPECT_EQ(minPartitionWidth(W, 0, Band), Band);
+  }
+
+  // heat2d4's fourth-order ring reaches two cells per step, so band-deep
+  // rings grow twice as fast: 2k each way after k unexchanged steps.
+  ir::StencilProgram H4 = ir::makeHeat2D4(24, 6);
+  for (int64_t Band : {int64_t(2), int64_t(3)}) {
+    for (unsigned Dim : {0u, 1u}) {
+      HaloExtent H = partitionHaloExtent(H4, Dim, Band);
+      EXPECT_EQ(H.Lo, 2 * Band) << "heat2d4 dim " << Dim << " band "
+                                << Band;
+      EXPECT_EQ(H.Hi, 2 * Band) << "heat2d4 dim " << Dim << " band "
+                                << Band;
+    }
+    EXPECT_EQ(minPartitionWidth(H4, 0, Band), 2 * Band);
+  }
+}
+
+TEST(TileAnalysisTest, NarrowGridFallsBackToFewerPartitions) {
+  // A band-deep cadence raises minPartitionWidth; on a grid too narrow to
+  // give every device that much owned width, planSlabs must degrade to
+  // the largest device prefix that fits (never a sub-minimum slab, never
+  // a failure) so nearest-neighbor exchange stays legal.
+  ir::StencilProgram H4 = ir::makeHeat2D4(24, 6);
+  int64_t MinW = minPartitionWidth(H4, 0, /*Steps=*/4); // 2*4 = 8.
+  ASSERT_EQ(MinW, 8);
+  gpu::DeviceTopology Topo = gpu::DeviceTopology::uniform(
+      gpu::DeviceConfig::gtx470(), /*NumDevices=*/4);
+  std::vector<gpu::SlabRange> Plan = Topo.planSlabs(24, MinW);
+  EXPECT_EQ(Plan.size(), 3u); // 24 / 8: only three slabs fit.
+  int64_t Covered = 0;
+  for (const gpu::SlabRange &S : Plan) {
+    EXPECT_GE(S.Hi - S.Lo, MinW);
+    Covered += S.Hi - S.Lo;
+  }
+  EXPECT_EQ(Covered, 24);
+
+  // Narrower still than one ring: everything collapses onto one device.
+  std::vector<gpu::SlabRange> Single = Topo.planSlabs(7, MinW);
+  ASSERT_EQ(Single.size(), 1u);
+  EXPECT_EQ(Single[0].Lo, 0);
+  EXPECT_EQ(Single[0].Hi, 7);
 }

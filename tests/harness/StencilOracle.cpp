@@ -12,6 +12,7 @@
 #include "deps/DeltaBounds.h"
 #include "deps/DependenceAnalysis.h"
 #include "exec/GridStorage.h"
+#include "exec/OverlappedReplay.h"
 
 #include <algorithm>
 #include <memory>
@@ -30,13 +31,15 @@ const char *harness::scheduleKindName(ScheduleKind K) {
     return "classical";
   case ScheduleKind::Diamond:
     return "diamond";
+  case ScheduleKind::Overlapped:
+    return "overlapped";
   }
   return "?";
 }
 
 std::vector<ScheduleKind> harness::allScheduleKinds() {
   return {ScheduleKind::Hex, ScheduleKind::Hybrid, ScheduleKind::Classical,
-          ScheduleKind::Diamond};
+          ScheduleKind::Diamond, ScheduleKind::Overlapped};
 }
 
 std::string OracleTiling::str() const {
@@ -241,6 +244,15 @@ OracleSchedule makeScheduleWithCones(
     return makeClassicalKey(P, T, Cones);
   case ScheduleKind::Diamond:
     return makeDiamondKey(P, T, Cones, BlockPermSeed);
+  case ScheduleKind::Overlapped: {
+    // The fifth family recomputes instances redundantly -- one instance
+    // runs in several tiles -- so no lexicographic key can express it;
+    // runDifferential replays it through exec::runOverlapped instead.
+    OracleSchedule S;
+    S.Skipped = "overlapped tiling has no schedule key (redundant "
+                "recomputation); replayed via exec::runOverlapped";
+    return S;
+  }
   }
   return {};
 }
@@ -261,6 +273,8 @@ std::optional<codegen::EmitSchedule> emitScheduleFor(ScheduleKind K) {
     return codegen::EmitSchedule::Classical;
   case ScheduleKind::Diamond:
     return std::nullopt;
+  case ScheduleKind::Overlapped:
+    return codegen::EmitSchedule::Overlapped;
   }
   return std::nullopt;
 }
@@ -345,6 +359,49 @@ std::string harness::runDifferential(const ir::StencilProgram &P,
       exec::makeBackend(Opts.Backend, Opts.NumThreads, Opts.NumDevices,
                         /*Topology=*/nullptr, Opts.DeviceSimThreaded,
                         Opts.MinTaskInstances);
+  if (K == ScheduleKind::Overlapped) {
+    // Fifth family: no schedule key (see makeScheduleWithCones); replay
+    // through the dedicated overlapped driver. Bands of H+1 steps mirror
+    // the hexagonal time reach; the tile width is the legalized W0.
+    core::HexTileParams Prm =
+        legalizedHexParams(T, Cones[0].Delta0, Cones[0].Delta1);
+    core::OverlappedSchedule Sched(P, std::max<int64_t>(T.H, 1) + 1,
+                                   Prm.W0);
+    for (int Shuffle = 0; Shuffle < std::max(Opts.NumShuffles, 1);
+         ++Shuffle) {
+      uint64_t RunSeed = Shuffle == 0
+                             ? 0
+                             : mix64(Opts.Seed +
+                                     static_cast<uint64_t>(Shuffle));
+      exec::ScheduleRunOptions RunOpts;
+      RunOpts.ShuffleSeed = RunSeed;
+      RunOpts.Backend = Opts.Backend;
+      RunOpts.NumThreads = Opts.NumThreads;
+      RunOpts.NumDevices = Opts.NumDevices;
+      RunOpts.DeviceSimThreaded = Opts.DeviceSimThreaded;
+      RunOpts.MinTaskInstances = Opts.MinTaskInstances;
+      RunOpts.BackendOverride = Backend.get();
+      std::unique_ptr<exec::FieldStorage> Got =
+          exec::makeOverlappedStorage(P, Sched, RunOpts, Init);
+      exec::runOverlapped(P, Sched, *Got, RunOpts);
+      std::string Diff = exec::compareStoragesAtStep(Ref, *Got, LastStep);
+      if (!Diff.empty()) {
+        std::ostringstream OS;
+        OS << "[" << scheduleKindName(K) << "] program=" << P.name()
+           << " backend=" << Backend->name();
+        if (Opts.Backend == exec::BackendKind::DeviceSim)
+          OS << " devices=" << Opts.NumDevices
+             << (Opts.DeviceSimThreaded ? " threaded" : " sequential");
+        OS << " schedule{" << Sched.str() << "} seed=0x" << std::hex
+           << Opts.Seed << std::dec << " shuffle=" << Shuffle
+           << " diverges from the row-major reference: " << Diff << "\n";
+        return OS.str();
+      }
+    }
+    if (Opts.RunEmitted)
+      return runEmittedMechanism(P, K, T, Opts, Cones, Init);
+    return "";
+  }
   for (int Shuffle = 0; Shuffle < std::max(Opts.NumShuffles, 1); ++Shuffle) {
     // Shuffle 0 replays blocks in natural order with stable thread order;
     // later shuffles permute the blocks and shuffle equal-key threads.

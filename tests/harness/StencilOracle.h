@@ -18,6 +18,11 @@
 ///              time bands of height 2h+2 (the Sec. 3.4 scheme alone).
 ///   Diamond    DiamondTiling wavefronts on (t, s0) (Bandishti et al.),
 ///              legal only for cone slopes <= 1.
+///   Overlapped core::OverlappedSchedule -- the fifth family. It *recomputes*
+///              halo cells redundantly, so one statement instance executes in
+///              several tiles and no lexicographic schedule key exists; the
+///              oracle replays it through exec::runOverlapped (flat, pool,
+///              or DeviceSim banded cadence) instead of runSchedule.
 ///
 /// Each differential run randomizes the initial values (including the
 /// never-updated boundary cells) from a caller-provided seed, serializes the
@@ -46,11 +51,11 @@ namespace hextile {
 namespace harness {
 
 /// The schedule families the oracle can replay.
-enum class ScheduleKind { Hex, Hybrid, Classical, Diamond };
+enum class ScheduleKind { Hex, Hybrid, Classical, Diamond, Overlapped };
 
 const char *scheduleKindName(ScheduleKind K);
 
-/// All four kinds, in declaration order.
+/// All five kinds, in declaration order.
 std::vector<ScheduleKind> allScheduleKinds();
 
 /// Tile parameters for one differential run. Invalid hexagon widths are
@@ -101,8 +106,9 @@ struct OracleOptions {
   /// Fourth mechanism: additionally render the schedule with HostEmitter,
   /// JIT-compile the emitted C++ (tests/harness/HostKernelRunner), execute
   /// it and compare bit-exactly against the reference. Covers kinds
-  /// Hex/Hybrid/Classical (Diamond has no emitter); machines without a
-  /// system compiler skip it cleanly (see emittedMechanismAvailable).
+  /// Hex/Hybrid/Classical/Overlapped (Diamond has no emitter); machines
+  /// without a system compiler skip it cleanly (see
+  /// emittedMechanismAvailable).
   bool RunEmitted = false;
   /// Memory-strategy rung (Sec. 4.2 ladder) the RunEmitted mechanism
   /// compiles with: shared-memory staging, copy-out style and load

@@ -1,9 +1,10 @@
 //===- EmittedOracleTest.cpp - Emitted-code differential sweep ----------------===//
 //
 // The oracle's fourth mechanism end to end: every gallery stencil is
-// compiled for hybrid tiling, rendered by HostEmitter as the hex, hybrid
-// and classical flavors *at every rung of the Sec. 4.2 shared-memory
-// ladder*, JIT-built with the system compiler, *executed* over seeded
+// compiled for hybrid tiling, rendered by HostEmitter as the hex, hybrid,
+// classical and overlapped flavors *at every rung of the Sec. 4.2
+// shared-memory ladder*, JIT-built with the system compiler, *executed*
+// over seeded
 // rotating buffers and compared bit-exactly against the naive reference
 // executor. This is the closed loop ROADMAP asked for: the generated code
 // path -- loop bounds, hexagon row tables, skew tables, buffer depths,
@@ -81,13 +82,14 @@ TEST_P(EmittedOracleSweep, EmittedKernelsBitExactAllKindsAllRungs) {
     Opts.NumShuffles = 1; // The key mechanisms have their own sweeps.
     Opts.EmitConfig = codegen::OptimizationConfig::level(R.Level);
     for (ScheduleKind K :
-         {ScheduleKind::Hex, ScheduleKind::Hybrid, ScheduleKind::Classical})
+         {ScheduleKind::Hex, ScheduleKind::Hybrid, ScheduleKind::Classical,
+          ScheduleKind::Overlapped})
       EXPECT_EQ(runDifferential(P, K, GetParam().Tiling, Opts), "")
           << scheduleKindName(K) << " rung=" << R.Name;
   }
 }
 
-/// The shim-thread axis: the same 12 stencils x 3 flavors x 4 rungs, as
+/// The shim-thread axis: the same stencils x 4 flavors x 4 rungs, as
 /// *parallel* units -- HT_LAUNCH_1D dispatches blocks across worker teams
 /// with a real __syncthreads barrier -- each compiled once and replayed
 /// at 1, 2 and 4 shim threads (the pool re-shapes from the environment,
@@ -95,9 +97,12 @@ TEST_P(EmittedOracleSweep, EmittedKernelsBitExactAllKindsAllRungs) {
 /// (a) units run blocks genuinely concurrently, racing the paper's
 /// phase-independence claim; staged rungs (b)-(d) keep blocks serial
 /// (single team) while the staging-ladder barriers are crossed by real
-/// threads. Everything must stay bit-exact against the naive executor --
-/// and under the TSan CI job the emitted barrier handshakes are raced
-/// with the same tool that checks ThreadPoolBackend.
+/// threads. Overlapped units are *always* multi-team -- their trapezoids
+/// stage into disjoint file-scope windows, so the fifth family's
+/// no-intra-band-synchronization claim is raced for real. Everything must
+/// stay bit-exact against the naive executor -- and under the TSan CI job
+/// the emitted barrier handshakes are raced with the same tool that
+/// checks ThreadPoolBackend.
 TEST_P(EmittedOracleSweep, ParallelShimBitExactAllRungsAllThreadCounts) {
   if (!emittedMechanismAvailable())
     GTEST_SKIP() << "no system C++ compiler; emitted kernels not run";
@@ -111,7 +116,8 @@ TEST_P(EmittedOracleSweep, ParallelShimBitExactAllRungsAllThreadCounts) {
         compileOracleHybrid(P, GetParam().Tiling, Config);
     for (codegen::EmitSchedule S :
          {codegen::EmitSchedule::Hex, codegen::EmitSchedule::Hybrid,
-          codegen::EmitSchedule::Classical}) {
+          codegen::EmitSchedule::Classical,
+          codegen::EmitSchedule::Overlapped}) {
       EmittedUnit Unit;
       ASSERT_EQ(Unit.build(P, C, S), "")
           << "rung=" << R.Name << " flavor=" << codegen::emitScheduleName(S);
@@ -129,7 +135,7 @@ TEST_P(EmittedOracleSweep, ParallelShimBitExactAllRungsAllThreadCounts) {
 
 // The full Table 3 gallery plus the beyond-the-paper entries (1D extras,
 // the depth-3 wave equation, the read-only-coefficient heat), at
-// sweep-friendly sizes, each against all three emitted flavors and all
+// sweep-friendly sizes, each against all four emitted flavors and all
 // four ladder rungs.
 INSTANTIATE_TEST_SUITE_P(
     Gallery, EmittedOracleSweep,

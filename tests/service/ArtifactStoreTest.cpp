@@ -146,6 +146,65 @@ TEST(ArtifactStoreTest, QuarantineMovesUnitAsideAndClearsLookup) {
   fs::remove_all(Dir);
 }
 
+TEST(ArtifactStoreTest, QuarantineNeverClobbersEarlierQuarantinedEvidence) {
+  // The quarantine name is "<file>.<pid>.<counter>.tmp" with a
+  // process-wide counter: a restarted service whose pid was recycled
+  // revisits counter values an earlier run consumed, and a clobbering
+  // rename would destroy the quarantined evidence of the *earlier*
+  // corruption. Model the collision by squatting on the names the next
+  // quarantine would pick and require them untouched.
+  std::string Dir = freshDir("requarantine");
+  ArtifactStore Store(Dir);
+  std::string FakeSo = Dir + "/input.so";
+  std::ofstream(FakeSo) << "corrupt-v1";
+  ASSERT_EQ(Store.put(key(6), TargetKind::Host, "src-v1", FakeSo), "");
+  std::vector<std::string> First =
+      Store.quarantine(key(6), TargetKind::Host);
+  ASSERT_EQ(First.size(), 2u);
+
+  // Learn the counter the first quarantine reached and the quarantined
+  // stems from its paths ("<stem>.<pid>.<counter>.tmp").
+  auto Split = [](const std::string &Path) {
+    std::string S = fs::path(Path).filename().string();
+    size_t TmpDot = S.rfind(".tmp");
+    size_t CntDot = S.rfind('.', TmpDot - 1);
+    size_t PidDot = S.rfind('.', CntDot - 1);
+    return std::pair<std::string, uint64_t>(
+        S.substr(0, PidDot),
+        std::stoull(S.substr(CntDot + 1, TmpDot - CntDot - 1)));
+  };
+  fs::path QDir = fs::path(Dir) / "quarantine";
+  std::vector<std::string> Markers;
+  uint64_t Counter = Split(First.back()).second;
+  for (const std::string &P : First) {
+    std::string Stem = Split(P).first;
+    for (uint64_t N = Counter + 1; N <= Counter + 64; ++N) {
+      std::string Marker =
+          (QDir / (Stem + "." + std::to_string(::getpid()) + "." +
+                   std::to_string(N) + ".tmp"))
+              .string();
+      std::ofstream(Marker) << "earlier-run evidence";
+      Markers.push_back(Marker);
+    }
+  }
+
+  // The same unit corrupts again after a recompile; its quarantine must
+  // land on fresh names, leaving every squatted name intact.
+  std::ofstream(FakeSo) << "corrupt-v2";
+  ASSERT_EQ(Store.put(key(6), TargetKind::Host, "src-v2", FakeSo), "");
+  std::vector<std::string> Second =
+      Store.quarantine(key(6), TargetKind::Host);
+  ASSERT_EQ(Second.size(), 2u);
+  for (const std::string &P : Second) {
+    EXPECT_TRUE(fs::exists(P)) << P;
+    for (const std::string &M : Markers)
+      EXPECT_NE(P, M);
+  }
+  for (const std::string &M : Markers)
+    EXPECT_EQ(slurp(M), "earlier-run evidence") << M;
+  fs::remove_all(Dir);
+}
+
 TEST(ArtifactStoreTest, TwoProcessSameKeyRaceNeverTearsAUnit) {
   if (HEXTILE_UNDER_TSAN)
     GTEST_SKIP() << "fork-based test; TSan runtime does not support "
